@@ -1,0 +1,236 @@
+package hfstream
+
+import (
+	"fmt"
+
+	"hfstream/internal/design"
+	"hfstream/internal/exp"
+	"hfstream/internal/sim"
+	"hfstream/internal/stats"
+	"hfstream/internal/workloads"
+)
+
+// Design is one machine configuration from the paper's design space.
+type Design struct {
+	cfg design.Config
+}
+
+// The paper's design points and SYNCOPTI variants.
+var (
+	// Existing models current commercial CMPs (software queues).
+	Existing = Design{design.ExistingConfig()}
+	// MemOpti adds QLU-aware write-forwarding to the consumer's L2.
+	MemOpti = Design{design.MemOptiConfig()}
+	// SyncOpti adds produce/consume instructions and distributed
+	// occupancy counters; queue data stays in the memory hierarchy.
+	SyncOpti = Design{design.SyncOptiConfig()}
+	// SyncOptiQ64 is SYNCOPTI with 64-entry queues packed 16 per line.
+	SyncOptiQ64 = Design{design.SyncOptiQ64Config()}
+	// SyncOptiSC is SYNCOPTI with the 1 KB stream cache.
+	SyncOptiSC = Design{design.SyncOptiSCConfig()}
+	// SyncOptiSCQ64 is the paper's best light-weight design (within 2% of
+	// HEAVYWT at 1% of the storage).
+	SyncOptiSCQ64 = Design{design.SyncOptiSCQ64Config()}
+	// HeavyWT uses the dedicated synchronization array and interconnect.
+	HeavyWT = Design{design.HeavyWTConfig()}
+)
+
+// Designs returns all design points in evaluation order.
+func Designs() []Design {
+	return []Design{Existing, MemOpti, SyncOpti, SyncOptiQ64, SyncOptiSC, SyncOptiSCQ64, HeavyWT}
+}
+
+// RegMapped returns the §3.1.3 register-mapped-queue design: HEAVYWT's
+// substrate with queue operations folded into the defining and using
+// instructions.
+func RegMapped() Design { return Design{design.RegMappedConfig()} }
+
+// NetQueue returns the §3.5.3 network-backed-queue design for cores the
+// given number of hops apart: the interconnect's per-hop buffers are the
+// only queue storage, so decoupling scales with physical separation.
+func NetQueue(hops int) Design { return Design{design.NetQueueConfig(hops)} }
+
+// CentralizedStore returns the §3.5.2 centralized-dedicated-store variant
+// of HEAVYWT with the given consume-to-use latency (a central structure
+// sits farther from the consuming cores than a distributed one).
+func CentralizedStore(consumeToUse int) Design {
+	return Design{design.CentralizedStoreConfig(consumeToUse)}
+}
+
+// DesignByName resolves a design point by its paper name (e.g.
+// "SYNCOPTI_SC+Q64").
+func DesignByName(name string) (Design, error) {
+	for _, d := range Designs() {
+		if d.Name() == name {
+			return d, nil
+		}
+	}
+	return Design{}, fmt.Errorf("hfstream: unknown design %q", name)
+}
+
+// Name returns the paper's label for the design point.
+func (d Design) Name() string { return d.cfg.Name() }
+
+// WithInterconnectLatency returns a copy with the HEAVYWT dedicated
+// interconnect's end-to-end latency changed (paper Figure 6).
+func (d Design) WithInterconnectLatency(cycles int) Design {
+	d.cfg.InterconnectLat = cycles
+	return d
+}
+
+// WithBus returns a copy with the shared bus reconfigured: cpuCyclesPerBus
+// is the bus clock ratio and widthBytes the per-beat width (paper Figures
+// 10 and 11).
+func (d Design) WithBus(cpuCyclesPerBus, widthBytes int, pipelined bool) Design {
+	d.cfg.BusCPB = cpuCyclesPerBus
+	d.cfg.BusWidth = widthBytes
+	d.cfg.BusPipelined = pipelined
+	return d
+}
+
+// WithQueues returns a copy with the queue depth and layout unit changed.
+func (d Design) WithQueues(depth, qlu int) Design {
+	d.cfg.QueueDepth = depth
+	d.cfg.QLU = qlu
+	return d
+}
+
+// Benchmark is one of the paper's nine workload loops.
+type Benchmark struct {
+	b *workloads.Benchmark
+}
+
+// Benchmarks returns the nine workloads in the paper's figure order.
+func Benchmarks() []Benchmark {
+	all := workloads.All()
+	out := make([]Benchmark, len(all))
+	for i, b := range all {
+		out[i] = Benchmark{b}
+	}
+	return out
+}
+
+// BenchmarkByName resolves a workload by name (art, equake, mcf, bzip2,
+// adpcmdec, epicdec, wc, fir, fft2).
+func BenchmarkByName(name string) (Benchmark, error) {
+	b, err := workloads.ByName(name)
+	if err != nil {
+		return Benchmark{}, err
+	}
+	return Benchmark{b}, nil
+}
+
+// Name returns the benchmark name.
+func (b Benchmark) Name() string { return b.b.Name }
+
+// Suite returns the originating suite (SPEC, Mediabench, StreamIt, ...).
+func (b Benchmark) Suite() string { return b.b.Suite }
+
+// Function returns the paper's Table 1 function name.
+func (b Benchmark) Function() string { return b.b.Function }
+
+// Iterations returns the simulated loop trip count.
+func (b Benchmark) Iterations() int { return b.b.Iterations }
+
+// Breakdown is a core's execution-time split across machine regions; the
+// six buckets sum to the core's total cycles (paper Figures 7, 10-12).
+type Breakdown struct {
+	PreL2, L2, Bus, L3, Mem, PostL2 uint64
+}
+
+// Total returns the sum of all buckets.
+func (bd Breakdown) Total() uint64 {
+	return bd.PreL2 + bd.L2 + bd.Bus + bd.L3 + bd.Mem + bd.PostL2
+}
+
+func fromStats(s stats.Breakdown) Breakdown {
+	return Breakdown{
+		PreL2:  s.Cycles[stats.PreL2],
+		L2:     s.Cycles[stats.L2],
+		Bus:    s.Cycles[stats.Bus],
+		L3:     s.Cycles[stats.L3],
+		Mem:    s.Cycles[stats.Mem],
+		PostL2: s.Cycles[stats.PostL2],
+	}
+}
+
+// Result reports one verified simulation.
+type Result struct {
+	// Cycles is total execution time.
+	Cycles uint64
+	// Breakdowns holds one entry per core (producer first).
+	Breakdowns []Breakdown
+	// Instructions and CommInstructions are per-core dynamic counts.
+	Instructions     []uint64
+	CommInstructions []uint64
+
+	// Memory-system counters.
+	BusGrants       uint64
+	L3Hits          uint64
+	MemAccesses     uint64
+	WriteForwards   []uint64
+	StreamCacheHits []uint64
+}
+
+// CommRatio returns core i's communication-to-application dynamic
+// instruction ratio (paper Figure 8).
+func (r Result) CommRatio(i int) float64 {
+	app := r.Instructions[i] - r.CommInstructions[i]
+	if app == 0 {
+		return 0
+	}
+	return float64(r.CommInstructions[i]) / float64(app)
+}
+
+func fromSim(res *sim.Result) Result {
+	out := Result{
+		Cycles:           res.Cycles,
+		Instructions:     res.Issued,
+		CommInstructions: res.IssuedComm,
+		BusGrants:        res.BusGrants,
+		L3Hits:           res.L3Hits,
+		MemAccesses:      res.MemAccesses,
+		WriteForwards:    res.WrFwds,
+		StreamCacheHits:  res.SCHits,
+	}
+	for _, bd := range res.Breakdowns {
+		out.Breakdowns = append(out.Breakdowns, fromStats(bd))
+	}
+	return out
+}
+
+// Run executes the pipelined (two-thread) version of the benchmark on the
+// design point. The run is verified end to end: the memory image must
+// match a functional-interpreter oracle, so a successful Run also
+// certifies simulator and partitioner correctness for that input.
+func Run(b Benchmark, d Design) (Result, error) {
+	res, err := exp.RunBenchmark(b.b, d.cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return fromSim(res), nil
+}
+
+// RunSingleThreaded executes the unpartitioned loop on one core of the
+// baseline machine (the paper's Figure 9 reference).
+func RunSingleThreaded(b Benchmark) (Result, error) {
+	res, err := exp.RunSingle(b.b)
+	if err != nil {
+		return Result{}, err
+	}
+	return fromSim(res), nil
+}
+
+// RunStaged partitions the benchmark into the given number of pipeline
+// stages and runs it on a machine with that many cores — the multi-stage
+// extension of the paper's dual-core evaluation. It fails for kernels
+// whose dependence structure cannot fill the requested stages (and for
+// the hand-partitioned bzip2). Like Run, the result is verified against
+// the functional oracle.
+func RunStaged(b Benchmark, d Design, stages int) (Result, error) {
+	res, err := exp.RunStaged(b.b, d.cfg, stages)
+	if err != nil {
+		return Result{}, err
+	}
+	return fromSim(res), nil
+}

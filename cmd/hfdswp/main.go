@@ -1,0 +1,73 @@
+// Command hfdswp inspects the DSWP partitioner: for each benchmark (or a
+// named one) it prints the pipeline partition — stage assignment, queue
+// count, condition handling — and optionally the generated thread
+// programs.
+//
+// Usage:
+//
+//	hfdswp                      # summary for every benchmark
+//	hfdswp -bench wc -asm       # one benchmark with full listings
+//	hfdswp -bench fft2 -stages 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hfstream/internal/dswp"
+	"hfstream/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark to inspect (default: all)")
+		stages    = flag.Int("stages", 2, "pipeline stages")
+		showAsm   = flag.Bool("asm", false, "print the generated thread programs")
+	)
+	flag.Parse()
+
+	var list []*workloads.Benchmark
+	if *benchName != "" {
+		b, err := workloads.ByName(*benchName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfdswp:", err)
+			os.Exit(1)
+		}
+		list = []*workloads.Benchmark{b}
+	} else {
+		list = workloads.All()
+	}
+
+	for _, b := range list {
+		if b.Loop == nil {
+			fmt.Printf("%-10s hand-partitioned (nested loop); no IR to inspect\n", b.Name)
+			continue
+		}
+		res, err := dswp.PartitionN(b.Loop, *stages)
+		if err != nil {
+			fmt.Printf("%-10s %v\n", b.Name, err)
+			continue
+		}
+		counts := make([]int, *stages)
+		for _, th := range res.Assignment {
+			counts[th]++
+		}
+		fmt.Printf("%-10s stages=%d queues=%d condStreamed=%v replicated=%d nodes/stage=%v",
+			b.Name, res.Stages, res.QueueCount, res.CondStreamed, len(res.Replicated), counts)
+		sizes := ""
+		for _, p := range res.Threads {
+			sizes += fmt.Sprintf(" %d", len(p.Instrs))
+		}
+		fmt.Printf(" instrs/stage=[%s ]\n", sizes)
+		if *showAsm {
+			single, err := dswp.Single(b.Loop)
+			if err == nil {
+				fmt.Println(single)
+			}
+			for _, p := range res.Threads {
+				fmt.Println(p)
+			}
+		}
+	}
+}

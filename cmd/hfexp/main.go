@@ -1,0 +1,102 @@
+// Command hfexp regenerates the paper's evaluation: Tables 1-2 and
+// Figures 3 and 6-12. With no flags it runs everything.
+//
+// Usage:
+//
+//	hfexp [-table1] [-table2] [-fig3] [-fig6] [-fig7] [-fig8] [-fig9]
+//	      [-fig10] [-fig11] [-fig12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hfstream/internal/exp"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "benchmark loop information")
+		table2 = flag.Bool("table2", false, "baseline simulator configuration")
+		fig3   = flag.Bool("fig3", false, "transit vs COMM-OP delay illustration")
+		fig6   = flag.Bool("fig6", false, "transit-delay tolerance (HEAVYWT)")
+		fig7   = flag.Bool("fig7", false, "design-point execution time breakdowns")
+		fig8   = flag.Bool("fig8", false, "communication frequency")
+		fig9   = flag.Bool("fig9", false, "HEAVYWT speedup over single-threaded")
+		fig10  = flag.Bool("fig10", false, "4-cycle bus sensitivity")
+		fig11  = flag.Bool("fig11", false, "128-byte bus bandwidth")
+		fig12  = flag.Bool("fig12", false, "stream cache and queue size optimizations")
+		abl    = flag.Bool("ablations", false, "design-space ablations beyond the paper's figures")
+		costs  = flag.Bool("costs", false, "hardware/OS cost vs performance summary")
+		charts = flag.Bool("charts", false, "render breakdown figures as ASCII stacked bars")
+	)
+	flag.Parse()
+
+	all := !(*table1 || *table2 || *fig3 || *fig6 || *fig7 || *fig8 ||
+		*fig9 || *fig10 || *fig11 || *fig12 || *abl || *costs)
+
+	type job struct {
+		on  bool
+		run func() (string, error)
+	}
+	renderFig := tableOf[*exp.BreakdownFigure]
+	if *charts {
+		renderFig = chartOf
+	}
+	jobs := []job{
+		{*table1 || all, func() (string, error) { return exp.Table1(), nil }},
+		{*table2 || all, func() (string, error) { return exp.Table2(), nil }},
+		{*fig3 || all, func() (string, error) { return exp.Fig3().Table(), nil }},
+		{*fig6 || all, tableOf(exp.Fig6)},
+		{*fig7 || all, renderFig(exp.Fig7)},
+		{*fig8 || all, tableOf(exp.Fig8)},
+		{*fig9 || all, tableOf(exp.Fig9)},
+		{*fig10 || all, renderFig(exp.Fig10)},
+		{*fig11 || all, renderFig(exp.Fig11)},
+		{*fig12 || all, tableOf(exp.Fig12)},
+		{*abl, tableOf(exp.AblationQLU)},
+		{*abl, tableOf(exp.AblationBusPipelining)},
+		{*abl, tableOf(exp.AblationRegMapped)},
+		{*abl, tableOf(exp.AblationCentralizedStore)},
+		{*abl, tableOf(exp.AblationStreamCacheSize)},
+		{*abl, tableOf(exp.AblationNetQueue)},
+		{*abl, tableOf(exp.AblationProbeTimeout)},
+		{*abl, tableOf(exp.AblationStages)},
+		{*costs, tableOf(exp.Costs)},
+	}
+	for _, j := range jobs {
+		if !j.on {
+			continue
+		}
+		out, err := j.run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfexp:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}
+
+// tabler is any experiment result that renders itself.
+type tabler interface{ Table() string }
+
+func tableOf[T tabler](f func() (T, error)) func() (string, error) {
+	return func() (string, error) {
+		r, err := f()
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	}
+}
+
+func chartOf(f func() (*exp.BreakdownFigure, error)) func() (string, error) {
+	return func() (string, error) {
+		r, err := f()
+		if err != nil {
+			return "", err
+		}
+		return r.Chart(), nil
+	}
+}

@@ -1,0 +1,124 @@
+// Command hfsim runs one benchmark on one design point and prints the
+// detailed result: cycles, per-core breakdowns, communication ratios and
+// memory-system counters.
+//
+// Usage:
+//
+//	hfsim -bench wc -design SYNCOPTI_SC+Q64
+//	hfsim -bench mcf -design HEAVYWT -single
+//	hfsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hfstream/internal/design"
+	"hfstream/internal/exp"
+	"hfstream/internal/sim"
+	"hfstream/internal/workloads"
+)
+
+func designs() map[string]design.Config {
+	m := map[string]design.Config{}
+	for _, c := range []design.Config{
+		design.ExistingConfig(), design.MemOptiConfig(), design.SyncOptiConfig(),
+		design.SyncOptiQ64Config(), design.SyncOptiSCConfig(),
+		design.SyncOptiSCQ64Config(), design.HeavyWTConfig(),
+	} {
+		m[c.Name()] = c
+	}
+	return m
+}
+
+func main() {
+	var (
+		benchName  = flag.String("bench", "wc", "benchmark name (see -list)")
+		designName = flag.String("design", "SYNCOPTI", "design point (see -list)")
+		single     = flag.Bool("single", false, "run the single-threaded baseline instead")
+		list       = flag.Bool("list", false, "list benchmarks and design points")
+		trace      = flag.Uint64("trace", 0, "sample throughput every N cycles and print sparklines")
+		csv        = flag.Bool("csv", false, "with -trace: emit the samples as CSV instead")
+	)
+	flag.Parse()
+
+	ds := designs()
+	if *list {
+		fmt.Println("benchmarks:")
+		for _, b := range workloads.All() {
+			fmt.Printf("  %-10s %-14s %s (%d%% of execution time)\n", b.Name, b.Suite, b.Function, b.ExecPct)
+		}
+		names := make([]string, 0, len(ds))
+		for n := range ds {
+			names = append(names, n)
+		}
+		fmt.Println("designs:", strings.Join(names, " "))
+		return
+	}
+
+	b, err := workloads.ByName(*benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfsim:", err)
+		os.Exit(1)
+	}
+	cfg, ok := ds[*designName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hfsim: unknown design %q (try -list)\n", *designName)
+		os.Exit(1)
+	}
+
+	var res *sim.Result
+	if *single {
+		res, err = exp.RunSingle(b)
+	} else {
+		res, err = exp.RunBenchmarkSampled(b, cfg, *trace)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfsim:", err)
+		os.Exit(1)
+	}
+	if *trace > 0 && *csv {
+		fmt.Print(res.CSV(*trace))
+		return
+	}
+
+	fmt.Printf("%s on %s: %d cycles (%d iterations, %.1f cycles/iter)\n",
+		b.Name, label(cfg, *single), res.Cycles, b.Iterations,
+		float64(res.Cycles)/float64(b.Iterations))
+	for i := range res.Breakdowns {
+		role := "producer"
+		if i == 1 {
+			role = "consumer"
+		}
+		if *single {
+			role = "single"
+		}
+		fmt.Printf("  core %d (%s): %s\n", i, role, res.Breakdowns[i].String())
+		fmt.Printf("    instructions: %d (comm %d, ratio %.3f)\n",
+			res.Issued[i], res.IssuedComm[i], res.CommRatio(i))
+	}
+	fmt.Printf("  bus: %d grants, %d beats, %d arbitration-wait cycles\n",
+		res.BusGrants, res.BusBeats, res.BusArbWait)
+	fmt.Printf("  L3: %d hits, %d misses; memory accesses: %d\n",
+		res.L3Hits, res.L3Misses, res.MemAccesses)
+	if !*single {
+		fmt.Printf("  streaming: forwards %v, bulk ACKs %v, probes %v, stream-cache hits %v\n",
+			res.WrFwds, res.BulkAcks, res.Probes, res.SCHits)
+		if res.SAFullStalls+res.SAEmptyStalls > 0 {
+			fmt.Printf("  synchronization array: %d full stalls, %d empty stalls\n",
+				res.SAFullStalls, res.SAEmptyStalls)
+		}
+	}
+	if *trace > 0 {
+		fmt.Print(res.TraceReport(*trace))
+	}
+}
+
+func label(cfg design.Config, single bool) string {
+	if single {
+		return "single-threaded baseline"
+	}
+	return cfg.Name()
+}

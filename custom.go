@@ -1,0 +1,105 @@
+package hfstream
+
+import (
+	"fmt"
+
+	"hfstream/internal/asm"
+	"hfstream/internal/interp"
+	"hfstream/internal/isa"
+	"hfstream/internal/lower"
+	"hfstream/internal/mem"
+	"hfstream/internal/sim"
+)
+
+// Program is an assembled streaming kernel thread.
+type Program struct {
+	p *isa.Program
+}
+
+// CompileAsm assembles a custom kernel from assembly text. The syntax
+// follows the disassembler with symbolic labels:
+//
+//	loop:
+//	    ld      r2, [r1+0]
+//	    addi    r1, r1, 8
+//	    produce q0, r2
+//	    bnez    r2, loop
+//	    halt
+//
+// Registers are r0-r63; produce/consume name queues q0-q63; memory
+// operands are written [reg+disp]. Programs for the EXISTING and MEMOPTI
+// design points are lowered to software-queue sequences automatically by
+// RunPrograms, which claims scratch registers from the top of the file
+// (r50 and above must stay free).
+func CompileAsm(name, src string) (*Program, error) {
+	p, err := asm.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{p: p}, nil
+}
+
+// Disassemble returns the program listing.
+func (p *Program) Disassemble() string { return p.p.String() }
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.p.Instrs) }
+
+// CustomRun is the outcome of RunPrograms, giving access to the final
+// memory image alongside the usual result.
+type CustomRun struct {
+	Result
+	image *mem.Memory
+}
+
+// Read returns the 8-byte word at addr in the final memory image.
+func (c *CustomRun) Read(addr uint64) uint64 { return c.image.Read8(addr) }
+
+// RunPrograms executes custom kernel threads (one per core, at most two
+// when they communicate through queues) on the given design point. init
+// seeds the functional memory image before execution.
+func RunPrograms(d Design, progs []*Program, init map[uint64]uint64) (*CustomRun, error) {
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("hfstream: no programs")
+	}
+	image := mem.New()
+	for a, v := range init {
+		image.Write8(a, v)
+	}
+	var threads []sim.Thread
+	for _, p := range progs {
+		ip := p.p
+		if d.cfg.SoftwareQueues() {
+			var err error
+			ip, err = lower.Lower(ip, d.cfg.Layout())
+			if err != nil {
+				return nil, err
+			}
+		}
+		threads = append(threads, sim.Thread{Prog: ip})
+	}
+	res, err := sim.Run(d.cfg.SimConfig(), image, threads)
+	if err != nil {
+		return nil, err
+	}
+	return &CustomRun{Result: fromSim(res), image: image}, nil
+}
+
+// Interpret runs the programs on the timing-free functional interpreter
+// (unbounded queues) and returns the final memory image reader. It is the
+// oracle RunPrograms results can be compared against.
+func Interpret(progs []*Program, init map[uint64]uint64) (func(addr uint64) uint64, error) {
+	image := mem.New()
+	for a, v := range init {
+		image.Write8(a, v)
+	}
+	raw := make([]*isa.Program, len(progs))
+	for i, p := range progs {
+		raw[i] = p.p
+	}
+	m := interp.New(image, raw...)
+	if err := m.Run(0); err != nil {
+		return nil, err
+	}
+	return image.Read8, nil
+}

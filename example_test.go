@@ -1,0 +1,77 @@
+package hfstream_test
+
+import (
+	"fmt"
+	"log"
+
+	"hfstream"
+)
+
+// Running a paper benchmark on a design point returns an oracle-verified
+// result.
+func Example() {
+	b, err := hfstream.BenchmarkByName("epicdec")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := hfstream.Run(b, hfstream.HeavyWT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Cycles > 0, len(res.Breakdowns))
+	// Output: true 2
+}
+
+// Design points are values; knob methods derive sensitivity variants.
+func ExampleDesign_WithBus() {
+	slow := hfstream.Existing.WithBus(4, 16, true)
+	fmt.Println(slow.Name(), hfstream.Existing.Name())
+	// Output: EXISTING EXISTING
+}
+
+// Custom streaming kernels compile from assembly text and run on any
+// design point, with a functional oracle available for verification.
+func ExampleCompileAsm() {
+	prod, err := hfstream.CompileAsm("prod", `
+		movi r1, 5
+	loop:
+		produce q0, r1
+		addi r1, r1, -1
+		bnez r1, loop
+		halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cons, err := hfstream.CompileAsm("cons", `
+		movi r1, 5
+		movi r2, 0
+		movi r3, 0x1000
+	loop:
+		consume r4, q0
+		add  r2, r2, r4
+		addi r1, r1, -1
+		bnez r1, loop
+		st   [r3+0], r2
+		halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := hfstream.RunPrograms(hfstream.SyncOpti, []*hfstream.Program{prod, cons}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(run.Read(0x1000))
+	// Output: 15
+}
+
+// The experiment harness regenerates any of the paper's tables/figures.
+func ExampleRunExperiment() {
+	out, err := hfstream.RunExperiment(hfstream.ExpFig3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(out) > 0)
+	// Output: true
+}

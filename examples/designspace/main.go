@@ -1,0 +1,57 @@
+// Design-space sweep: every benchmark on every design point, normalized
+// to HEAVYWT per benchmark — a compact text rendition of the paper's
+// Figures 7 and 12.
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hfstream"
+)
+
+func main() {
+	designs := hfstream.Designs()
+
+	fmt.Printf("%-10s", "benchmark")
+	for _, d := range designs {
+		fmt.Printf(" %16s", d.Name())
+	}
+	fmt.Println()
+
+	logSum := make([]float64, len(designs))
+	count := 0
+	for _, b := range hfstream.Benchmarks() {
+		cycles := make([]uint64, len(designs))
+		var base uint64
+		for i, d := range designs {
+			res, err := hfstream.Run(b, d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cycles[i] = res.Cycles
+			if d.Name() == "HEAVYWT" {
+				base = res.Cycles
+			}
+		}
+		if base == 0 {
+			log.Fatal("missing HEAVYWT baseline")
+		}
+		fmt.Printf("%-10s", b.Name())
+		for i := range designs {
+			norm := float64(cycles[i]) / float64(base)
+			fmt.Printf(" %8d (%4.2fx)", cycles[i], norm)
+			logSum[i] += math.Log(norm)
+		}
+		fmt.Println()
+		count++
+	}
+	fmt.Printf("%-10s", "geomean")
+	for i := range designs {
+		fmt.Printf(" %16.3f", math.Exp(logSum[i]/float64(count)))
+	}
+	fmt.Println()
+}

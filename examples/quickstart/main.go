@@ -1,0 +1,35 @@
+// Quickstart: run one benchmark on every design point and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hfstream"
+)
+
+func main() {
+	b, err := hfstream.BenchmarkByName("wc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	single, err := hfstream.RunSingleThreaded(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (%s, %s), %d iterations\n", b.Name(), b.Suite(), b.Function(), b.Iterations())
+	fmt.Printf("%-18s %10d cycles (baseline)\n", "single-threaded", single.Cycles)
+
+	for _, d := range hfstream.Designs() {
+		res, err := hfstream.Run(b, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		speedup := float64(single.Cycles) / float64(res.Cycles)
+		fmt.Printf("%-18s %10d cycles  speedup %.2fx  comm 1 per %.1f app instrs\n",
+			d.Name(), res.Cycles, speedup, 1/res.CommRatio(1))
+	}
+}

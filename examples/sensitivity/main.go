@@ -1,0 +1,58 @@
+// Interconnect sensitivity sweep: vary the shared-bus clock ratio and
+// width (paper Figures 10-11) and HEAVYWT's dedicated interconnect
+// latency (Figure 6) for a chosen benchmark.
+//
+//	go run ./examples/sensitivity [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hfstream"
+)
+
+func main() {
+	name := "adpcmdec"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	b, err := hfstream.BenchmarkByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("bus sensitivity for %s (EXISTING vs SYNCOPTI vs HEAVYWT)\n", b.Name())
+	fmt.Printf("%-28s %12s %12s %12s\n", "bus", "EXISTING", "SYNCOPTI", "HEAVYWT")
+	busConfigs := []struct {
+		label      string
+		cpb, width int
+		pipelined  bool
+	}{
+		{"16B, 1 CPU cycle (base)", 1, 16, true},
+		{"16B, 4 CPU cycles", 4, 16, true},
+		{"128B, 4 CPU cycles", 4, 128, true},
+		{"16B, 4 cycles, unpipelined", 4, 16, false},
+	}
+	for _, bc := range busConfigs {
+		row := []uint64{}
+		for _, d := range []hfstream.Design{hfstream.Existing, hfstream.SyncOpti, hfstream.HeavyWT} {
+			res, err := hfstream.Run(b, d.WithBus(bc.cpb, bc.width, bc.pipelined))
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, res.Cycles)
+		}
+		fmt.Printf("%-28s %12d %12d %12d\n", bc.label, row[0], row[1], row[2])
+	}
+
+	fmt.Printf("\nHEAVYWT dedicated interconnect latency (queue depth 32)\n")
+	for _, lat := range []int{1, 2, 5, 10, 20} {
+		res, err := hfstream.Run(b, hfstream.HeavyWT.WithInterconnectLatency(lat))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2d cycles end-to-end: %8d cycles\n", lat, res.Cycles)
+	}
+}

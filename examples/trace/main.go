@@ -1,0 +1,49 @@
+// Pipeline dynamics over time: sample per-core throughput while a
+// benchmark runs and render sparklines — bzip2's bursty group structure
+// is clearly visible against wc's steady stream.
+//
+//	go run ./examples/trace [benchmark] [design]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hfstream/internal/design"
+	"hfstream/internal/exp"
+	"hfstream/internal/workloads"
+)
+
+func main() {
+	benchName, designName := "bzip2", "HEAVYWT"
+	if len(os.Args) > 1 {
+		benchName = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		designName = os.Args[2]
+	}
+	b, err := workloads.ByName(benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg design.Config
+	switch designName {
+	case "HEAVYWT":
+		cfg = design.HeavyWTConfig()
+	case "SYNCOPTI":
+		cfg = design.SyncOptiConfig()
+	case "EXISTING":
+		cfg = design.ExistingConfig()
+	default:
+		log.Fatalf("unknown design %q (HEAVYWT, SYNCOPTI, EXISTING)", designName)
+	}
+
+	const interval = 100
+	res, err := exp.RunBenchmarkSampled(b, cfg, interval)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s: %d cycles\n", b.Name, cfg.Name(), res.Cycles)
+	fmt.Print(res.TraceReport(interval))
+}

@@ -1,0 +1,89 @@
+package hfstream
+
+import "hfstream/internal/exp"
+
+// Experiment names accepted by RunExperiment.
+const (
+	ExpTable1 = "table1"
+	ExpTable2 = "table2"
+	ExpFig3   = "fig3"
+	ExpFig6   = "fig6"
+	ExpFig7   = "fig7"
+	ExpFig8   = "fig8"
+	ExpFig9   = "fig9"
+	ExpFig10  = "fig10"
+	ExpFig11  = "fig11"
+	ExpFig12  = "fig12"
+)
+
+// ExperimentNames lists every reproducible table and figure.
+func ExperimentNames() []string {
+	return []string{
+		ExpTable1, ExpTable2, ExpFig3, ExpFig6, ExpFig7,
+		ExpFig8, ExpFig9, ExpFig10, ExpFig11, ExpFig12,
+	}
+}
+
+// RunExperiment regenerates one of the paper's tables or figures and
+// returns its text rendering. Figure experiments run the full benchmark
+// matrix and take seconds each.
+func RunExperiment(name string) (string, error) {
+	switch name {
+	case ExpTable1:
+		return exp.Table1(), nil
+	case ExpTable2:
+		return exp.Table2(), nil
+	case ExpFig3:
+		return exp.Fig3().Table(), nil
+	case ExpFig6:
+		r, err := exp.Fig6()
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	case ExpFig7:
+		r, err := exp.Fig7()
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	case ExpFig8:
+		r, err := exp.Fig8()
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	case ExpFig9:
+		r, err := exp.Fig9()
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	case ExpFig10:
+		r, err := exp.Fig10()
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	case ExpFig11:
+		r, err := exp.Fig11()
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	case ExpFig12:
+		r, err := exp.Fig12()
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	default:
+		return "", errUnknownExperiment(name)
+	}
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "hfstream: unknown experiment " + string(e)
+}

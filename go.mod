@@ -1,0 +1,3 @@
+module hfstream
+
+go 1.22

@@ -1,0 +1,174 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"hfstream/internal/isa"
+)
+
+func TestBuilderBranches(t *testing.T) {
+	b := NewBuilder("t")
+	b.MovI(1, 3)
+	b.Label("loop")
+	b.AddI(1, 1, -1)
+	b.Bnez(1, "loop")
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[2].Imm != 1 {
+		t.Errorf("branch target = %d, want 1", p.Instrs[2].Imm)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("x")
+	b.Label("x")
+	if _, err := b.Program(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+	b2 := NewBuilder("undef")
+	b2.B("nowhere")
+	if _, err := b2.Program(); err == nil {
+		t.Error("undefined label accepted")
+	}
+}
+
+func TestBuilderCommTagging(t *testing.T) {
+	b := NewBuilder("comm")
+	b.Add(1, 2, 3)
+	b.BeginComm()
+	b.Add(4, 5, 6)
+	b.EndComm()
+	b.Produce(0, 1)
+	b.Fence()
+	b.Consume(2, 0)
+	b.Add(7, 8, 9)
+	p := b.MustProgram()
+	want := []bool{false, true, true, true, true, false}
+	for i, w := range want {
+		if p.Instrs[i].Comm != w {
+			t.Errorf("instr %d Comm = %v, want %v", i, p.Instrs[i].Comm, w)
+		}
+	}
+}
+
+func TestFreshLabelUnique(t *testing.T) {
+	b := NewBuilder("t")
+	a, c := b.FreshLabel("spin"), b.FreshLabel("spin")
+	if a == c {
+		t.Errorf("FreshLabel returned duplicate %q", a)
+	}
+}
+
+const sample = `
+; a little loop
+	movi r1, 10
+	movi r2, 0
+loop:
+	add  r2, r2, r1
+	addi r1, r1, -1
+	bnez r1, loop
+	movi r3, 0x1000
+	st   [r3+8], r2
+	ld   r4, [r3+8]
+	produce q2, r4
+	consume r5, q2
+	fence
+	halt
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse("sample", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Instrs); got != 12 {
+		t.Fatalf("got %d instrs, want 12", got)
+	}
+	if p.Instrs[4].Op != isa.Bnez || p.Instrs[4].Imm != 2 {
+		t.Errorf("branch wrong: %v", p.Instrs[4])
+	}
+	if p.Instrs[5].Imm != 0x1000 {
+		t.Errorf("hex immediate wrong: %v", p.Instrs[5])
+	}
+	if p.Instrs[8].Q != 2 || p.Instrs[9].Q != 2 {
+		t.Errorf("queue numbers wrong")
+	}
+}
+
+// TestParseDisassembleRoundTrip checks that disassembly output (with
+// numeric branch targets rewritten as labels) re-parses to the same
+// instructions.
+func TestParseDisassembleRoundTrip(t *testing.T) {
+	p := MustParse("rt", sample)
+	// Rebuild source from instruction strings, emitting labels for
+	// branch targets.
+	targets := map[int]bool{}
+	for _, in := range p.Instrs {
+		if in.Op.IsBranch() && in.Op != isa.Halt {
+			targets[int(in.Imm)] = true
+		}
+	}
+	var sb strings.Builder
+	for i, in := range p.Instrs {
+		if targets[i] {
+			sb.WriteString("L" + itoa(i) + ":\n")
+		}
+		s := in.String()
+		if in.Op.IsBranch() && in.Op != isa.Halt {
+			// replace the numeric target with its label
+			idx := strings.LastIndexByte(s, ' ')
+			s = s[:idx+1] + "L" + itoa(int(in.Imm))
+		}
+		sb.WriteString("\t" + s + "\n")
+	}
+	p2, err := Parse("rt2", sb.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nsource:\n%s", err, sb.String())
+	}
+	if len(p2.Instrs) != len(p.Instrs) {
+		t.Fatalf("length mismatch %d vs %d", len(p2.Instrs), len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		a, b := p.Instrs[i], p2.Instrs[i]
+		a.Comm, b.Comm = false, false
+		if a != b {
+			t.Errorf("instr %d: %v != %v", i, a, b)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	s := ""
+	for n > 0 {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return s
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate r1, r2",
+		"add r1, r2",
+		"ld r1, r2",
+		"ld r1, [r99+0]",
+		"produce x0, r1",
+		"consume r1, r2",
+		"beqz r1",
+		"movi r1, notanumber",
+		"st [r1+z], r2",
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("accepted bad source %q", src)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hfstream/internal/isa"
+)
+
+// Parse assembles program text. The syntax mirrors the disassembler output
+// with symbolic labels:
+//
+//	; comment
+//	loop:
+//	    ld   r2, [r1+0]
+//	    addi r1, r1, 8
+//	    produce q0, r2
+//	    bnez r2, loop
+//	    halt
+//
+// Operand order follows isa.Instr.String: destination first, branch target
+// last (a label name), memory operands written [reg+disp].
+func Parse(name, text string) (*isa.Program, error) {
+	b := NewBuilder(name)
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			b.Label(strings.TrimSuffix(line, ":"))
+			continue
+		}
+		if err := parseInstr(b, line); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %v", lineNo+1, err)
+		}
+	}
+	return b.Program()
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(name, text string) *isa.Program {
+	p, err := Parse(name, text)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseInstr(b *Builder, line string) error {
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	ops := splitOperands(rest)
+
+	reg := func(i int) (isa.Reg, error) {
+		if i >= len(ops) {
+			return 0, fmt.Errorf("%s: missing operand %d", mnemonic, i)
+		}
+		return parseReg(ops[i])
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(ops) {
+			return 0, fmt.Errorf("%s: missing operand %d", mnemonic, i)
+		}
+		return strconv.ParseInt(ops[i], 0, 64)
+	}
+
+	switch mnemonic {
+	case "nop":
+		b.Nop()
+	case "halt":
+		b.Halt()
+	case "fence":
+		b.Fence()
+	case "movi":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		b.MovI(rd, v)
+	case "mov", "i2f", "f2i":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		ra, err := reg(1)
+		if err != nil {
+			return err
+		}
+		switch mnemonic {
+		case "mov":
+			b.Mov(rd, ra)
+		case "i2f":
+			b.I2F(rd, ra)
+		case "f2i":
+			b.F2I(rd, ra)
+		}
+	case "addi", "andi", "shli", "shri":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		ra, err := reg(1)
+		if err != nil {
+			return err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return err
+		}
+		switch mnemonic {
+		case "addi":
+			b.AddI(rd, ra, v)
+		case "andi":
+			b.AndI(rd, ra, v)
+		case "shli":
+			b.ShlI(rd, ra, v)
+		case "shri":
+			b.ShrI(rd, ra, v)
+		}
+	case "add", "sub", "mul", "div", "and", "or", "xor",
+		"cmpeq", "cmpne", "cmplt", "fadd", "fsub", "fmul", "fdiv":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		ra, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rb, err := reg(2)
+		if err != nil {
+			return err
+		}
+		threeReg(b, mnemonic, rd, ra, rb)
+	case "ld":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		ra, disp, err := parseMem(ops, 1)
+		if err != nil {
+			return err
+		}
+		b.Ld(rd, ra, disp)
+	case "st":
+		ra, disp, err := parseMem(ops, 0)
+		if err != nil {
+			return err
+		}
+		rb, err := reg(1)
+		if err != nil {
+			return err
+		}
+		b.St(ra, disp, rb)
+	case "b":
+		if len(ops) < 1 {
+			return fmt.Errorf("b: missing target")
+		}
+		b.B(ops[0])
+	case "beqz", "bnez":
+		ra, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(ops) < 2 {
+			return fmt.Errorf("%s: missing target", mnemonic)
+		}
+		if mnemonic == "beqz" {
+			b.Beqz(ra, ops[1])
+		} else {
+			b.Bnez(ra, ops[1])
+		}
+	case "produce":
+		q, err := parseQueue(ops, 0)
+		if err != nil {
+			return err
+		}
+		ra, err := reg(1)
+		if err != nil {
+			return err
+		}
+		b.Produce(q, ra)
+	case "consume":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		q, err := parseQueue(ops, 1)
+		if err != nil {
+			return err
+		}
+		b.Consume(rd, q)
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	return nil
+}
+
+func threeReg(b *Builder, mnemonic string, rd, ra, rb isa.Reg) {
+	switch mnemonic {
+	case "add":
+		b.Add(rd, ra, rb)
+	case "sub":
+		b.Sub(rd, ra, rb)
+	case "mul":
+		b.Mul(rd, ra, rb)
+	case "div":
+		b.Div(rd, ra, rb)
+	case "and":
+		b.And(rd, ra, rb)
+	case "or":
+		b.Or(rd, ra, rb)
+	case "xor":
+		b.Xor(rd, ra, rb)
+	case "cmpeq":
+		b.CmpEQ(rd, ra, rb)
+	case "cmpne":
+		b.CmpNE(rd, ra, rb)
+	case "cmplt":
+		b.CmpLT(rd, ra, rb)
+	case "fadd":
+		b.FAdd(rd, ra, rb)
+	case "fsub":
+		b.FSub(rd, ra, rb)
+	case "fmul":
+		b.FMul(rd, ra, rb)
+	case "fdiv":
+		b.FDiv(rd, ra, rb)
+	}
+}
+
+func splitOperands(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+func parseMem(ops []string, i int) (isa.Reg, int64, error) {
+	if i >= len(ops) {
+		return 0, 0, fmt.Errorf("missing memory operand")
+	}
+	s := ops[i]
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	base := inner
+	disp := int64(0)
+	if j := strings.LastIndexAny(inner, "+-"); j > 0 {
+		var err error
+		disp, err = strconv.ParseInt(inner[j:], 0, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad displacement in %q", s)
+		}
+		base = inner[:j]
+	}
+	ra, err := parseReg(strings.TrimSpace(base))
+	if err != nil {
+		return 0, 0, err
+	}
+	return ra, disp, nil
+}
+
+func parseQueue(ops []string, i int) (int, error) {
+	if i >= len(ops) {
+		return 0, fmt.Errorf("missing queue operand")
+	}
+	s := ops[i]
+	if !strings.HasPrefix(s, "q") {
+		return 0, fmt.Errorf("bad queue %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad queue %q", s)
+	}
+	return n, nil
+}

@@ -1,0 +1,261 @@
+// Package bus models the shared split-transaction L3 bus: round-robin
+// arbitration, a configurable width and CPU-cycle-to-bus-cycle ratio, and
+// optional pipelining (paper Table 2: 16-byte, 1-cycle, 3-stage pipelined
+// split-transaction bus with round-robin arbitration; Figures 10 and 11
+// vary the cycle ratio and width).
+//
+// The bus is a pure timing device: semantics (snooping, data supply) are
+// provided by a Handler the owner installs. On grant, the handler performs
+// the snoop atomically and returns how long servicing takes and how many
+// data beats the reply occupies; the bus then schedules completion on the
+// data path, modeling contention.
+package bus
+
+import "fmt"
+
+// Kind classifies bus transactions.
+type Kind int
+
+// Transaction kinds.
+const (
+	// Read requests a line for reading (install shared).
+	Read Kind = iota
+	// ReadX requests a line for writing (install modified, invalidate
+	// other copies).
+	ReadX
+	// Upgrade promotes a shared copy to modified (no data transfer).
+	Upgrade
+	// Writeback pushes a dirty line back to the L3.
+	Writeback
+	// WriteForward pushes a streaming line from the producer's L2 into the
+	// consumer's L2 (MEMOPTI / SYNCOPTI).
+	WriteForward
+	// OccUpdate carries a SYNCOPTI occupancy-counter update.
+	OccUpdate
+	// BulkAck is the consumer's per-line consumption notification that
+	// updates the producer's occupancy tracker (SYNCOPTI).
+	BulkAck
+	// Probe is the timeout-initiated request eliciting a writeback of a
+	// partially-filled streaming line (SYNCOPTI stream termination).
+	Probe
+	numKinds
+)
+
+// String names the transaction kind.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "Read"
+	case ReadX:
+		return "ReadX"
+	case Upgrade:
+		return "Upgrade"
+	case Writeback:
+		return "Writeback"
+	case WriteForward:
+		return "WriteForward"
+	case OccUpdate:
+		return "OccUpdate"
+	case BulkAck:
+		return "BulkAck"
+	case Probe:
+		return "Probe"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Supplier identifies which machine region services a granted request;
+// requesters use it to attribute subsequent waiting time.
+const (
+	SupplierNone = iota
+	SupplierRemoteL2
+	SupplierL3
+	SupplierMem
+)
+
+// Req is one bus transaction request.
+type Req struct {
+	Kind Kind
+	Addr uint64
+	Src  int    // requester id (core/L2 index)
+	Aux  int    // kind-specific payload (e.g. item count for forwards)
+	Q    int    // stream queue number for streaming transactions
+	Slot uint64 // cumulative starting slot for streaming transactions
+
+	// Note, if non-nil, is invoked at grant time with the Supplier
+	// constant describing who services the request.
+	Note func(supplier int)
+
+	// Done is invoked during grant processing and receives the future
+	// CPU cycle at which the transaction completes (data delivered /
+	// invalidation globally visible). The receiver must not act on the
+	// result before that cycle. May be nil.
+	Done func(cycle uint64)
+
+	granted bool
+}
+
+// Handler performs the semantic part of a granted transaction: snooping
+// other caches, looking up the L3, updating directory/occupancy state. It
+// returns the supplier latency in CPU cycles (e.g. remote L2 access, L3 or
+// memory latency) and the number of data-bus beats the reply occupies
+// (0 for address-only transactions).
+type Handler func(r *Req, grantCycle uint64) (serviceLat, beats int)
+
+// Params configures the bus.
+type Params struct {
+	WidthBytes int  // bytes transferred per data beat (Table 2: 16)
+	CPB        int  // CPU cycles per bus cycle (Table 2: 1; Figure 10: 4)
+	Pipelined  bool // 3-stage pipelined split-transaction bus when true
+	ArbLat     int  // arbitration latency in bus cycles (1)
+	SnoopLat   int  // address/snoop phase latency in bus cycles (2)
+}
+
+// DefaultParams returns the Table 2 baseline bus.
+func DefaultParams() Params {
+	return Params{WidthBytes: 16, CPB: 1, Pipelined: true, ArbLat: 1, SnoopLat: 2}
+}
+
+type pending struct {
+	req *Req
+}
+
+// Bus is the shared split-transaction bus.
+type Bus struct {
+	p       Params
+	handler Handler
+
+	queues   [][]pending // per-source request queues
+	rrNext   int         // round-robin pointer
+	addrFree uint64      // next CPU cycle the address path is free
+	dataFree uint64      // next CPU cycle the data path is free
+
+	// Stats.
+	Grants       [numKinds]uint64
+	BeatsCarried uint64
+	// ArbWait accumulates CPU cycles requests spent waiting for a grant.
+	ArbWait   uint64
+	submitted map[*Req]uint64
+}
+
+// New creates a bus with n requesters.
+func New(p Params, n int, h Handler) *Bus {
+	if p.WidthBytes <= 0 || p.CPB <= 0 {
+		panic(fmt.Sprintf("bus: bad params %+v", p))
+	}
+	if p.ArbLat <= 0 {
+		p.ArbLat = 1
+	}
+	if p.SnoopLat <= 0 {
+		p.SnoopLat = 1
+	}
+	return &Bus{
+		p:         p,
+		handler:   h,
+		queues:    make([][]pending, n),
+		submitted: make(map[*Req]uint64),
+	}
+}
+
+// Params returns the bus configuration.
+func (b *Bus) Params() Params { return b.p }
+
+// BeatsForBytes returns the number of data beats needed for n bytes.
+func (b *Bus) BeatsForBytes(n int) int {
+	return (n + b.p.WidthBytes - 1) / b.p.WidthBytes
+}
+
+// Submit enqueues a request for arbitration.
+func (b *Bus) Submit(cycle uint64, r *Req) {
+	if r.Src < 0 || r.Src >= len(b.queues) {
+		panic(fmt.Sprintf("bus: bad source %d", r.Src))
+	}
+	b.queues[r.Src] = append(b.queues[r.Src], pending{req: r})
+	b.submitted[r] = cycle
+}
+
+// PendingFor returns the number of queued (ungranted) requests from src.
+func (b *Bus) PendingFor(src int) int { return len(b.queues[src]) }
+
+// Idle reports whether the bus has no queued requests and both paths free.
+func (b *Bus) Idle(cycle uint64) bool {
+	for _, q := range b.queues {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return b.addrFree <= cycle && b.dataFree <= cycle
+}
+
+// Tick advances the bus one CPU cycle, granting at most one address phase
+// when the address path is free.
+func (b *Bus) Tick(cycle uint64) {
+	if cycle < b.addrFree {
+		return
+	}
+	// Round-robin across sources with pending requests.
+	n := len(b.queues)
+	for i := 0; i < n; i++ {
+		src := (b.rrNext + i) % n
+		if len(b.queues[src]) == 0 {
+			continue
+		}
+		r := b.queues[src][0].req
+		b.queues[src] = b.queues[src][1:]
+		b.rrNext = (src + 1) % n
+		b.grant(cycle, r)
+		return
+	}
+}
+
+func (b *Bus) grant(cycle uint64, r *Req) {
+	r.granted = true
+	b.Grants[r.Kind]++
+	if t, ok := b.submitted[r]; ok {
+		b.ArbWait += cycle - t
+		delete(b.submitted, r)
+	}
+	cpb := uint64(b.p.CPB)
+	addrPhase := uint64(b.p.ArbLat+b.p.SnoopLat) * cpb
+
+	serviceLat, beats := 0, 0
+	if b.handler != nil {
+		serviceLat, beats = b.handler(r, cycle)
+	}
+	b.BeatsCarried += uint64(beats)
+
+	ready := cycle + addrPhase + uint64(serviceLat)
+	done := ready
+	if beats > 0 {
+		start := max64(ready, b.dataFree)
+		done = start + uint64(beats)*cpb
+		b.dataFree = done
+	}
+	if b.p.Pipelined {
+		// A pipelined bus can accept a new address phase every bus cycle.
+		b.addrFree = cycle + cpb
+	} else {
+		// A non-pipelined bus is occupied for the whole transaction.
+		b.addrFree = done
+	}
+	if r.Done != nil {
+		r.Done(done)
+	}
+}
+
+// TotalGrants returns the number of granted transactions across kinds.
+func (b *Bus) TotalGrants() uint64 {
+	var t uint64
+	for _, g := range b.Grants {
+		t += g
+	}
+	return t
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,228 @@
+// Package cache provides set-associative cache arrays with MSI coherence
+// state and per-line streaming metadata, used for the private L1/L2 caches
+// and the shared L3 (paper Table 2).
+package cache
+
+import "fmt"
+
+// State is a line's MSI coherence state.
+type State uint8
+
+// MSI states.
+const (
+	Invalid State = iota
+	Shared
+	Modified
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Line is one cache line's bookkeeping (data lives in the functional
+// memory image; the cache tracks presence, coherence and stream state).
+type Line struct {
+	Addr  uint64 // line-aligned address
+	State State
+	lru   uint64
+
+	// Stream metadata for write-forwarding (QLU-aware): bitmask of queue
+	// slots on this line whose flag/data has been written since the line
+	// was last forwarded, and count of slots consumed.
+	StreamWritten  uint32
+	StreamConsumed uint32
+}
+
+// Params configures a cache array.
+type Params struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	// Latency is the array access latency in cycles.
+	Latency int
+}
+
+// Sets returns the number of sets implied by the parameters.
+func (p Params) Sets() int { return p.SizeBytes / (p.Ways * p.LineBytes) }
+
+// Validate checks the geometry.
+func (p Params) Validate() error {
+	if p.SizeBytes <= 0 || p.Ways <= 0 || p.LineBytes <= 0 {
+		return fmt.Errorf("cache: non-positive parameter: %+v", p)
+	}
+	if p.LineBytes&(p.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", p.LineBytes)
+	}
+	if p.SizeBytes%(p.Ways*p.LineBytes) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by ways*line (%d*%d)",
+			p.SizeBytes, p.Ways, p.LineBytes)
+	}
+	sets := p.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Cache is a set-associative array with LRU replacement.
+type Cache struct {
+	p     Params
+	sets  [][]Line
+	clock uint64
+
+	// Stats.
+	Hits, Misses, Evictions uint64
+}
+
+// New builds a cache; it panics on invalid geometry (a configuration bug).
+func New(p Params) *Cache {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]Line, p.Sets())
+	for i := range sets {
+		sets[i] = make([]Line, p.Ways)
+	}
+	return &Cache{p: p, sets: sets}
+}
+
+// Params returns the cache geometry.
+func (c *Cache) Params() Params { return c.p }
+
+// LineAddr returns addr rounded down to its line boundary.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ (uint64(c.p.LineBytes) - 1) }
+
+func (c *Cache) setOf(lineAddr uint64) []Line {
+	idx := (lineAddr / uint64(c.p.LineBytes)) & uint64(len(c.sets)-1)
+	return c.sets[idx]
+}
+
+// Lookup returns the line containing addr if present (state != Invalid),
+// updating LRU and hit/miss statistics.
+func (c *Cache) Lookup(addr uint64) *Line {
+	la := c.LineAddr(addr)
+	set := c.setOf(la)
+	c.clock++
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == la {
+			set[i].lru = c.clock
+			c.Hits++
+			return &set[i]
+		}
+	}
+	c.Misses++
+	return nil
+}
+
+// Peek returns the line containing addr without touching LRU or stats.
+// Snoops use Peek.
+func (c *Cache) Peek(addr uint64) *Line {
+	la := c.LineAddr(addr)
+	set := c.setOf(la)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == la {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Victim describes a line evicted by Insert.
+type Victim struct {
+	Addr  uint64
+	State State
+	// Stream metadata travels with the victim so streaming lines evicted
+	// mid-fill can flush their occupancy info (paper §4.2).
+	StreamWritten  uint32
+	StreamConsumed uint32
+}
+
+// Insert installs addr's line in the given state, evicting the LRU way if
+// needed. It returns the victim (valid when evicted is true). Inserting a
+// line that is already present just updates its state.
+func (c *Cache) Insert(addr uint64, st State) (victim Victim, evicted bool) {
+	la := c.LineAddr(addr)
+	set := c.setOf(la)
+	c.clock++
+	// Already present: update in place.
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == la {
+			set[i].State = st
+			set[i].lru = c.clock
+			return Victim{}, false
+		}
+	}
+	// Free way.
+	for i := range set {
+		if set[i].State == Invalid {
+			set[i] = Line{Addr: la, State: st, lru: c.clock}
+			return Victim{}, false
+		}
+	}
+	// Evict LRU.
+	lruIdx := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[lruIdx].lru {
+			lruIdx = i
+		}
+	}
+	v := Victim{
+		Addr:           set[lruIdx].Addr,
+		State:          set[lruIdx].State,
+		StreamWritten:  set[lruIdx].StreamWritten,
+		StreamConsumed: set[lruIdx].StreamConsumed,
+	}
+	c.Evictions++
+	set[lruIdx] = Line{Addr: la, State: st, lru: c.clock}
+	return v, true
+}
+
+// Invalidate removes addr's line, returning its previous state.
+func (c *Cache) Invalidate(addr uint64) State {
+	la := c.LineAddr(addr)
+	set := c.setOf(la)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == la {
+			st := set[i].State
+			set[i] = Line{}
+			return st
+		}
+	}
+	return Invalid
+}
+
+// InvalidateRange removes every line overlapping [base, base+size). It is
+// used to keep the write-through L1 inclusive in the L2: when an L2 line
+// is invalidated or evicted, the covered L1 lines must go too.
+func (c *Cache) InvalidateRange(base, size uint64) int {
+	n := 0
+	for a := c.LineAddr(base); a < base+size; a += uint64(c.p.LineBytes) {
+		if c.Invalidate(a) != Invalid {
+			n++
+		}
+	}
+	return n
+}
+
+// CountValid returns the number of valid lines (for tests).
+func (c *Cache) CountValid() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].State != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,406 @@
+// Package core models an in-order multi-issue processor core patterned
+// after the paper's Itanium 2 baseline: 6-issue with a 6 ALU / 4 memory /
+// 2 FP / 3 branch functional-unit mix, scoreboarded register dependences,
+// at most 16 outstanding loads, and fire-and-forget stores tracked through
+// the memory subsystem's OzQ.
+//
+// Every cycle is attributed to exactly one breakdown bucket (paper
+// Figures 7, 10-12): cycles that issue application work count as PreL2,
+// cycles that issue only communication-overhead instructions count as
+// PostL2 (the extra execute/commit bandwidth those instructions consume),
+// and stall cycles are charged to the machine region the blocking
+// operation currently waits in.
+package core
+
+import (
+	"fmt"
+
+	"hfstream/internal/isa"
+	"hfstream/internal/port"
+	"hfstream/internal/stats"
+)
+
+// Params configures a core.
+type Params struct {
+	IssueWidth          int
+	FUs                 [isa.NumFUs]int
+	MaxOutstandingLoads int
+
+	// RegMappedQueues models the paper's §3.1.3 design option: a portion
+	// of the register address space names inter-core queues, so produce
+	// and consume fold into the instructions that define or use the
+	// value. Modeled by letting produce/consume issue without consuming
+	// an issue slot or memory functional unit (their dependence height
+	// and queue semantics are unchanged).
+	RegMappedQueues bool
+}
+
+// DefaultParams returns the paper's Itanium 2 core configuration.
+func DefaultParams() Params {
+	return Params{
+		IssueWidth:          6,
+		FUs:                 [isa.NumFUs]int{isa.FUALU: 6, isa.FUMem: 4, isa.FUFP: 2, isa.FUBranch: 3},
+		MaxOutstandingLoads: 16,
+	}
+}
+
+// StallReason summarises why issue stopped in a cycle (for debugging and
+// deadlock reports).
+type StallReason int
+
+// Stall reasons.
+const (
+	StallNone StallReason = iota
+	StallOperand
+	StallToken
+	StallFU
+	StallOzQFull
+	StallLoadLimit
+	StallQueueFull
+	StallQueueEmpty
+	StallWAW
+	StallHalted
+)
+
+// String names the stall reason.
+func (s StallReason) String() string {
+	switch s {
+	case StallNone:
+		return "none"
+	case StallOperand:
+		return "operand-latency"
+	case StallToken:
+		return "memory-token"
+	case StallFU:
+		return "fu-conflict"
+	case StallOzQFull:
+		return "ozq-full"
+	case StallLoadLimit:
+		return "load-limit"
+	case StallQueueFull:
+		return "queue-full"
+	case StallQueueEmpty:
+		return "queue-empty"
+	case StallWAW:
+		return "waw-hazard"
+	case StallHalted:
+		return "halted"
+	default:
+		return fmt.Sprintf("StallReason(%d)", int(s))
+	}
+}
+
+// Core executes one thread program against a memory port and an optional
+// streaming port.
+type Core struct {
+	id   int
+	p    Params
+	prog *isa.Program
+	pc   int
+
+	regs  [isa.NumRegs]uint64
+	ready [isa.NumRegs]uint64
+	pend  [isa.NumRegs]*port.Token
+
+	memp port.Mem
+	strm port.Stream
+
+	inflight []*port.Token // fire-and-forget tokens (stores, fences, produces)
+	loads    int           // outstanding load count
+
+	halted bool
+
+	// Stats.
+	Cycles      uint64
+	Issued      uint64
+	IssuedComm  uint64
+	IssuedLoads uint64
+	Breakdown   stats.Breakdown
+	LastStall   StallReason
+	LastPC      int
+}
+
+// New builds a core running prog. strm may be nil for programs without
+// produce/consume instructions.
+func New(id int, p Params, prog *isa.Program, memp port.Mem, strm port.Stream) *Core {
+	if p.IssueWidth <= 0 {
+		p = DefaultParams()
+	}
+	return &Core{id: id, p: p, prog: prog, pc: 0, memp: memp, strm: strm}
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.id }
+
+// Reg returns the architectural value of register r (for tests).
+func (c *Core) Reg(r isa.Reg) uint64 { return c.regs[r] }
+
+// SetReg initializes register r before the program starts.
+func (c *Core) SetReg(r isa.Reg, v uint64) { c.regs[r] = v }
+
+// Halted reports whether the program executed its halt instruction.
+func (c *Core) Halted() bool { return c.halted }
+
+// Done reports whether the core halted and all its operations drained.
+func (c *Core) Done(cycle uint64) bool {
+	if !c.halted {
+		return false
+	}
+	for r := range c.pend {
+		if c.pend[r] != nil && !c.pend[r].Done(cycle) {
+			return false
+		}
+	}
+	for _, t := range c.inflight {
+		if !t.Done(cycle) {
+			return false
+		}
+	}
+	return true
+}
+
+// AppIssued returns the dynamic application (non-overhead) instruction
+// count.
+func (c *Core) AppIssued() uint64 { return c.Issued - c.IssuedComm }
+
+func (c *Core) collect(cycle uint64) {
+	for r := range c.pend {
+		if t := c.pend[r]; t != nil && t.Done(cycle) {
+			c.regs[r] = t.Value
+			c.ready[r] = t.DoneAt
+			c.pend[r] = nil
+		}
+	}
+	kept := c.inflight[:0]
+	for _, t := range c.inflight {
+		if !t.Done(cycle) {
+			kept = append(kept, t)
+		}
+	}
+	c.inflight = kept
+}
+
+// Tick advances the core one cycle. Call after the memory subsystem has
+// ticked.
+func (c *Core) Tick(cycle uint64) {
+	c.collect(cycle)
+	c.countLoads(cycle)
+	if c.Done(cycle) {
+		return
+	}
+	c.Cycles++
+	if c.halted {
+		// Draining: attribute to the oldest incomplete token's location.
+		c.Breakdown.Add(c.drainBucket(cycle), 1)
+		c.LastStall = StallHalted
+		return
+	}
+
+	issued := 0
+	commOnly := true
+	var fuUsed [isa.NumFUs]int
+	stall := StallNone
+	var stallBucket stats.Bucket = stats.PreL2
+
+issueLoop:
+	for issued < c.p.IssueWidth {
+		in := c.prog.Instrs[c.pc]
+		fu := in.Op.FU()
+		// Register-mapped queue operations ride on the instructions that
+		// produce or use the value: no issue slot, no FU.
+		free := c.p.RegMappedQueues && (in.Op == isa.Produce || in.Op == isa.Consume)
+		if !free && fuUsed[fu] >= c.p.FUs[fu] {
+			stall = StallFU
+			break
+		}
+		// Operand readiness.
+		if in.Op.ReadsRa() {
+			if t := c.pend[in.Ra]; t != nil {
+				stall, stallBucket = StallToken, t.Loc
+				break
+			}
+			if c.ready[in.Ra] > cycle {
+				stall = StallOperand
+				break
+			}
+		}
+		if in.Op.ReadsRb() {
+			if t := c.pend[in.Rb]; t != nil {
+				stall, stallBucket = StallToken, t.Loc
+				break
+			}
+			if c.ready[in.Rb] > cycle {
+				stall = StallOperand
+				break
+			}
+		}
+		if in.Op.WritesRd() && c.pend[in.Rd] != nil {
+			stall = StallWAW
+			break
+		}
+
+		switch in.Op {
+		case isa.Halt:
+			c.halted = true
+			issued++
+			c.note(in)
+			break issueLoop
+
+		case isa.B, isa.Beqz, isa.Bnez:
+			taken := in.Op == isa.B ||
+				(in.Op == isa.Beqz && c.regs[in.Ra] == 0) ||
+				(in.Op == isa.Bnez && c.regs[in.Ra] != 0)
+			fuUsed[fu]++
+			issued++
+			c.note(in)
+			if !in.Comm {
+				commOnly = false
+			}
+			if taken {
+				c.pc = int(in.Imm)
+				break issueLoop
+			}
+			c.pc++
+
+		case isa.Ld:
+			if c.loads >= c.p.MaxOutstandingLoads {
+				stall = StallLoadLimit
+				break issueLoop
+			}
+			if !c.memp.CanAccept() {
+				stall = StallOzQFull
+				break issueLoop
+			}
+			addr := c.regs[in.Ra] + uint64(in.Imm)
+			tok := c.memp.Load(cycle, addr)
+			c.pend[in.Rd] = tok
+			c.loads++
+			c.IssuedLoads++
+			fuUsed[fu]++
+			issued++
+			c.note(in)
+			if !in.Comm {
+				commOnly = false
+			}
+			c.pc++
+
+		case isa.St:
+			if !c.memp.CanAccept() {
+				stall = StallOzQFull
+				break issueLoop
+			}
+			addr := c.regs[in.Ra] + uint64(in.Imm)
+			tok := c.memp.Store(cycle, addr, c.regs[in.Rb])
+			c.inflight = append(c.inflight, tok)
+			fuUsed[fu]++
+			issued++
+			c.note(in)
+			if !in.Comm {
+				commOnly = false
+			}
+			c.pc++
+
+		case isa.Fence:
+			if !c.memp.CanAccept() {
+				stall = StallOzQFull
+				break issueLoop
+			}
+			tok := c.memp.Fence(cycle)
+			c.inflight = append(c.inflight, tok)
+			fuUsed[fu]++
+			issued++
+			c.note(in)
+			c.pc++
+
+		case isa.Produce:
+			tok, ok := c.strm.Produce(cycle, in.Q, c.regs[in.Ra])
+			if !ok {
+				stall = StallQueueFull
+				break issueLoop
+			}
+			c.inflight = append(c.inflight, tok)
+			if !free {
+				fuUsed[fu]++
+				issued++
+			}
+			c.note(in)
+			c.pc++
+
+		case isa.Consume:
+			tok, ok := c.strm.Consume(cycle, in.Q)
+			if !ok {
+				stall = StallQueueEmpty
+				break issueLoop
+			}
+			c.pend[in.Rd] = tok
+			if !free {
+				fuUsed[fu]++
+				issued++
+			}
+			c.note(in)
+			c.pc++
+
+		default:
+			c.exec(in, cycle)
+			fuUsed[fu]++
+			issued++
+			c.note(in)
+			if !in.Comm {
+				commOnly = false
+			}
+			c.pc++
+		}
+	}
+
+	c.LastStall = stall
+	c.LastPC = c.pc
+	switch {
+	case issued == 0:
+		c.Breakdown.Add(stallBucket, 1)
+	case commOnly:
+		c.Breakdown.Add(stats.PostL2, 1)
+	default:
+		c.Breakdown.Add(stats.PreL2, 1)
+	}
+}
+
+func (c *Core) note(in isa.Instr) {
+	c.Issued++
+	if in.Comm {
+		c.IssuedComm++
+	}
+}
+
+func (c *Core) countLoads(cycle uint64) {
+	n := 0
+	for r := range c.pend {
+		if t := c.pend[r]; t != nil && !t.Done(cycle) {
+			n++
+		}
+	}
+	c.loads = n
+}
+
+func (c *Core) drainBucket(cycle uint64) stats.Bucket {
+	for r := range c.pend {
+		if t := c.pend[r]; t != nil && !t.Done(cycle) {
+			return t.Loc
+		}
+	}
+	for _, t := range c.inflight {
+		if !t.Done(cycle) {
+			return t.Loc
+		}
+	}
+	return stats.PreL2
+}
+
+// exec evaluates a register-register instruction functionally and sets the
+// destination's ready cycle from the opcode latency.
+func (c *Core) exec(in isa.Instr, cycle uint64) {
+	if in.Op == isa.Nop {
+		return
+	}
+	c.regs[in.Rd] = isa.Eval(in.Op, c.regs[in.Ra], c.regs[in.Rb], in.Imm)
+	c.ready[in.Rd] = cycle + uint64(in.Op.Latency())
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"hfstream/internal/asm"
+	"hfstream/internal/isa"
+)
+
+// TestRegMappedQueuesFreeIssue: with register-mapped queues, produce and
+// consume take no memory-FU slot, so a group of 4 loads plus produces
+// can issue in fewer cycles than with explicit instructions.
+func TestRegMappedQueuesFreeIssue(t *testing.T) {
+	build := func() *isa.Program {
+		b := asm.NewBuilder("rm")
+		b.MovI(1, 0x1000)
+		b.MovI(2, 50)
+		b.Label("loop")
+		// 4 loads (saturating the 4 memory FUs) plus 2 produces: with
+		// explicit instructions the produces spill into a second memory
+		// issue cycle; register-mapped they ride free.
+		b.Ld(3, 1, 0)
+		b.Ld(4, 1, 8)
+		b.Ld(5, 1, 16)
+		b.Ld(6, 1, 24)
+		b.Produce(0, 1)
+		b.Produce(1, 1)
+		b.AddI(2, 2, -1)
+		b.Bnez(2, "loop")
+		b.Halt()
+		return b.MustProgram()
+	}
+
+	run := func(regMapped bool) uint64 {
+		p := DefaultParams()
+		p.RegMappedQueues = regMapped
+		c := New(0, p, build(), newFakeMem(1), newFakeStream())
+		for cycle := uint64(1); cycle < 100000; cycle++ {
+			c.Tick(cycle)
+			if c.Done(cycle) {
+				return cycle
+			}
+		}
+		t.Fatal("did not finish")
+		return 0
+	}
+	explicit := run(false)
+	mapped := run(true)
+	if mapped >= explicit {
+		t.Errorf("register-mapped (%d cycles) should beat explicit (%d)", mapped, explicit)
+	}
+}
+
+// TestRegMappedStillBlocksOnFullQueue: folding the operations away does
+// not remove queue semantics.
+func TestRegMappedStillBlocksOnFullQueue(t *testing.T) {
+	s := newFakeStream()
+	s.reject = true
+	b := asm.NewBuilder("blocked")
+	b.Produce(0, 1)
+	b.Halt()
+	p := DefaultParams()
+	p.RegMappedQueues = true
+	c := New(0, p, b.MustProgram(), newFakeMem(1), s)
+	for cycle := uint64(1); cycle <= 10; cycle++ {
+		c.Tick(cycle)
+	}
+	if c.Halted() {
+		t.Fatal("produce on a rejecting queue should block")
+	}
+	if c.LastStall != StallQueueFull {
+		t.Errorf("stall = %v", c.LastStall)
+	}
+}

@@ -1,0 +1,48 @@
+package design
+
+import "testing"
+
+func TestCostModel(t *testing.T) {
+	existing := ExistingConfig().Cost()
+	if existing.TotalAddedBytes() != 0 || existing.OSContextBytes != 0 ||
+		existing.ISAChanges || existing.NewInterconnect {
+		t.Errorf("EXISTING should be free: %+v", existing)
+	}
+
+	heavy := HeavyWTConfig().Cost()
+	if heavy.DedicatedStorageBytes != 64*32*8 {
+		t.Errorf("HEAVYWT storage = %d, want %d", heavy.DedicatedStorageBytes, 64*32*8)
+	}
+	if !heavy.ISAChanges || !heavy.NewInterconnect || !heavy.OSDrainRequired {
+		t.Error("HEAVYWT flags wrong")
+	}
+	if heavy.OSContextBytes <= heavy.DedicatedStorageBytes-1 {
+		t.Error("HEAVYWT OS context must include the queue contents")
+	}
+
+	sc := SyncOptiSCQ64Config().Cost()
+	if !sc.ISAChanges || sc.NewInterconnect || sc.OSDrainRequired {
+		t.Error("SYNCOPTI flags wrong")
+	}
+	// The light-weight design uses a small fraction of HEAVYWT's storage
+	// and context (the paper's trade-off headline).
+	if ratio := float64(sc.TotalAddedBytes()) / float64(heavy.TotalAddedBytes()); ratio > 0.10 {
+		t.Errorf("SC+Q64 storage ratio %.3f, want <= 0.10", ratio)
+	}
+	if ratio := float64(sc.OSContextBytes) / float64(heavy.OSContextBytes); ratio > 0.05 {
+		t.Errorf("SC+Q64 OS context ratio %.3f, want <= 0.05", ratio)
+	}
+}
+
+func TestContextSwitchCycles(t *testing.T) {
+	heavy := HeavyWTConfig().Cost()
+	cheap := SyncOptiConfig().Cost()
+	h := heavy.ContextSwitchCycles(16, 200)
+	s := cheap.ContextSwitchCycles(16, 200)
+	if h <= s {
+		t.Errorf("HEAVYWT switch (%v) should cost more than SYNCOPTI (%v)", h, s)
+	}
+	if s <= 0 {
+		t.Error("SYNCOPTI still has counters to save")
+	}
+}

@@ -1,0 +1,242 @@
+// Package design defines the paper's four design points and the SYNCOPTI
+// optimization variants (Section 4.1, Section 5), mapping each to a
+// concrete simulator configuration.
+package design
+
+import (
+	"fmt"
+
+	"hfstream/internal/core"
+	"hfstream/internal/memsys"
+	"hfstream/internal/queue"
+	"hfstream/internal/sim"
+)
+
+// Point identifies a design point from the paper.
+type Point int
+
+// The design points.
+const (
+	// Existing models current commercial CMPs: software queues through the
+	// conventional memory subsystem.
+	Existing Point = iota
+	// MemOpti adds QLU-aware write-forwarding of streaming lines to the
+	// consumer's L2 (forwards compete for OzQ slots and L2 ports).
+	MemOpti
+	// SyncOpti adds produce/consume instructions, stream-address
+	// generation, and distributed occupancy counters at the L2
+	// controllers; queue data stays in the memory hierarchy.
+	SyncOpti
+	// HeavyWT uses a dedicated distributed queue backing store
+	// (synchronization array) and a dedicated pipelined interconnect.
+	HeavyWT
+)
+
+// String names the design point as the paper does.
+func (p Point) String() string {
+	switch p {
+	case Existing:
+		return "EXISTING"
+	case MemOpti:
+		return "MEMOPTI"
+	case SyncOpti:
+		return "SYNCOPTI"
+	case HeavyWT:
+		return "HEAVYWT"
+	default:
+		return fmt.Sprintf("Point(%d)", int(p))
+	}
+}
+
+// Config is a fully-specified machine configuration.
+type Config struct {
+	Point Point
+	// Label distinguishes variants (e.g. "SYNCOPTI_SC+Q64"); empty means
+	// Point.String().
+	Label string
+
+	NumQueues  int // 64
+	QueueDepth int // 32 (64 in the Q64 variants)
+	QLU        int // 8 (16 in the Q64 variants)
+
+	// StreamCacheEntries enables SYNCOPTI's stream cache when > 0
+	// (paper: 1 KB fully associative = 64 items).
+	StreamCacheEntries int
+
+	// InterconnectLat is HEAVYWT's dedicated interconnect end-to-end
+	// latency (Figure 6 varies 1 vs 10).
+	InterconnectLat int
+
+	// Bus sensitivity knobs (Figures 10 and 11).
+	BusCPB       int  // CPU cycles per bus cycle (1 baseline, 4 in Fig 10)
+	BusWidth     int  // bytes per beat (16 baseline, 128 in Fig 11)
+	BusPipelined bool // baseline: true
+
+	// RegMappedQueues upgrades HEAVYWT's produce/consume to
+	// register-mapped queues (paper §3.1.3): the queue operations fold
+	// into the defining/using instructions.
+	RegMappedQueues bool
+	// SAConsumeToUse overrides HEAVYWT's consume-to-use latency
+	// (0 = default 1 cycle). A centralized dedicated store (paper
+	// §3.5.2) sits farther from the cores than the distributed one.
+	SAConsumeToUse int
+	// ProbeTimeout overrides SYNCOPTI's partial-line probe timeout
+	// (0 = default).
+	ProbeTimeout int
+}
+
+// Name returns the variant label.
+func (c Config) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return c.Point.String()
+}
+
+func base(p Point) Config {
+	return Config{
+		Point:           p,
+		NumQueues:       64,
+		QueueDepth:      32,
+		QLU:             8,
+		InterconnectLat: 1,
+		BusCPB:          1,
+		BusWidth:        16,
+		BusPipelined:    true,
+	}
+}
+
+// ExistingConfig returns the EXISTING baseline.
+func ExistingConfig() Config { return base(Existing) }
+
+// MemOptiConfig returns the MEMOPTI design point.
+func MemOptiConfig() Config { return base(MemOpti) }
+
+// SyncOptiConfig returns the SYNCOPTI design point.
+func SyncOptiConfig() Config { return base(SyncOpti) }
+
+// SyncOptiQ64Config returns SYNCOPTI with 64-entry queues and QLU 16
+// (paper Section 5, "Q64").
+func SyncOptiQ64Config() Config {
+	c := base(SyncOpti)
+	c.Label = "SYNCOPTI_Q64"
+	c.QueueDepth = 64
+	c.QLU = 16
+	return c
+}
+
+// SyncOptiSCConfig returns SYNCOPTI with the 1 KB stream cache ("SC").
+func SyncOptiSCConfig() Config {
+	c := base(SyncOpti)
+	c.Label = "SYNCOPTI_SC"
+	c.StreamCacheEntries = 64
+	return c
+}
+
+// SyncOptiSCQ64Config returns the paper's best light-weight design:
+// SYNCOPTI with both the stream cache and 64-entry queues ("SC+Q64").
+func SyncOptiSCQ64Config() Config {
+	c := SyncOptiQ64Config()
+	c.Label = "SYNCOPTI_SC+Q64"
+	c.StreamCacheEntries = 64
+	return c
+}
+
+// HeavyWTConfig returns the HEAVYWT design point.
+func HeavyWTConfig() Config { return base(HeavyWT) }
+
+// netQueueBufsPerHop is the FIFO buffering each network hop contributes
+// when the interconnect's own buffers back the queues (paper §3.5.3).
+const netQueueBufsPerHop = 4
+
+// NetQueueConfig returns the §3.5.3 network-backed-queue design: the
+// pipelined interconnect's per-hop buffers are the only queue storage, so
+// capacity and transit latency both scale with the physical separation of
+// the communicating cores. Threads on nearby cores get little decoupling
+// — the paper's scalability caveat for this design.
+func NetQueueConfig(hops int) Config {
+	c := base(HeavyWT)
+	c.Label = fmt.Sprintf("NETQUEUE_%dhop", hops)
+	c.QueueDepth = hops * netQueueBufsPerHop
+	if c.QueueDepth < c.QLU {
+		c.QLU = c.QueueDepth // the memory layout is unused but must stay valid
+	}
+	c.InterconnectLat = hops
+	return c
+}
+
+// FourPoints returns the paper's four primary design points in Figure 7's
+// bar order (HEAVYWT, SYNCOPTI, MEMOPTI, EXISTING).
+func FourPoints() []Config {
+	return []Config{HeavyWTConfig(), SyncOptiConfig(), MemOptiConfig(), ExistingConfig()}
+}
+
+// Layout returns the queue layout implied by the configuration.
+func (c Config) Layout() queue.Layout {
+	return queue.Layout{
+		NumQueues: c.NumQueues,
+		Depth:     c.QueueDepth,
+		QLU:       c.QLU,
+		LineBytes: 128,
+	}
+}
+
+// SimConfig lowers the design point to a simulator configuration.
+func (c Config) SimConfig() sim.Config {
+	layout := c.Layout()
+	mp := memsys.DefaultParams(layout)
+	mp.Bus.CPB = c.BusCPB
+	mp.Bus.WidthBytes = c.BusWidth
+	mp.Bus.Pipelined = c.BusPipelined
+
+	cfg := sim.Config{Mem: mp, Core: core.DefaultParams()}
+	switch c.Point {
+	case Existing:
+		// Conventional memory subsystem: nothing extra.
+	case MemOpti:
+		cfg.Mem.WriteForward = true
+		cfg.Mem.ForwardThroughOzQ = true
+	case SyncOpti:
+		cfg.Mem.WriteForward = true
+		cfg.Mem.HWQueues = true
+		cfg.Mem.StreamCacheEntries = c.StreamCacheEntries
+		if c.ProbeTimeout > 0 {
+			cfg.Mem.ConsumeTimeout = c.ProbeTimeout
+		}
+	case HeavyWT:
+		cfg.UseSyncArray = true
+		sa := queue.DefaultSAParams(c.NumQueues, c.QueueDepth)
+		sa.InterconnectLatency = c.InterconnectLat
+		if c.SAConsumeToUse > 0 {
+			sa.ConsumeToUse = c.SAConsumeToUse
+		}
+		cfg.SA = sa
+		cfg.Core.RegMappedQueues = c.RegMappedQueues
+	}
+	return cfg
+}
+
+// RegMappedConfig returns the §3.1.3 register-mapped-queue design: the
+// HEAVYWT substrate with zero-instruction-overhead queue operations.
+func RegMappedConfig() Config {
+	c := base(HeavyWT)
+	c.Label = "REGMAPPED"
+	c.RegMappedQueues = true
+	return c
+}
+
+// CentralizedStoreConfig returns the §3.5.2 centralized dedicated store
+// variant: HEAVYWT storage placed in one central structure, farther from
+// the consuming cores (modeled as a larger consume-to-use latency).
+func CentralizedStoreConfig(consumeToUse int) Config {
+	c := base(HeavyWT)
+	c.Label = "HEAVYWT_CENTRAL"
+	c.SAConsumeToUse = consumeToUse
+	return c
+}
+
+// SoftwareQueues reports whether programs must be lowered to software
+// queue sequences for this design point.
+func (c Config) SoftwareQueues() bool {
+	return c.Point == Existing || c.Point == MemOpti
+}

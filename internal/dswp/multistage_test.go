@@ -1,0 +1,164 @@
+package dswp
+
+import (
+	"testing"
+
+	"hfstream/internal/design"
+	"hfstream/internal/interp"
+	"hfstream/internal/ir"
+	"hfstream/internal/isa"
+	"hfstream/internal/mem"
+	"hfstream/internal/sim"
+)
+
+// buildDeepLoop makes a loop with a long chain of independent compute
+// phases, suitable for splitting into several pipeline stages.
+func buildDeepLoop(n int) (*ir.Loop, mem.Region, mem.Region) {
+	a := mem.NewAllocator(0x10000, 128)
+	in := a.Alloc("in", uint64(n*8))
+	out := a.Alloc("out", 128)
+	l := ir.NewLoop("deep")
+	idx := l.Counter(-1, 1)
+	cond := l.Op(isa.CmpLT, ir.V(idx), ir.C(int64(n-1)))
+	l.SetExit(cond)
+	off := l.Op(isa.ShlI, ir.V(idx), ir.C(3))
+	addr := l.Op(isa.AddI, ir.V(off), ir.C(int64(in.Base)))
+	v := l.Load(&in, ir.V(addr), 0)
+
+	// Phase 1: integer mix with its own accumulator.
+	m1 := l.Op(isa.Mul, ir.V(v), ir.C(17))
+	x1 := l.Op(isa.Xor, ir.V(m1), ir.V(v))
+	a1 := l.Acc(isa.Add, ir.V(x1), 0)
+	// Phase 2: a second dependent mix with its own accumulator.
+	m2 := l.Op(isa.Mul, ir.V(x1), ir.C(31))
+	s2 := l.Op(isa.ShrI, ir.V(m2), ir.C(3))
+	a2 := l.Acc(isa.Xor, ir.V(s2), 0)
+	// Phase 3: combine and store.
+	m3 := l.Op(isa.Mul, ir.V(s2), ir.C(7))
+	a3 := l.Acc(isa.Add, ir.V(m3), 0)
+	l.Store(&out, ir.C(int64(out.Base)), 0, ir.V(a1))
+	l.Store(&out, ir.C(int64(out.Base)), 8, ir.V(a2))
+	l.Store(&out, ir.C(int64(out.Base)), 16, ir.V(a3))
+	return l, in, out
+}
+
+func TestPartitionNThreeStages(t *testing.T) {
+	const n = 60
+	l, in, out := buildDeepLoop(n)
+	res, err := PartitionN(l, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stages != 3 || len(res.Threads) != 3 {
+		t.Fatalf("stages = %d, threads = %d", res.Stages, len(res.Threads))
+	}
+	stagesUsed := map[int]bool{}
+	for _, th := range res.Assignment {
+		stagesUsed[th] = true
+	}
+	for s := 0; s < 3; s++ {
+		if !stagesUsed[s] {
+			t.Errorf("stage %d empty", s)
+		}
+	}
+
+	// Functional equivalence against the single-threaded version.
+	single, err := Single(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img1 := setupImage(in, n)
+	if err := interp.New(img1, single).Run(0); err != nil {
+		t.Fatal(err)
+	}
+	img2 := setupImage(in, n)
+	if err := interp.New(img2, res.Threads...).Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for o := uint64(0); o < 24; o += 8 {
+		if img1.Read8(out.Base+o) != img2.Read8(out.Base+o) {
+			t.Fatalf("out+%d: single %#x != 3-stage %#x", o,
+				img1.Read8(out.Base+o), img2.Read8(out.Base+o))
+		}
+	}
+}
+
+// TestThreeStagePipelineOnHEAVYWT runs a 3-stage pipeline on a 3-core
+// HEAVYWT machine end to end (the substrate scales beyond the paper's
+// dual-core configuration).
+func TestThreeStagePipelineOnHEAVYWT(t *testing.T) {
+	const n = 200
+	l, in, out := buildDeepLoop(n)
+	res, err := PartitionN(l, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := setupImage(in, n)
+	want := setupImage(in, n)
+	single, err := Single(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := interp.New(want, single).Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := design.HeavyWTConfig().SimConfig()
+	cfg.Preload = []mem.Region{in}
+	var threads []sim.Thread
+	for _, p := range res.Threads {
+		threads = append(threads, sim.Thread{Prog: p})
+	}
+	r, err := sim.Run(cfg, img, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+	for o := uint64(0); o < 24; o += 8 {
+		if img.Read8(out.Base+o) != want.Read8(out.Base+o) {
+			t.Fatalf("out+%d mismatch", o)
+		}
+	}
+}
+
+// TestThreeStagesBeatTwoOnChainHeavyLoop: with enough independent phases
+// the extra stage should not hurt and usually helps.
+func TestThreeStagesBeatTwoOnChainHeavyLoop(t *testing.T) {
+	const n = 400
+	l, in, _ := buildDeepLoop(n)
+	run := func(stages int) uint64 {
+		res, err := PartitionN(l, stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := setupImage(in, n)
+		cfg := design.HeavyWTConfig().SimConfig()
+		cfg.Preload = []mem.Region{in}
+		var threads []sim.Thread
+		for _, p := range res.Threads {
+			threads = append(threads, sim.Thread{Prog: p})
+		}
+		r, err := sim.Run(cfg, img, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Cycles
+	}
+	two, three := run(2), run(3)
+	t.Logf("2-stage: %d cycles, 3-stage: %d cycles", two, three)
+	if float64(three) > float64(two)*1.15 {
+		t.Errorf("3 stages (%d) much worse than 2 (%d)", three, two)
+	}
+}
+
+func TestPartitionNErrors(t *testing.T) {
+	l, _, _ := buildCounted(20)
+	if _, err := PartitionN(l, 1); err == nil {
+		t.Error("1 stage accepted")
+	}
+	if _, err := PartitionN(l, 50); err == nil {
+		t.Error("more stages than SCCs accepted")
+	}
+}

@@ -1,0 +1,380 @@
+package dswp
+
+import (
+	"fmt"
+	"sort"
+
+	"hfstream/internal/ir"
+	"hfstream/internal/isa"
+)
+
+// Result is a DSWP partition of a loop into pipeline-stage threads.
+type Result struct {
+	// Threads holds the generated stage programs in pipeline order.
+	Threads []*isa.Program
+	// Stages is the number of pipeline stages (threads).
+	Stages int
+	// Assignment maps node ID to its stage; replicated control-slice
+	// nodes are listed in Replicated instead.
+	Assignment map[int]int
+	// Replicated lists node IDs duplicated into every thread (the loop
+	// control slice, when it is pure arithmetic).
+	Replicated []int
+	// QueueCount is the number of inter-thread queues used (including
+	// control queues when the exit condition is streamed).
+	QueueCount int
+	// Routes names the producing and consuming stage of each queue, in
+	// queue-number order; machines with more than two cores need it to
+	// route forwards, ACKs and probes.
+	Routes []QueueRoute
+	// CondStreamed reports whether the exit condition flows through
+	// queues rather than being recomputed by every thread.
+	CondStreamed bool
+}
+
+// QueueRoute names the stages on either end of one queue.
+type QueueRoute struct {
+	Producer int
+	Consumer int
+}
+
+// crossEdge is a dependence crossing the partition: one queue carries the
+// source node's value (of this or the previous iteration) to one
+// consuming stage.
+type crossEdge struct {
+	src     int  // producing node
+	carried bool // consumed by the next iteration
+	dest    int  // consuming stage
+	queue   int
+}
+
+// Partition applies the DSWP algorithm with the paper's two pipeline
+// stages (its dual-core CMP).
+func Partition(l *ir.Loop) (*Result, error) { return PartitionN(l, 2) }
+
+// PartitionN partitions the loop into n pipeline stages: PDG, SCC
+// condensation, a minimum-bottleneck monotone cut into n consecutive
+// segments, and code generation with produce/consume on every crossing
+// dependence. Stages beyond the paper's two exercise larger CMPs (the
+// HEAVYWT substrate runs any number of cores).
+func PartitionN(l *ir.Loop, n int) (*Result, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("dswp: need at least 2 stages, got %d", n)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	g := buildPDG(l)
+	comps := g.sccs()
+	if len(comps) < n {
+		return nil, fmt.Errorf("dswp: loop %s has %d SCCs; cannot form %d stages", l.Name, len(comps), n)
+	}
+
+	nodeByID := map[int]*ir.Node{}
+	for _, nd := range l.Body {
+		nodeByID[nd.ID] = nd
+	}
+
+	// Replicable control slice: the backward closure of the exit node, if
+	// it contains no memory operations, is cheap to recompute in every
+	// thread (the DSWP branch-replication rule).
+	slice := exitSlice(l)
+	replicable := true
+	for id := range slice {
+		op := nodeByID[id].Op
+		if op == isa.Ld || op == isa.St {
+			replicable = false
+			break
+		}
+	}
+
+	// Split SCCs into those pinned to stage 0 (a non-replicable control
+	// slice: control flows forward only) and the freely assignable rest.
+	var forced, free [][]int
+	for _, comp := range comps {
+		allSlice := true
+		hasSlice := false
+		for _, id := range comp {
+			if slice[id] {
+				hasSlice = true
+			} else {
+				allSlice = false
+			}
+		}
+		switch {
+		case replicable && allSlice:
+			// Replicated into every thread at codegen.
+		case !replicable && hasSlice:
+			forced = append(forced, comp)
+		default:
+			free = append(free, comp)
+		}
+	}
+	if len(free) < n-1 {
+		return nil, fmt.Errorf("dswp: loop %s has too little partitionable work for %d stages", l.Name, n)
+	}
+	assign := bestCut(l, nodeByID, forced, free, slice, replicable, n)
+	if assign == nil {
+		return nil, fmt.Errorf("dswp: loop %s: no valid %d-stage cut (check pins)", l.Name, n)
+	}
+
+	// Cross-partition dependences become queues: one per
+	// (source, carried, consuming stage) triple.
+	type qkey struct {
+		src     int
+		carried bool
+		dest    int
+	}
+	queueOf := map[qkey]int{}
+	var edges []crossEdge
+	for _, nd := range l.Body {
+		nt, local := threadOf(nd.ID, assign, slice, replicable)
+		if local {
+			continue
+		}
+		for _, a := range nd.Args {
+			if a.Node == nil || a.Node.ID == nd.ID {
+				continue
+			}
+			st, slocal := threadOf(a.Node.ID, assign, slice, replicable)
+			if slocal || st == nt {
+				continue
+			}
+			k := qkey{src: a.Node.ID, carried: a.Carried, dest: nt}
+			if _, ok := queueOf[k]; !ok {
+				queueOf[k] = 0 // numbered below
+				edges = append(edges, crossEdge{src: k.src, carried: k.carried, dest: k.dest})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].src != edges[j].src {
+			return edges[i].src < edges[j].src
+		}
+		if edges[i].dest != edges[j].dest {
+			return edges[i].dest < edges[j].dest
+		}
+		return !edges[i].carried && edges[j].carried
+	})
+	var routes []QueueRoute
+	for i := range edges {
+		edges[i].queue = i
+		routes = append(routes, QueueRoute{Producer: assign[edges[i].src], Consumer: edges[i].dest})
+	}
+	queueCount := len(edges)
+
+	// Control queues: when the exit condition is streamed, its owner
+	// produces one copy per other stage.
+	condStreamed := !replicable
+	condQueues := make([]int, n)
+	for i := range condQueues {
+		condQueues[i] = -1
+	}
+	if condStreamed {
+		owner := assign[l.Exit.ID]
+		for t := 0; t < n; t++ {
+			if t != owner {
+				condQueues[t] = queueCount
+				routes = append(routes, QueueRoute{Producer: owner, Consumer: t})
+				queueCount++
+			}
+		}
+	}
+
+	res := &Result{
+		Stages:       n,
+		Assignment:   assign,
+		QueueCount:   queueCount,
+		Routes:       routes,
+		CondStreamed: condStreamed,
+	}
+	for id := range slice {
+		if replicable {
+			res.Replicated = append(res.Replicated, id)
+		}
+	}
+	sort.Ints(res.Replicated)
+
+	for th := 0; th < n; th++ {
+		prog, err := generate(l, th, n, assign, slice, replicable, edges, condQueues)
+		if err != nil {
+			return nil, err
+		}
+		res.Threads = append(res.Threads, prog)
+	}
+	return res, nil
+}
+
+// bestCut enumerates every monotone split of the free SCCs into n
+// consecutive segments (forced SCCs always join stage 0) and returns the
+// assignment minimizing the estimated bottleneck-stage time.
+func bestCut(l *ir.Loop, nodeByID map[int]*ir.Node, forced, free [][]int,
+	slice map[int]bool, replicable bool, n int) map[int]int {
+
+	baseT0 := map[int]bool{}
+	for _, comp := range forced {
+		for _, id := range comp {
+			baseT0[id] = true
+		}
+	}
+
+	bestScore := -1.0
+	var best map[int]int
+
+	// cuts[i] is the first free-SCC index of stage i+1; enumerate all
+	// strictly increasing (n-1)-tuples over [minFirst .. len(free)].
+	cuts := make([]int, n-1)
+	var enumerate func(level, from int)
+	enumerate = func(level, from int) {
+		if level == n-1 {
+			assign := map[int]int{}
+			for id := range baseT0 {
+				assign[id] = 0
+			}
+			for i, comp := range free {
+				th := 0
+				for c := n - 2; c >= 0; c-- {
+					if i >= cuts[c] {
+						th = c + 1
+						break
+					}
+				}
+				for _, id := range comp {
+					assign[id] = th
+				}
+			}
+			// Stage 0 must be non-empty.
+			if cuts[0] == 0 && len(baseT0) == 0 {
+				return
+			}
+			if violatesPins(l, assign) {
+				return
+			}
+			score := 0.0
+			for th := 0; th < n; th++ {
+				c := stageCost(l, nodeByID, assign, th, slice, replicable)
+				if c > score {
+					score = c
+				}
+			}
+			if bestScore < 0 || score < bestScore {
+				bestScore = score
+				best = assign
+			}
+			return
+		}
+		// Strictly increasing cuts, with the last stage non-empty:
+		// cuts[level] leaves room for the remaining n-2-level cuts and
+		// cuts[n-2] <= len(free)-1.
+		for p := from; p <= len(free)-1-(n-2-level); p++ {
+			cuts[level] = p
+			enumerate(level+1, p+1)
+		}
+	}
+	enumerate(0, 0)
+	return best
+}
+
+// violatesPins reports whether an assignment contradicts the loop's
+// partitioner hints.
+func violatesPins(l *ir.Loop, assign map[int]int) bool {
+	for id, stage := range l.Pins {
+		if th, ok := assign[id]; ok && th != stage {
+			return true
+		}
+	}
+	return false
+}
+
+// stageCost estimates one stage's per-iteration time: the maximum of its
+// issue-bandwidth bound (total latency-weighted work over an effective
+// width) and its dependence-chain bound, plus per-queue COMM-OP cost for
+// the values it imports and exports.
+func stageCost(l *ir.Loop, nodeByID map[int]*ir.Node, assign map[int]int,
+	th int, slice map[int]bool, replicable bool) float64 {
+
+	width := 3.0 // effective sustained issue on the in-order core
+	work := 0
+	depth := map[int]int{}
+	maxChain := 0
+	comm := map[[3]int]bool{} // (src, carriedBit, dest) endpoints touching th
+	for _, n := range l.Body {
+		nt, repl := threadOf(n.ID, assign, slice, replicable)
+		if !repl && nt != th {
+			// Still scan its operands for edges produced by this stage.
+			if !repl {
+				for _, a := range n.Args {
+					if a.Node == nil || a.Node.ID == n.ID {
+						continue
+					}
+					st, slocal := threadOf(a.Node.ID, assign, slice, replicable)
+					if !slocal && st == th && st != nt {
+						cb := 0
+						if a.Carried {
+							cb = 1
+						}
+						comm[[3]int{a.Node.ID, cb, nt}] = true
+					}
+				}
+			}
+			continue
+		}
+		work += n.Weight()
+		d := 0
+		for _, a := range n.Args {
+			if a.Node == nil || a.Carried {
+				continue
+			}
+			if pd, ok := depth[a.Node.ID]; ok && pd > d {
+				d = pd
+			}
+			st, slocal := threadOf(a.Node.ID, assign, slice, replicable)
+			if !repl && !slocal && st != th {
+				cb := 0
+				if a.Carried {
+					cb = 1
+				}
+				comm[[3]int{a.Node.ID, cb, th}] = true
+			}
+		}
+		d += n.Weight()
+		depth[n.ID] = d
+		if d > maxChain {
+			maxChain = d
+		}
+	}
+	cost := float64(work) / width
+	if float64(maxChain) > cost {
+		cost = float64(maxChain)
+	}
+	return cost + 1.5*float64(len(comm))
+}
+
+// threadOf returns the stage of a node and whether it is replicated
+// (present in every thread).
+func threadOf(id int, assign map[int]int, slice map[int]bool, replicable bool) (int, bool) {
+	if replicable && slice[id] {
+		return -1, true
+	}
+	return assign[id], false
+}
+
+// exitSlice returns the backward closure of the loop's exit node over data
+// dependences (carried edges included).
+func exitSlice(l *ir.Loop) map[int]bool {
+	slice := map[int]bool{}
+	var visit func(n *ir.Node)
+	visit = func(n *ir.Node) {
+		if slice[n.ID] {
+			return
+		}
+		slice[n.ID] = true
+		for _, a := range n.Args {
+			if a.Node != nil {
+				visit(a.Node)
+			}
+		}
+	}
+	visit(l.Exit)
+	return slice
+}

@@ -1,0 +1,176 @@
+package exp
+
+import "testing"
+
+func TestAblationQLUShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark sweep")
+	}
+	r, err := AblationQLU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper ran QLU 1 and found QLU 8 "uniformly better".
+	for _, row := range r.Rows {
+		if row.Values[1] <= 1.0 {
+			t.Errorf("%s: QLU1 (%.3f) should be slower than QLU8", row.Benchmark, row.Values[1])
+		}
+	}
+	if g := r.Value("QLU1"); g < 1.3 {
+		t.Errorf("QLU1 geomean %.3f, expected a substantial slowdown", g)
+	}
+}
+
+func TestAblationCentralizedStoreShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark sweep")
+	}
+	r, err := AblationCentralizedStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4 := r.Value("central (4cyc)")
+	c8 := r.Value("central (8cyc)")
+	if !(1.0 < c4 && c4 < c8) {
+		t.Errorf("centralized store should monotonically hurt: 1.0 < %.3f < %.3f", c4, c8)
+	}
+}
+
+func TestAblationRegMappedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark sweep")
+	}
+	r, err := AblationRegMapped()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Folding queue ops into instructions can only help (§3.1.3 predicts
+	// gains for resource-bound loops; others break even).
+	if g := r.Value("REGMAPPED"); g > 1.001 {
+		t.Errorf("REGMAPPED geomean %.4f should not be slower than HEAVYWT", g)
+	}
+	for _, row := range r.Rows {
+		if row.Values[1] > 1.01 {
+			t.Errorf("%s: REGMAPPED %.3f slower than HEAVYWT", row.Benchmark, row.Values[1])
+		}
+	}
+}
+
+func TestAblationStreamCacheSizeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark sweep")
+	}
+	r, err := AblationStreamCacheSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := r.Value("none")
+	paper := r.Value("64 (paper)")
+	big := r.Value("128")
+	if none != 1.0 {
+		t.Errorf("baseline should be 1.0, got %v", none)
+	}
+	if paper >= 1.0 {
+		t.Errorf("64-entry stream cache should help: %.3f", paper)
+	}
+	// Diminishing returns: doubling past the paper's choice buys little.
+	if big < paper-0.03 {
+		t.Errorf("128 entries (%.3f) should not be much better than 64 (%.3f)", big, paper)
+	}
+}
+
+func TestAblationBusPipeliningShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark sweep")
+	}
+	r, err := AblationBusPipelining()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpb4 := r.Value("pipelined cpb4")
+	unpiped := r.Value("unpipelined cpb4")
+	if !(1.0 <= cpb4 && cpb4 < unpiped) {
+		t.Errorf("unpipelined bus (%.3f) should be worse than pipelined (%.3f)", unpiped, cpb4)
+	}
+}
+
+func TestAblationNetQueueShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark sweep")
+	}
+	r, err := AblationNetQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.5.3: nearby cores give bursty pipelines insufficient decoupling;
+	// the penalty must decay with separation. bzip2 is the bursty case.
+	var bz []float64
+	for _, row := range r.Rows {
+		if row.Benchmark == "bzip2" {
+			bz = row.Values
+		}
+	}
+	if len(bz) != 5 {
+		t.Fatal("bzip2 row missing")
+	}
+	oneHop, eightHops := bz[1], bz[4]
+	if oneHop <= 1.005 {
+		t.Errorf("bzip2 at 1 hop = %.3f, expected a visible decoupling penalty", oneHop)
+	}
+	if eightHops >= oneHop {
+		t.Errorf("penalty should decay with separation: 1hop=%.3f 8hops=%.3f", oneHop, eightHops)
+	}
+	// Steady streams are insensitive: geomean near 1.
+	if g := r.Geomean[1]; g > 1.05 {
+		t.Errorf("1-hop geomean %.3f, steady streams should be largely unaffected", g)
+	}
+}
+
+func TestAblationStagesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark sweep")
+	}
+	r, err := AblationStages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := 0
+	for _, row := range r.Rows {
+		if !row.Supported[0] || !row.Supported[1] {
+			t.Errorf("%s: 1/2-stage must always be supported", row.Benchmark)
+			continue
+		}
+		if !row.Supported[2] {
+			continue
+		}
+		// A deeper pipeline must never be drastically worse than two
+		// stages, and should help at least some compute-rich kernels.
+		if float64(row.Cycles[2]) > float64(row.Cycles[1])*1.2 {
+			t.Errorf("%s: 3 stages (%d) much worse than 2 (%d)",
+				row.Benchmark, row.Cycles[2], row.Cycles[1])
+		}
+		if float64(row.Cycles[2]) < float64(row.Cycles[1])*0.9 {
+			improved++
+		}
+	}
+	if improved < 2 {
+		t.Errorf("only %d kernels improved with a third stage", improved)
+	}
+}
+
+func TestAblationProbeTimeoutShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark sweep")
+	}
+	r, err := AblationProbeTimeout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longer timeouts delay stream-termination flushes; they must never
+	// help and eventually hurt the nested benchmark.
+	def := r.Value("50 (default)")
+	long := r.Value("400")
+	if long < def-0.01 {
+		t.Errorf("longer probe timeout should not help: 400=%.3f vs 50=%.3f", long, def)
+	}
+}

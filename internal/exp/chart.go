@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"hfstream/internal/stats"
+)
+
+// bucketGlyphs maps each breakdown bucket to the character filling its
+// bar segment in the ASCII charts.
+var bucketGlyphs = [stats.NumBuckets]byte{
+	stats.PreL2:  '#',
+	stats.L2:     '=',
+	stats.Bus:    '%',
+	stats.L3:     '+',
+	stats.Mem:    '@',
+	stats.PostL2: '*',
+}
+
+// chartScale is the bar length, in characters, of a normalized time of 1.0.
+const chartScale = 30
+
+// Chart renders the figure as horizontal ASCII stacked bars, the closest
+// text analogue of the paper's stacked-bar plots.
+func (f *BreakdownFigure) Chart() string {
+	var sb strings.Builder
+	sb.WriteString(f.Title + "\n")
+	sb.WriteString("legend: ")
+	for b := stats.Bucket(0); b < stats.NumBuckets; b++ {
+		fmt.Fprintf(&sb, "%c=%s ", bucketGlyphs[b], b)
+	}
+	sb.WriteString("  (|---| = 1.0x baseline)\n")
+
+	designWidth := 0
+	for _, row := range f.Rows {
+		for _, bar := range row.Bars {
+			if len(bar.Design) > designWidth {
+				designWidth = len(bar.Design)
+			}
+		}
+	}
+	for _, row := range f.Rows {
+		fmt.Fprintf(&sb, "%s\n", row.Benchmark)
+		for _, bar := range row.Bars {
+			fmt.Fprintf(&sb, "  %-*s |%s %.2fx\n", designWidth, bar.Design, renderBar(bar), bar.Total)
+		}
+	}
+	sb.WriteString("geomean\n")
+	for _, g := range f.Geomean {
+		n := int(g.Total*chartScale + 0.5)
+		fmt.Fprintf(&sb, "  %-*s |%s %.2fx\n", designWidth, g.Design, strings.Repeat("#", n), g.Total)
+	}
+	return sb.String()
+}
+
+// renderBar converts one stacked bar into glyph segments, largest-
+// remainder rounded so the total length tracks the normalized time.
+func renderBar(bar BreakdownBar) string {
+	total := int(bar.Total*chartScale + 0.5)
+	if total <= 0 {
+		return ""
+	}
+	// Initial allocation by truncation.
+	segs := make([]int, stats.NumBuckets)
+	used := 0
+	fracs := make([]float64, stats.NumBuckets)
+	for b := range segs {
+		exact := bar.Parts[b] * chartScale
+		segs[b] = int(exact)
+		fracs[b] = exact - float64(segs[b])
+		used += segs[b]
+	}
+	// Distribute the remainder to the largest fractional parts.
+	for used < total {
+		best := 0
+		for b := 1; b < len(fracs); b++ {
+			if fracs[b] > fracs[best] {
+				best = b
+			}
+		}
+		segs[best]++
+		fracs[best] = -1
+		used++
+	}
+	var sb strings.Builder
+	for b, n := range segs {
+		for i := 0; i < n; i++ {
+			sb.WriteByte(bucketGlyphs[b])
+		}
+	}
+	return sb.String()
+}

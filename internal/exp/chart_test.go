@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"hfstream/internal/stats"
+)
+
+func sampleFigure() *BreakdownFigure {
+	mk := func(design string, total float64, parts [stats.NumBuckets]float64) BreakdownBar {
+		return BreakdownBar{Design: design, Total: total, Parts: parts}
+	}
+	return &BreakdownFigure{
+		Title: "test figure",
+		Rows: []BreakdownRow{
+			{Benchmark: "alpha", Bars: []BreakdownBar{
+				mk("BASE", 1.0, [stats.NumBuckets]float64{stats.PreL2: 0.5, stats.Mem: 0.5}),
+				mk("SLOW", 2.0, [stats.NumBuckets]float64{stats.PreL2: 0.5, stats.Bus: 1.0, stats.Mem: 0.5}),
+			}},
+		},
+		Geomean: []BreakdownBar{
+			{Design: "BASE", Total: 1.0},
+			{Design: "SLOW", Total: 2.0},
+		},
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := sampleFigure().Chart()
+	for _, want := range []string{"test figure", "legend:", "alpha", "BASE", "SLOW", "geomean"} {
+		if !strings.Contains(c, want) {
+			t.Errorf("chart missing %q:\n%s", want, c)
+		}
+	}
+	// The 2.0x bar must be about twice as long as the 1.0x bar.
+	var baseLen, slowLen int
+	for _, line := range strings.Split(c, "\n") {
+		if strings.Contains(line, "BASE") && strings.Contains(line, "|") {
+			baseLen = barLen(line)
+		}
+		if strings.Contains(line, "SLOW") && strings.Contains(line, "|") {
+			slowLen = barLen(line)
+		}
+		if baseLen > 0 && slowLen > 0 {
+			break
+		}
+	}
+	if baseLen == 0 || slowLen < baseLen*2-2 || slowLen > baseLen*2+2 {
+		t.Errorf("bar lengths base=%d slow=%d, want 2x relation", baseLen, slowLen)
+	}
+	// The SLOW bar must contain BUS glyphs ('%').
+	if !strings.Contains(c, "%%%") {
+		t.Errorf("BUS segment missing:\n%s", c)
+	}
+}
+
+func barLen(line string) int {
+	i := strings.IndexByte(line, '|')
+	seg := line[i+1:]
+	j := strings.IndexByte(seg, ' ')
+	if j < 0 {
+		j = len(seg)
+	}
+	return j
+}
+
+func TestRenderBarRounding(t *testing.T) {
+	bar := BreakdownBar{Total: 1.0, Parts: [stats.NumBuckets]float64{
+		stats.PreL2: 0.333, stats.L2: 0.333, stats.Bus: 0.334,
+	}}
+	s := renderBar(bar)
+	if len(s) != chartScale {
+		t.Errorf("bar length %d, want %d", len(s), chartScale)
+	}
+	counts := map[byte]int{}
+	for i := 0; i < len(s); i++ {
+		counts[s[i]]++
+	}
+	for _, g := range []byte{'#', '=', '%'} {
+		if counts[g] < 9 || counts[g] > 11 {
+			t.Errorf("glyph %c count %d, want ~10", g, counts[g])
+		}
+	}
+}
+
+func TestRenderBarZero(t *testing.T) {
+	if s := renderBar(BreakdownBar{}); s != "" {
+		t.Errorf("zero bar rendered %q", s)
+	}
+}

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"fmt"
+
+	"hfstream/internal/stats"
+)
+
+// Fig3Row is one scenario of the paper's Figure 3 pipelining illustration.
+type Fig3Row struct {
+	Scenario   string
+	CommOp     int     // per-thread COMM-OP delay (cycles)
+	Transit    int     // one-way transit delay (cycles)
+	Buffers    int     // inter-thread buffer locations
+	Iterations float64 // completed in the window (paper's diagram: 2 / 7 / 14)
+	MinBuffers int     // buffers needed to sustain peak throughput
+}
+
+// Fig3Result reproduces Figure 3: with a single shared buffer every value
+// pays two transit delays; a queue overlaps them; halving COMM-OP delay
+// doubles throughput again (2 / 7 / 14 iterations in a 150-cycle window).
+type Fig3Result struct {
+	Window int
+	Rows   []Fig3Row
+}
+
+// Fig3 evaluates the analytic pipeline model from Section 2 over the
+// paper's 150-cycle window with 20-cycle COMM-OP and transit delays.
+func Fig3() *Fig3Result {
+	const window, transit = 150, 20
+	r := &Fig3Result{Window: window}
+	r.Rows = append(r.Rows,
+		fig3Scenario("(a) single buffer", 20, transit, 1, window),
+		fig3Scenario("(b) queue of buffers", 20, transit, 4, window),
+		fig3Scenario("(c) queue + reduced COMM-OP", 10, transit, 6, window),
+	)
+	return r
+}
+
+// fig3Scenario computes steady-state iterations completed in the window.
+func fig3Scenario(name string, commOp, transit, buffers, window int) Fig3Row {
+	var perIter int
+	if buffers == 1 {
+		// COMM-OP of A and B plus two transit delays per value: produce,
+		// data transit, consume, ack transit.
+		perIter = 2*commOp + 2*transit
+	} else {
+		// Pipelined: only the COMM-OP delay recurs, provided the queue is
+		// deep enough to cover the round trip.
+		perIter = commOp
+	}
+	iters := float64(window) / float64(perIter)
+	minBuf := 1
+	if buffers > 1 {
+		// Buffers needed to cover COMM-OP + round-trip transit.
+		minBuf = (2*transit + 2*commOp) / commOp
+	}
+	return Fig3Row{
+		Scenario: name, CommOp: commOp, Transit: transit,
+		Buffers: buffers, Iterations: iters, MinBuffers: minBuf,
+	}
+}
+
+// Table renders the figure as text.
+func (r *Fig3Result) Table() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 3: transit vs COMM-OP delay (window = %d cycles)", r.Window),
+		"Scenario", "COMM-OP", "Transit", "Buffers", "Iterations", "MinBuffers")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Scenario, row.CommOp, row.Transit, row.Buffers, row.Iterations, row.MinBuffers)
+	}
+	return t.String()
+}

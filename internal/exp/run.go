@@ -1,0 +1,114 @@
+// Package exp is the experiment harness: it runs benchmarks on design
+// points and regenerates every table and figure of the paper's evaluation
+// (Tables 1-2, Figures 3 and 6-12). Each experiment returns structured
+// rows plus a rendered text table so the command-line tools, tests and
+// Go benchmarks share one implementation.
+package exp
+
+import (
+	"fmt"
+
+	"hfstream/internal/design"
+	"hfstream/internal/interp"
+	"hfstream/internal/isa"
+	"hfstream/internal/lower"
+	"hfstream/internal/mem"
+	"hfstream/internal/sim"
+	"hfstream/internal/workloads"
+)
+
+// RunBenchmark executes the pipelined version of b on the given design
+// point and verifies the output region against the functional oracle.
+func RunBenchmark(b *workloads.Benchmark, cfg design.Config) (*sim.Result, error) {
+	return RunBenchmarkSampled(b, cfg, 0)
+}
+
+// RunBenchmarkSampled is RunBenchmark with per-interval time-series
+// collection (sampleInterval cycles per sample; 0 disables).
+func RunBenchmarkSampled(b *workloads.Benchmark, cfg design.Config, sampleInterval uint64) (*sim.Result, error) {
+	threads, _, err := b.Pipelined()
+	if err != nil {
+		return nil, err
+	}
+	progs := threads[:]
+	if cfg.SoftwareQueues() {
+		layout := cfg.Layout()
+		lowered := make([]*isa.Program, len(progs))
+		for i, p := range progs {
+			lowered[i], err = lower.Lower(p, layout)
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s/%s: %w", b.Name, cfg.Name(), err)
+			}
+		}
+		progs = lowered
+	}
+	img := mem.New()
+	b.Setup(img)
+	var ths []sim.Thread
+	for _, p := range progs {
+		ths = append(ths, sim.Thread{Prog: p})
+	}
+	simCfg := cfg.SimConfig()
+	simCfg.Preload = b.InputRegions
+	simCfg.SampleInterval = sampleInterval
+	res, err := sim.Run(simCfg, img, ths)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s/%s: %w", b.Name, cfg.Name(), err)
+	}
+	if err := CheckOutput(b, img); err != nil {
+		return nil, fmt.Errorf("exp: %s/%s: %w", b.Name, cfg.Name(), err)
+	}
+	return res, nil
+}
+
+// RunSingle executes the single-threaded baseline of b on the EXISTING
+// machine (one core) and verifies its output.
+func RunSingle(b *workloads.Benchmark) (*sim.Result, error) {
+	prog, err := b.Single()
+	if err != nil {
+		return nil, err
+	}
+	img := mem.New()
+	b.Setup(img)
+	simCfg := design.ExistingConfig().SimConfig()
+	simCfg.Preload = b.InputRegions
+	res, err := sim.Run(simCfg, img, []sim.Thread{{Prog: prog}})
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s/single: %w", b.Name, err)
+	}
+	if err := CheckOutput(b, img); err != nil {
+		return nil, fmt.Errorf("exp: %s/single: %w", b.Name, err)
+	}
+	return res, nil
+}
+
+// Expected computes the oracle memory image by running the single-threaded
+// program on the functional interpreter.
+func Expected(b *workloads.Benchmark) (*mem.Memory, error) {
+	prog, err := b.Single()
+	if err != nil {
+		return nil, err
+	}
+	img := mem.New()
+	b.Setup(img)
+	m := interp.New(img, prog)
+	if err := m.Run(0); err != nil {
+		return nil, fmt.Errorf("exp: %s oracle: %w", b.Name, err)
+	}
+	return img, nil
+}
+
+// CheckOutput compares the benchmark's output region in img against the
+// functional oracle, word by word.
+func CheckOutput(b *workloads.Benchmark, img *mem.Memory) error {
+	want, err := Expected(b)
+	if err != nil {
+		return err
+	}
+	for a := b.Out.Base; a < b.Out.End(); a += 8 {
+		if got, exp := img.Read8(a), want.Read8(a); got != exp {
+			return fmt.Errorf("output mismatch at %#x: got %#x want %#x", a, got, exp)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"fmt"
+
+	"hfstream/internal/design"
+	"hfstream/internal/dswp"
+	"hfstream/internal/isa"
+	"hfstream/internal/lower"
+	"hfstream/internal/mem"
+	"hfstream/internal/memsys"
+	"hfstream/internal/sim"
+	"hfstream/internal/stats"
+	"hfstream/internal/workloads"
+)
+
+// StageRow reports one benchmark's cycle counts per pipeline depth.
+type StageRow struct {
+	Benchmark string
+	// Cycles[d] is the runtime with d+1 cores (index 0 = single).
+	Cycles []uint64
+	// Supported marks depths the kernel's SCC structure allows.
+	Supported []bool
+}
+
+// StagesResult extends the paper's dual-core evaluation: DSWP depth 1-3
+// on HEAVYWT machines with matching core counts (the paper argues its
+// pairwise conclusions carry to larger-scale CMPs).
+type StagesResult struct {
+	Rows []StageRow
+}
+
+// AblationStages partitions each IR benchmark into 1, 2 and 3 pipeline
+// stages and runs each on a HEAVYWT machine with that many cores.
+// Kernels whose dependence structure cannot fill three stages are marked
+// unsupported rather than failed.
+func AblationStages() (*StagesResult, error) {
+	res := &StagesResult{}
+	for _, b := range workloads.All() {
+		if b.Loop == nil {
+			continue // hand-partitioned nested loop
+		}
+		row := StageRow{Benchmark: b.Name, Cycles: make([]uint64, 3), Supported: make([]bool, 3)}
+
+		single, err := b.Single()
+		if err != nil {
+			return nil, err
+		}
+		c, err := runThreads(b, []sim.Thread{{Prog: single}})
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s/1-stage: %w", b.Name, err)
+		}
+		row.Cycles[0], row.Supported[0] = c, true
+
+		for _, stages := range []int{2, 3} {
+			pr, err := dswp.PartitionN(b.Loop, stages)
+			if err != nil {
+				continue // structurally unsupported
+			}
+			var ths []sim.Thread
+			for _, p := range pr.Threads {
+				ths = append(ths, sim.Thread{Prog: p})
+			}
+			c, err := runThreads(b, ths)
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s/%d-stage: %w", b.Name, stages, err)
+			}
+			row.Cycles[stages-1], row.Supported[stages-1] = c, true
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runThreads executes prepared threads for the benchmark on a HEAVYWT
+// machine with len(threads) cores, verifying the output.
+func runThreads(b *workloads.Benchmark, threads []sim.Thread) (uint64, error) {
+	img := mem.New()
+	b.Setup(img)
+	cfg := design.HeavyWTConfig().SimConfig()
+	cfg.Preload = b.InputRegions
+	r, err := sim.Run(cfg, img, threads)
+	if err != nil {
+		return 0, err
+	}
+	if err := CheckOutput(b, img); err != nil {
+		return 0, err
+	}
+	return r.Cycles, nil
+}
+
+// RunStaged partitions b into the given number of pipeline stages with
+// DSWP and runs it on the design point with that many cores, verifying
+// the output against the oracle. Software-queue designs are lowered; the
+// partition's queue routes steer SYNCOPTI's memory-side streaming.
+func RunStaged(b *workloads.Benchmark, cfg design.Config, stages int) (*sim.Result, error) {
+	if b.Loop == nil {
+		return nil, fmt.Errorf("exp: %s is hand-partitioned; staged runs need an IR kernel", b.Name)
+	}
+	pr, err := dswp.PartitionN(b.Loop, stages)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", b.Name, err)
+	}
+	progs := pr.Threads
+	if cfg.SoftwareQueues() {
+		lowered := make([]*isa.Program, len(progs))
+		for i, p := range progs {
+			lowered[i], err = lower.Lower(p, cfg.Layout())
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s/%s: %w", b.Name, cfg.Name(), err)
+			}
+		}
+		progs = lowered
+	}
+	simCfg := cfg.SimConfig()
+	simCfg.Preload = b.InputRegions
+	for _, rt := range pr.Routes {
+		simCfg.Mem.QueueRoutes = append(simCfg.Mem.QueueRoutes,
+			memsys.QueueRoute{Producer: rt.Producer, Consumer: rt.Consumer})
+	}
+	img := mem.New()
+	b.Setup(img)
+	var ths []sim.Thread
+	for _, p := range progs {
+		ths = append(ths, sim.Thread{Prog: p})
+	}
+	r, err := sim.Run(simCfg, img, ths)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s/%s/%d-stage: %w", b.Name, cfg.Name(), stages, err)
+	}
+	if err := CheckOutput(b, img); err != nil {
+		return nil, fmt.Errorf("exp: %s/%s/%d-stage: %w", b.Name, cfg.Name(), stages, err)
+	}
+	return r, nil
+}
+
+// Table renders the pipeline-depth comparison.
+func (r *StagesResult) Table() string {
+	t := stats.NewTable(
+		"Ablation: DSWP pipeline depth on HEAVYWT (cycles; speedup vs 1 core)",
+		"Benchmark", "1 core", "2 cores", "3 cores")
+	for _, row := range r.Rows {
+		cells := []interface{}{row.Benchmark}
+		for d := 0; d < 3; d++ {
+			if !row.Supported[d] {
+				cells = append(cells, "n/a")
+				continue
+			}
+			if d == 0 {
+				cells = append(cells, fmt.Sprintf("%d", row.Cycles[0]))
+			} else {
+				cells = append(cells, fmt.Sprintf("%d (%.2fx)", row.Cycles[d],
+					float64(row.Cycles[0])/float64(row.Cycles[d])))
+			}
+		}
+		t.AddRowf(cells...)
+	}
+	return t.String()
+}

@@ -1,0 +1,137 @@
+// Package interp is a functional (timing-free) executor for one or more
+// communicating thread programs. It serves as the correctness oracle: the
+// cycle-level simulator must leave memory in exactly the state the
+// interpreter computes, for every design point.
+//
+// Threads are interleaved one instruction at a time over unbounded
+// queues, which suffices for the acyclic (pipelined) communication
+// patterns DSWP produces and also lets software-queue spin loops resolve.
+package interp
+
+import (
+	"fmt"
+
+	"hfstream/internal/isa"
+	"hfstream/internal/mem"
+)
+
+// Machine executes programs against a shared memory image.
+type Machine struct {
+	image  *mem.Memory
+	progs  []*isa.Program
+	regs   [][]uint64
+	pcs    []int
+	halted []bool
+	queues map[int][]uint64
+
+	// Steps counts executed instructions (across threads).
+	Steps uint64
+}
+
+// New builds a machine over the given image.
+func New(image *mem.Memory, progs ...*isa.Program) *Machine {
+	m := &Machine{
+		image:  image,
+		progs:  progs,
+		queues: make(map[int][]uint64),
+	}
+	for range progs {
+		m.regs = append(m.regs, make([]uint64, isa.NumRegs))
+		m.pcs = append(m.pcs, 0)
+		m.halted = append(m.halted, false)
+	}
+	return m
+}
+
+// SetReg initializes a register of thread t.
+func (m *Machine) SetReg(t int, r isa.Reg, v uint64) { m.regs[t][r] = v }
+
+// Reg reads a register of thread t.
+func (m *Machine) Reg(t int, r isa.Reg) uint64 { return m.regs[t][r] }
+
+// QueueLen returns the residual occupancy of queue q (0 after a clean
+// run of a well-formed pipeline that drains its queues... producers may
+// legitimately leave sentinel-free queues non-empty).
+func (m *Machine) QueueLen(q int) int { return len(m.queues[q]) }
+
+// Run interleaves the threads until all halt. maxSteps bounds total
+// executed instructions (0 means 100M).
+func (m *Machine) Run(maxSteps uint64) error {
+	if maxSteps == 0 {
+		maxSteps = 100_000_000
+	}
+	for {
+		allHalted := true
+		progressed := false
+		for t := range m.progs {
+			if m.halted[t] {
+				continue
+			}
+			allHalted = false
+			if m.step(t) {
+				progressed = true
+			}
+			if m.Steps > maxSteps {
+				return fmt.Errorf("interp: step budget exhausted (pcs=%v)", m.pcs)
+			}
+		}
+		if allHalted {
+			return nil
+		}
+		if !progressed {
+			return fmt.Errorf("interp: deadlock (pcs=%v, halted=%v)", m.pcs, m.halted)
+		}
+	}
+}
+
+// step executes one instruction of thread t; it returns false if the
+// thread is blocked (consume on an empty queue).
+func (m *Machine) step(t int) bool {
+	prog := m.progs[t]
+	in := prog.Instrs[m.pcs[t]]
+	regs := m.regs[t]
+	m.Steps++
+
+	switch in.Op {
+	case isa.Halt:
+		m.halted[t] = true
+	case isa.Nop, isa.Fence:
+		m.pcs[t]++
+	case isa.B:
+		m.pcs[t] = int(in.Imm)
+	case isa.Beqz:
+		if regs[in.Ra] == 0 {
+			m.pcs[t] = int(in.Imm)
+		} else {
+			m.pcs[t]++
+		}
+	case isa.Bnez:
+		if regs[in.Ra] != 0 {
+			m.pcs[t] = int(in.Imm)
+		} else {
+			m.pcs[t]++
+		}
+	case isa.Ld:
+		regs[in.Rd] = m.image.Read8(regs[in.Ra] + uint64(in.Imm))
+		m.pcs[t]++
+	case isa.St:
+		m.image.Write8(regs[in.Ra]+uint64(in.Imm), regs[in.Rb])
+		m.pcs[t]++
+	case isa.Produce:
+		m.queues[in.Q] = append(m.queues[in.Q], regs[in.Ra])
+		m.pcs[t]++
+	case isa.Consume:
+		q := m.queues[in.Q]
+		if len(q) == 0 {
+			m.Steps-- // blocked, not executed
+			return false
+		}
+		regs[in.Rd] = q[0]
+		m.queues[in.Q] = q[1:]
+		m.pcs[t]++
+	default:
+		regs[in.Rd] = isa.Eval(in.Op, regs[in.Ra], regs[in.Rb], in.Imm)
+		m.pcs[t]++
+	}
+	return true
+}

@@ -1,0 +1,127 @@
+package interp
+
+import (
+	"testing"
+
+	"hfstream/internal/asm"
+	"hfstream/internal/mem"
+)
+
+func TestSingleThreadArithmetic(t *testing.T) {
+	p := asm.MustParse("t", `
+		movi r1, 7
+		movi r2, 6
+		mul  r3, r1, r2
+		movi r4, 0x100
+		st   [r4+0], r3
+		halt
+	`)
+	img := mem.New()
+	m := New(img, p)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := img.Read8(0x100); got != 42 {
+		t.Fatalf("result %d", got)
+	}
+	if m.Reg(0, 3) != 42 {
+		t.Fatal("register state wrong")
+	}
+}
+
+func TestTwoThreadQueue(t *testing.T) {
+	prod := asm.MustParse("p", `
+		movi r1, 5
+	loop:
+		produce q3, r1
+		addi r1, r1, -1
+		bnez r1, loop
+		halt
+	`)
+	cons := asm.MustParse("c", `
+		movi r2, 5
+		movi r3, 0
+	loop:
+		consume r4, q3
+		add  r3, r3, r4
+		addi r2, r2, -1
+		bnez r2, loop
+		movi r5, 0x200
+		st   [r5+0], r3
+		halt
+	`)
+	img := mem.New()
+	m := New(img, prod, cons)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := img.Read8(0x200); got != 15 {
+		t.Fatalf("sum = %d", got)
+	}
+	if m.QueueLen(3) != 0 {
+		t.Error("queue not drained")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	// Consumer waits on a queue nobody fills.
+	cons := asm.MustParse("c", `
+		consume r1, q0
+		halt
+	`)
+	m := New(mem.New(), cons)
+	if err := m.Run(0); err == nil {
+		t.Fatal("deadlock not detected")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	spin := asm.MustParse("s", `
+	loop:
+		b loop
+	`)
+	m := New(mem.New(), spin)
+	if err := m.Run(1000); err == nil {
+		t.Fatal("infinite loop not bounded")
+	}
+	if m.Steps < 1000 {
+		t.Errorf("steps = %d", m.Steps)
+	}
+}
+
+func TestBlockedConsumeMakesNoProgressAlone(t *testing.T) {
+	// One thread blocked on consume, the other producing: interleaving
+	// must resolve it.
+	prod := asm.MustParse("p", `
+		movi r1, 9
+		produce q1, r1
+		halt
+	`)
+	cons := asm.MustParse("c", `
+		consume r2, q1
+		halt
+	`)
+	m := New(mem.New(), cons, prod) // consumer first: blocks initially
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(0, 2) != 9 {
+		t.Errorf("consumed %d", m.Reg(0, 2))
+	}
+}
+
+func TestFenceIsNoOpFunctionally(t *testing.T) {
+	p := asm.MustParse("f", `
+		movi r1, 1
+		fence
+		movi r2, 2
+		halt
+	`)
+	m := New(mem.New(), p)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(0, 1) != 1 || m.Reg(0, 2) != 2 {
+		t.Error("fence disturbed execution")
+	}
+}

@@ -1,0 +1,77 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eval computes the result of a register-register (non-memory, non-branch)
+// instruction from its operand values. It is shared by the timing core and
+// the functional interpreter so both agree on semantics.
+func Eval(op Op, a, b uint64, imm int64) uint64 {
+	switch op {
+	case Nop:
+		return 0
+	case MovI:
+		return uint64(imm)
+	case Mov:
+		return a
+	case Add:
+		return a + b
+	case AddI:
+		return a + uint64(imm)
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	case Div:
+		if b == 0 {
+			return 0
+		}
+		return uint64(int64(a) / int64(b))
+	case And:
+		return a & b
+	case AndI:
+		return a & uint64(imm)
+	case Or:
+		return a | b
+	case Xor:
+		return a ^ b
+	case ShlI:
+		return a << uint(imm&63)
+	case ShrI:
+		return a >> uint(imm&63)
+	case CmpEQ:
+		return b2i(a == b)
+	case CmpNE:
+		return b2i(a != b)
+	case CmpLT:
+		return b2i(int64(a) < int64(b))
+	case Sel:
+		if b != 0 {
+			return a
+		}
+		return uint64(imm)
+	case FAdd:
+		return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+	case FSub:
+		return math.Float64bits(math.Float64frombits(a) - math.Float64frombits(b))
+	case FMul:
+		return math.Float64bits(math.Float64frombits(a) * math.Float64frombits(b))
+	case FDiv:
+		return math.Float64bits(math.Float64frombits(a) / math.Float64frombits(b))
+	case I2F:
+		return math.Float64bits(float64(int64(a)))
+	case F2I:
+		return uint64(int64(math.Float64frombits(a)))
+	default:
+		panic(fmt.Sprintf("isa: Eval on non-ALU opcode %v", op))
+	}
+}
+
+func b2i(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

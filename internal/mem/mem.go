@@ -1,0 +1,69 @@
+// Package mem provides the functional (value-carrying) memory image shared
+// by all cores, plus a simple region allocator used by workloads to lay
+// out their data. Timing is modeled elsewhere; this package answers "what
+// value does this address hold once the access completes".
+package mem
+
+import "fmt"
+
+// Memory is a sparse 64-bit-word-addressable functional memory. Addresses
+// are byte addresses; accesses are 8-byte aligned words (the simulator's
+// ISA moves 64-bit values only).
+type Memory struct {
+	words map[uint64]uint64
+}
+
+// New returns an empty memory image.
+func New() *Memory { return &Memory{words: make(map[uint64]uint64)} }
+
+// Read8 returns the 8-byte word at addr (0 if never written).
+func (m *Memory) Read8(addr uint64) uint64 { return m.words[addr&^7] }
+
+// Write8 stores an 8-byte word at addr.
+func (m *Memory) Write8(addr, val uint64) { m.words[addr&^7] = val }
+
+// Len returns the number of distinct words ever written.
+func (m *Memory) Len() int { return len(m.words) }
+
+// Region is a contiguous chunk of the address space.
+type Region struct {
+	Name string
+	Base uint64
+	Size uint64
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.Base+r.Size
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+// Allocator hands out non-overlapping regions, cache-line aligned.
+type Allocator struct {
+	next    uint64
+	align   uint64
+	regions []Region
+}
+
+// NewAllocator returns an allocator starting at base with the given
+// alignment (typically the L2 line size).
+func NewAllocator(base, align uint64) *Allocator {
+	if align == 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d must be a power of two", align))
+	}
+	return &Allocator{next: (base + align - 1) &^ (align - 1), align: align}
+}
+
+// Alloc reserves size bytes and returns the region.
+func (a *Allocator) Alloc(name string, size uint64) Region {
+	size = (size + a.align - 1) &^ (a.align - 1)
+	r := Region{Name: name, Base: a.next, Size: size}
+	a.next += size
+	a.regions = append(a.regions, r)
+	return r
+}
+
+// Regions returns all allocated regions in allocation order.
+func (a *Allocator) Regions() []Region { return append([]Region(nil), a.regions...) }

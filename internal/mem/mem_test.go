@@ -1,0 +1,85 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := New()
+	if got := m.Read8(0x1000); got != 0 {
+		t.Errorf("unwritten word = %d, want 0", got)
+	}
+	m.Write8(0x1000, 42)
+	if got := m.Read8(0x1000); got != 42 {
+		t.Errorf("read back %d, want 42", got)
+	}
+	// Unaligned addresses resolve to the containing word.
+	m.Write8(0x2003, 7)
+	if got := m.Read8(0x2000); got != 7 {
+		t.Errorf("unaligned write landed wrong: %d", got)
+	}
+	if m.Len() != 2 {
+		t.Errorf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestMemoryRoundTripProperty(t *testing.T) {
+	m := New()
+	f := func(addr, val uint64) bool {
+		m.Write8(addr, val)
+		return m.Read8(addr) == val && m.Read8(addr&^7) == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocatorNonOverlapping(t *testing.T) {
+	a := NewAllocator(0x1000, 128)
+	r1 := a.Alloc("a", 100)
+	r2 := a.Alloc("b", 1)
+	r3 := a.Alloc("c", 4096)
+	regs := []Region{r1, r2, r3}
+	for i, r := range regs {
+		if r.Base%128 != 0 {
+			t.Errorf("region %d base %#x not aligned", i, r.Base)
+		}
+		if r.Size%128 != 0 {
+			t.Errorf("region %d size %#x not aligned", i, r.Size)
+		}
+		for j, s := range regs {
+			if i == j {
+				continue
+			}
+			if r.Base < s.End() && s.Base < r.End() {
+				t.Errorf("regions %d and %d overlap", i, j)
+			}
+		}
+	}
+	if got := len(a.Regions()); got != 3 {
+		t.Errorf("Regions() returned %d entries, want 3", got)
+	}
+}
+
+func TestAllocatorBadAlignment(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two alignment accepted")
+		}
+	}()
+	NewAllocator(0, 100)
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Name: "x", Base: 0x100, Size: 0x80}
+	if !r.Contains(0x100) || !r.Contains(0x17f) {
+		t.Error("Contains misses interior")
+	}
+	if r.Contains(0xff) || r.Contains(0x180) {
+		t.Error("Contains includes exterior")
+	}
+	if r.End() != 0x180 {
+		t.Errorf("End = %#x", r.End())
+	}
+}

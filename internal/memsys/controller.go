@@ -1,0 +1,396 @@
+package memsys
+
+import (
+	"fmt"
+
+	"hfstream/internal/cache"
+	"hfstream/internal/port"
+	"hfstream/internal/stats"
+)
+
+type ozKind int
+
+const (
+	opLoad ozKind = iota
+	opStore
+	opFence
+	opProduce
+	opConsume
+	opForward // MEMOPTI write-forward work item occupying an OzQ slot
+)
+
+func (k ozKind) String() string {
+	switch k {
+	case opLoad:
+		return "load"
+	case opStore:
+		return "store"
+	case opFence:
+		return "fence"
+	case opProduce:
+		return "produce"
+	case opConsume:
+		return "consume"
+	case opForward:
+		return "forward"
+	default:
+		return fmt.Sprintf("ozKind(%d)", int(k))
+	}
+}
+
+type ozState int
+
+const (
+	stWaitPort ozState = iota // waiting to win an L2 port
+	stAccess                  // L2 array access in flight
+	stWaitFill                // waiting for a bus transaction on its line
+	stWaitSync                // dormant: waiting on queue synchronization
+	stDone
+)
+
+// ozEntry is one slot of the L2 controller's ordered transaction queue
+// (the Itanium 2 OzQ), whose entries also serve as MSHRs.
+type ozEntry struct {
+	kind  ozKind
+	state ozState
+	seq   uint64
+	addr  uint64 // effective address (line-aligned for opForward)
+	val   uint64 // store value
+	q     int    // queue number (produce/consume/forward)
+	slot  uint64 // cumulative stream slot index (produce/consume)
+	tok   *port.Token
+
+	readyAt   uint64 // cycle the current phase ends / next retry
+	timeoutAt uint64 // consume empty-queue probe deadline (0 = unset)
+	scHit     bool   // consume serviced by the stream cache
+}
+
+type event struct {
+	at uint64
+	fn func(cycle uint64)
+}
+
+// Controller is one core's private memory-side machinery: L1D, L2 array,
+// the OzQ, and the streaming support selected by Params. It implements
+// port.Mem always and port.Stream when HWQueues is enabled (SYNCOPTI).
+type Controller struct {
+	id  int
+	p   Params
+	fab *Fabric
+	l1  *cache.Cache
+	l2  *cache.Cache
+
+	ozq    []*ozEntry
+	seq    uint64
+	events []event
+
+	// pendingLine tracks lines with an in-flight bus transaction (MSHR
+	// merge): entries that need such a line wait in stWaitFill.
+	pendingLine map[uint64]bool
+	// deferredSnoop holds snoop actions (invalidate/downgrade) against
+	// lines with a pending fill; they apply after the fill commits its
+	// waiting accesses, guaranteeing forward progress under write-write
+	// contention (false sharing ping-pong instead of livelock).
+	deferredSnoop map[uint64]cache.State
+
+	// Producer-side per-queue stream state (cumulative item counts).
+	sentCum      []uint64 // produce slots assigned at issue
+	doneCum      []uint64 // produces completed (data written)
+	ackedCum     []uint64 // items bulk-acked by the consumer
+	forwardedCum []uint64 // items covered by forwards/probe flushes
+
+	// Consumer-side per-queue stream state.
+	consumeIssueCum []uint64 // consume slots assigned at issue
+	availCum        []uint64 // items made available by forwards/probes
+	consumedCum     []uint64 // consumes completed
+	probeOut        []bool   // a probe for this queue is in flight
+
+	// pendingForwards holds MEMOPTI write-forward work items waiting for
+	// a free OzQ slot.
+	pendingForwards []pendingFwd
+
+	sc *streamCache
+
+	portUsed  int
+	portCycle uint64
+
+	// Stats.
+	WrFwdsSent     uint64
+	BulkAcksSent   uint64
+	ProbesSent     uint64
+	RecircRetries  uint64
+	PortConflicts  uint64
+	ProduceStalls  uint64 // produce resolutions deferred on full queue
+	ConsumeStalls  uint64 // consume resolutions deferred on empty queue
+	LoadsServiced  uint64
+	StoresServiced uint64
+}
+
+func newController(id int, p Params, fab *Fabric) *Controller {
+	nq := p.Layout.NumQueues
+	c := &Controller{
+		id:            id,
+		p:             p,
+		fab:           fab,
+		l1:            cache.New(p.L1),
+		l2:            cache.New(p.L2),
+		pendingLine:   make(map[uint64]bool),
+		deferredSnoop: make(map[uint64]cache.State),
+
+		sentCum:         make([]uint64, nq),
+		doneCum:         make([]uint64, nq),
+		ackedCum:        make([]uint64, nq),
+		forwardedCum:    make([]uint64, nq),
+		consumeIssueCum: make([]uint64, nq),
+		availCum:        make([]uint64, nq),
+		consumedCum:     make([]uint64, nq),
+		probeOut:        make([]bool, nq),
+	}
+	if p.StreamCacheEntries > 0 {
+		c.sc = newStreamCache(p.StreamCacheEntries)
+	}
+	return c
+}
+
+// ID returns the controller's core index.
+func (c *Controller) ID() int { return c.id }
+
+// L1 returns the L1D array (for tests and stats).
+func (c *Controller) L1() *cache.Cache { return c.l1 }
+
+// L2 returns the L2 array (for tests and stats).
+func (c *Controller) L2() *cache.Cache { return c.l2 }
+
+// StreamCacheHits returns stream cache hit count (0 without a stream cache).
+func (c *Controller) StreamCacheHits() uint64 {
+	if c.sc == nil {
+		return 0
+	}
+	return c.sc.Hits
+}
+
+func (c *Controller) schedule(at uint64, fn func(cycle uint64)) {
+	c.events = append(c.events, event{at: at, fn: fn})
+}
+
+// CanAccept implements port.Mem.
+func (c *Controller) CanAccept() bool { return len(c.ozq) < c.p.OzQSize }
+
+func (c *Controller) push(e *ozEntry) *ozEntry {
+	c.seq++
+	e.seq = c.seq
+	c.ozq = append(c.ozq, e)
+	return e
+}
+
+// Load implements port.Mem. L1 hits complete without an OzQ entry.
+func (c *Controller) Load(cycle, addr uint64) *port.Token {
+	tok := port.NewToken(stats.PreL2)
+	if c.l1.Lookup(addr) != nil && !c.olderStoreTo(addr, c.seq+1) {
+		tok.Complete(cycle+uint64(c.p.L1.Latency), c.fab.mem.Read8(addr))
+		return tok
+	}
+	tok.Loc = stats.L2
+	c.push(&ozEntry{kind: opLoad, state: stWaitPort, addr: addr, tok: tok, readyAt: cycle + 1})
+	return tok
+}
+
+// Store implements port.Mem. The L1 is write-through no-allocate; every
+// store takes an OzQ entry to the L2.
+func (c *Controller) Store(cycle, addr, val uint64) *port.Token {
+	tok := port.NewToken(stats.L2)
+	c.push(&ozEntry{kind: opStore, state: stWaitPort, addr: addr, val: val, tok: tok, readyAt: cycle + 1})
+	return tok
+}
+
+// Fence implements port.Mem.
+func (c *Controller) Fence(cycle uint64) *port.Token {
+	tok := port.NewToken(stats.L2)
+	c.push(&ozEntry{kind: opFence, state: stWaitPort, tok: tok, readyAt: cycle})
+	return tok
+}
+
+// Produce implements port.Stream for SYNCOPTI: the instruction is renamed
+// to a stream address and parked in the OzQ, dormant until the occupancy
+// counters admit it.
+func (c *Controller) Produce(cycle uint64, q int, v uint64) (*port.Token, bool) {
+	if !c.p.HWQueues {
+		panic("memsys: Produce on a design without hardware queues")
+	}
+	if !c.CanAccept() {
+		return nil, false
+	}
+	slot := c.sentCum[q]
+	c.sentCum[q]++
+	tok := port.NewToken(stats.PreL2)
+	c.push(&ozEntry{
+		kind: opProduce, state: stWaitPort, q: q, slot: slot, val: v, tok: tok,
+		addr:    c.p.Layout.SlotAddr(q, int(slot)%c.p.Layout.Depth),
+		readyAt: cycle + uint64(c.p.StreamAddrGenLat),
+	})
+	return tok, true
+}
+
+// Consume implements port.Stream for SYNCOPTI. A stream-cache hit returns
+// the value at stream-address-generation latency; the instruction still
+// visits the L2 to keep occupancy counters in sync.
+func (c *Controller) Consume(cycle uint64, q int) (*port.Token, bool) {
+	if !c.p.HWQueues {
+		panic("memsys: Consume on a design without hardware queues")
+	}
+	if !c.CanAccept() {
+		return nil, false
+	}
+	slot := c.consumeIssueCum[q]
+	c.consumeIssueCum[q]++
+	tok := port.NewToken(stats.L2)
+	e := &ozEntry{
+		kind: opConsume, state: stWaitPort, q: q, slot: slot, tok: tok,
+		addr:    c.p.Layout.SlotAddr(q, int(slot)%c.p.Layout.Depth),
+		readyAt: cycle + uint64(c.p.StreamAddrGenLat),
+	}
+	if c.sc != nil {
+		if v, ok := c.sc.take(q, slot); ok {
+			// Stream-cache hit: data available at address-generation
+			// latency; the OzQ entry continues for bookkeeping only.
+			tok.Complete(cycle+uint64(c.p.StreamAddrGenLat), v)
+			e.scHit = true
+		}
+	}
+	c.push(e)
+	return tok, true
+}
+
+// olderStoreTo reports whether an incomplete store to addr's word precedes
+// seq in the OzQ (store-to-load ordering).
+func (c *Controller) olderStoreTo(addr, seq uint64) bool {
+	w := addr &^ 7
+	for _, e := range c.ozq {
+		if e.seq >= seq {
+			break
+		}
+		if e.kind == opStore && e.state != stDone && e.addr&^7 == w {
+			return true
+		}
+	}
+	return false
+}
+
+// Debug returns a human-readable dump of the OzQ and stream state, used
+// in deadlock reports.
+func (c *Controller) Debug() string {
+	s := fmt.Sprintf("ctrl %d: ozq=%d pendingLines=%d events=%d\n", c.id, len(c.ozq), len(c.pendingLine), len(c.events))
+	for _, e := range c.ozq {
+		s += fmt.Sprintf("  %s state=%d addr=%#x q=%d slot=%d readyAt=%d\n", e.kind, e.state, e.addr, e.q, e.slot, e.readyAt)
+	}
+	for q := range c.sentCum {
+		if c.sentCum[q]+c.consumeIssueCum[q] > 0 {
+			s += fmt.Sprintf("  q%d: sent=%d done=%d acked=%d fwd=%d | consIssue=%d avail=%d consumed=%d\n",
+				q, c.sentCum[q], c.doneCum[q], c.ackedCum[q], c.forwardedCum[q],
+				c.consumeIssueCum[q], c.availCum[q], c.consumedCum[q])
+		}
+	}
+	return s
+}
+
+// Quiesced reports whether the controller has no in-flight work.
+func (c *Controller) Quiesced() bool {
+	return len(c.ozq) == 0 && len(c.events) == 0 && len(c.pendingLine) == 0
+}
+
+// Tick advances the controller one cycle. Call after the bus has ticked.
+func (c *Controller) Tick(cycle uint64) {
+	c.runEvents(cycle)
+	c.portCycle = cycle
+	c.portUsed = 0
+
+	fenceBlocked := false // an incomplete fence has been seen in the scan
+	for _, e := range c.ozq {
+		switch e.state {
+		case stDone, stWaitFill:
+			continue
+		case stWaitSync:
+			c.tickDormant(cycle, e)
+			continue
+		}
+		if e.kind == opFence {
+			if !c.olderIncomplete(e.seq) {
+				e.state = stDone
+				e.tok.Complete(cycle, 0)
+			} else {
+				fenceBlocked = true
+			}
+			continue
+		}
+		if e.readyAt > cycle {
+			continue
+		}
+		if fenceBlocked {
+			// Memory-fence ordering: the entry recirculates through the
+			// OzQ, consuming an L2 port on every retry (paper §4.4).
+			if c.takePort() {
+				c.RecircRetries++
+				e.readyAt = cycle + uint64(c.p.RecircInterval)
+			}
+			continue
+		}
+		switch e.state {
+		case stWaitPort:
+			if !c.takePort() {
+				c.PortConflicts++
+				continue
+			}
+			e.state = stAccess
+			e.readyAt = cycle + uint64(c.p.L2.Latency)
+		case stAccess:
+			c.resolve(cycle, e)
+		}
+	}
+	c.compact(cycle)
+}
+
+func (c *Controller) runEvents(cycle uint64) {
+	if len(c.events) == 0 {
+		return
+	}
+	kept := c.events[:0]
+	for _, ev := range c.events {
+		if ev.at <= cycle {
+			ev.fn(cycle)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	c.events = kept
+}
+
+func (c *Controller) takePort() bool {
+	if c.portUsed >= c.p.L2Ports {
+		return false
+	}
+	c.portUsed++
+	return true
+}
+
+func (c *Controller) olderIncomplete(seq uint64) bool {
+	for _, e := range c.ozq {
+		if e.seq >= seq {
+			return false
+		}
+		if e.state != stDone {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) compact(cycle uint64) {
+	kept := c.ozq[:0]
+	for _, e := range c.ozq {
+		if e.state != stDone {
+			kept = append(kept, e)
+		}
+	}
+	c.ozq = kept
+	c.injectForwards(cycle)
+}

@@ -1,0 +1,219 @@
+package memsys
+
+import (
+	"fmt"
+
+	"hfstream/internal/bus"
+	"hfstream/internal/cache"
+	"hfstream/internal/mem"
+)
+
+// Fabric owns the shared part of the memory subsystem: the split-
+// transaction bus, the shared L3, main memory timing, and the per-core L2
+// controllers. It acts as the snoop broker: coherence state changes are
+// applied atomically at bus-grant time (the address/snoop phase), while
+// data availability follows the bus's data-phase timing.
+type Fabric struct {
+	p     Params
+	mem   *mem.Memory
+	bus   *bus.Bus
+	l3    *cache.Cache
+	ctrls []*Controller
+
+	// Stats.
+	MemAccesses uint64
+	L3Hits      uint64
+	L3Misses    uint64
+}
+
+// NewFabric builds the memory subsystem for n cores.
+func NewFabric(p Params, m *mem.Memory, n int) (*Fabric, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("memsys: need at least one core, got %d", n)
+	}
+	f := &Fabric{p: p, mem: m, l3: cache.New(p.L3)}
+	f.bus = bus.New(p.Bus, n, f.handle)
+	for i := 0; i < n; i++ {
+		f.ctrls = append(f.ctrls, newController(i, p, f))
+	}
+	return f, nil
+}
+
+// Controller returns core i's L2 controller.
+func (f *Fabric) Controller(i int) *Controller { return f.ctrls[i] }
+
+// Bus returns the shared bus (for stats).
+func (f *Fabric) Bus() *bus.Bus { return f.bus }
+
+// L3 returns the shared L3 array (for stats and tests).
+func (f *Fabric) L3() *cache.Cache { return f.l3 }
+
+// Mem returns the functional memory image.
+func (f *Fabric) Mem() *mem.Memory { return f.mem }
+
+// Preload installs a line into the shared L3 and, in shared state, into
+// every private L2. It warms the hierarchy before measurement so results
+// reflect the paper's steady-state hot loops; regions larger than a cache
+// simply wrap its LRU state and keep their natural miss behaviour.
+func (f *Fabric) Preload(lineAddr uint64) {
+	f.l3.Insert(lineAddr, cache.Shared)
+	for _, c := range f.ctrls {
+		c.l2.Insert(lineAddr, cache.Shared)
+	}
+}
+
+// Tick advances the whole memory subsystem one cycle.
+func (f *Fabric) Tick(cycle uint64) {
+	f.bus.Tick(cycle)
+	for _, c := range f.ctrls {
+		c.Tick(cycle)
+	}
+}
+
+// Quiesced reports whether no transaction is in flight anywhere.
+func (f *Fabric) Quiesced(cycle uint64) bool {
+	if !f.bus.Idle(cycle) {
+		return false
+	}
+	for _, c := range f.ctrls {
+		if !c.Quiesced() {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Fabric) submit(cycle uint64, r *bus.Req) { f.bus.Submit(cycle, r) }
+
+// other returns the peer controller in the dual-core configuration.
+func (f *Fabric) other(id int) *Controller {
+	if len(f.ctrls) != 2 {
+		panic("memsys: implicit peer requires the dual-core configuration (set QueueRoutes)")
+	}
+	return f.ctrls[1-id]
+}
+
+// consumerOf returns the controller consuming queue q (messages from the
+// producer side: write-forwards).
+func (f *Fabric) consumerOf(q, fromID int) *Controller {
+	if q < len(f.p.QueueRoutes) {
+		return f.ctrls[f.p.QueueRoutes[q].Consumer]
+	}
+	return f.other(fromID)
+}
+
+// producerOf returns the controller producing queue q (messages from the
+// consumer side: bulk ACKs and probes).
+func (f *Fabric) producerOf(q, fromID int) *Controller {
+	if q < len(f.p.QueueRoutes) {
+		return f.ctrls[f.p.QueueRoutes[q].Producer]
+	}
+	return f.other(fromID)
+}
+
+// writeback pushes an evicted dirty line to the L3 over the bus.
+func (f *Fabric) writeback(cycle uint64, src int, addr uint64) {
+	f.submit(cycle, &bus.Req{Kind: bus.Writeback, Addr: addr, Src: src})
+}
+
+func (f *Fabric) note(r *bus.Req, supplier int) {
+	if r.Note != nil {
+		r.Note(supplier)
+	}
+}
+
+// handle is the bus grant handler: it performs the snoop, applies
+// coherence state transitions, decides the supplier, and returns the
+// service latency plus data-phase occupancy.
+func (f *Fabric) handle(r *bus.Req, grantCycle uint64) (serviceLat, beats int) {
+	lineBytes := f.p.L2.LineBytes
+	fullBeats := f.bus.BeatsForBytes(lineBytes)
+	slotBytes := f.p.Layout.SlotBytes()
+
+	switch r.Kind {
+	case bus.Read, bus.ReadX:
+		remoteM := false
+		for i, c := range f.ctrls {
+			if i == r.Src {
+				continue
+			}
+			line := c.l2.Peek(r.Addr)
+			if line == nil {
+				continue
+			}
+			if line.State == cache.Modified {
+				remoteM = true
+				// The dirty line also lands in the L3 (folded into the
+				// cache-to-cache transfer).
+				f.l3.Insert(r.Addr, cache.Shared)
+			}
+			if r.Kind == bus.ReadX {
+				c.invalidateLine(r.Addr)
+			} else if line.State == cache.Modified {
+				c.downgradeLine(r.Addr)
+			}
+		}
+		st := cache.Shared
+		if r.Kind == bus.ReadX {
+			st = cache.Modified
+		}
+		f.ctrls[r.Src].install(grantCycle, r.Addr, st)
+		if remoteM {
+			f.note(r, bus.SupplierRemoteL2)
+			return f.p.L2.Latency, fullBeats
+		}
+		if f.l3.Lookup(r.Addr) != nil {
+			f.L3Hits++
+			f.note(r, bus.SupplierL3)
+			return f.p.L3.Latency, fullBeats
+		}
+		f.L3Misses++
+		f.MemAccesses++
+		f.l3.Insert(r.Addr, cache.Shared)
+		f.note(r, bus.SupplierMem)
+		return f.p.L3.Latency + f.p.MemLat, fullBeats
+
+	case bus.Upgrade:
+		for i, c := range f.ctrls {
+			if i != r.Src {
+				c.invalidateLine(r.Addr)
+			}
+		}
+		if line := f.ctrls[r.Src].l2.Peek(r.Addr); line != nil {
+			line.State = cache.Modified
+		}
+		return 0, 0
+
+	case bus.Writeback:
+		f.l3.Insert(r.Addr, cache.Shared)
+		return 0, fullBeats
+
+	case bus.WriteForward:
+		// Producer keeps a shared copy; the L3 also captures the line so
+		// a consumer-side eviction does not force a memory round trip.
+		f.ctrls[r.Src].downgradeLine(r.Addr)
+		f.l3.Insert(r.Addr, cache.Shared)
+		n := r.Aux * slotBytes
+		if n <= 0 || n > lineBytes {
+			n = lineBytes
+		}
+		return f.p.L2.Latency, f.bus.BeatsForBytes(n)
+
+	case bus.BulkAck, bus.OccUpdate:
+		return 0, 1
+
+	case bus.Probe:
+		prod := f.producerOf(r.Q, r.Src)
+		start, count := prod.flushForProbe(r.Q)
+		r.Slot, r.Aux = start, count
+		n := count * slotBytes
+		if n < 1 {
+			return f.p.L2.Latency, 1
+		}
+		return f.p.L2.Latency, f.bus.BeatsForBytes(n)
+	}
+	return 0, 0
+}

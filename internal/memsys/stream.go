@@ -1,0 +1,238 @@
+package memsys
+
+import (
+	"hfstream/internal/bus"
+	"hfstream/internal/cache"
+	"hfstream/internal/port"
+	"hfstream/internal/stats"
+)
+
+// newDonelessToken returns a token nobody waits on (hardware-generated
+// OzQ work items still carry one so shared code paths stay uniform).
+func newDonelessToken() *port.Token { return port.NewToken(stats.L2) }
+
+// ---- SYNCOPTI produce path ----
+
+// resolveProduce runs when a produce instruction's L2 access completes:
+// the occupancy counters arbitrate whether it may write its queue slot.
+// Blocked produces go dormant in their OzQ slot without consuming ports
+// (paper §4.4), unlike the recirculating software-queue requests.
+func (c *Controller) resolveProduce(cycle uint64, e *ozEntry) {
+	if e.slot != c.doneCum[e.q] {
+		// In-order completion per queue: wait for the predecessor.
+		e.state = stWaitSync
+		e.tok.Loc = stats.PreL2
+		return
+	}
+	if e.slot-c.ackedCum[e.q] >= uint64(c.p.Layout.Depth) {
+		// Queue full: the producer also must not damage the consumer's
+		// spatial locality by wrapping onto a line that is still being
+		// consumed; bulk ACK granularity enforces exactly that.
+		c.ProduceStalls++
+		e.state = stWaitSync
+		e.tok.Loc = stats.PreL2
+		return
+	}
+	la := c.l2.LineAddr(e.addr)
+	line := c.l2.Lookup(e.addr)
+	switch {
+	case line == nil:
+		c.needLine(cycle, e, bus.ReadX)
+		return
+	case line.State == cache.Shared:
+		c.needLine(cycle, e, bus.Upgrade)
+		return
+	}
+	// Commit the queue item.
+	c.fab.mem.Write8(e.addr, e.val)
+	c.doneCum[e.q]++
+	e.tok.Complete(cycle, e.val)
+	e.state = stDone
+	c.wakeStream(cycle, e.q, opProduce)
+	if c.p.WriteForward && c.doneCum[e.q]%uint64(c.p.Layout.QLU) == 0 {
+		c.sendStreamForward(cycle, e.q, la)
+	}
+}
+
+// sendStreamForward pushes the just-completed streaming line to the
+// consumer's L2. SYNCOPTI's forwarding logic lives in the cache controller
+// and bypasses the OzQ, so it does not compete for L2 ports.
+func (c *Controller) sendStreamForward(cycle uint64, q int, la uint64) {
+	count := int(c.doneCum[q] - c.forwardedCum[q])
+	if count <= 0 {
+		return
+	}
+	start := c.forwardedCum[q]
+	c.forwardedCum[q] = c.doneCum[q]
+	c.WrFwdsSent++
+	req := &bus.Req{Kind: bus.WriteForward, Addr: la, Src: c.id, Aux: count, Q: q, Slot: start}
+	req.Done = func(done uint64) {
+		dest := c.fab.consumerOf(q, c.id)
+		dest.schedule(done, func(now uint64) {
+			dest.acceptStreamForward(now, q, start, count)
+		})
+	}
+	c.fab.submit(cycle, req)
+}
+
+// acceptStreamForward installs forwarded queue items at the consumer:
+// the line lands in the L2, the occupancy counter advances, and the
+// stream cache is filled by reverse-mapping the line to (queue, slot)
+// pairs (paper §5).
+func (c *Controller) acceptStreamForward(cycle uint64, q int, start uint64, count int) {
+	for i := 0; i < count; i++ {
+		slotCum := start + uint64(i)
+		addr := c.p.Layout.SlotAddr(q, int(slotCum)%c.p.Layout.Depth)
+		c.install(cycle, c.l2.LineAddr(addr), cache.Shared)
+		if c.sc != nil {
+			c.sc.fill(q, slotCum, c.fab.mem.Read8(addr))
+		}
+	}
+	c.availCum[q] += uint64(count)
+	c.wakeStream(cycle, q, opConsume)
+}
+
+// ---- SYNCOPTI consume path ----
+
+func (c *Controller) resolveConsume(cycle uint64, e *ozEntry) {
+	if e.slot != c.consumedCum[e.q] {
+		e.state = stWaitSync
+		if !e.scHit {
+			e.tok.Loc = stats.PreL2
+		}
+		return
+	}
+	if c.availCum[e.q] <= e.slot {
+		// Queue empty: go dormant and arm the probe timeout that elicits
+		// a partial-line flush from the producer (stream termination).
+		c.ConsumeStalls++
+		e.state = stWaitSync
+		if e.timeoutAt == 0 {
+			e.timeoutAt = cycle + uint64(c.p.ConsumeTimeout)
+		}
+		if !e.scHit {
+			e.tok.Loc = stats.PreL2
+		}
+		return
+	}
+	if e.scHit {
+		// Data already delivered from the stream cache; this visit only
+		// updates the occupancy counters.
+		c.finishConsume(cycle, e, true)
+		return
+	}
+	if c.l2.Lookup(e.addr) == nil {
+		// Forwarded line was evicted before we got to it; demand-fetch.
+		c.needLine(cycle, e, bus.Read)
+		return
+	}
+	e.tok.Complete(cycle, c.fab.mem.Read8(e.addr))
+	c.finishConsume(cycle, e, false)
+}
+
+func (c *Controller) finishConsume(cycle uint64, e *ozEntry, scHit bool) {
+	c.consumedCum[e.q]++
+	e.state = stDone
+	if c.sc != nil && !scHit {
+		// Keep the stream cache coherent: drop any stale copy.
+		c.sc.take(e.q, e.slot)
+	}
+	c.wakeStream(cycle, e.q, opConsume)
+	if c.consumedCum[e.q]%uint64(c.p.Layout.QLU) == 0 {
+		c.sendBulkAck(cycle, e.q, c.p.Layout.QLU)
+	}
+}
+
+// sendBulkAck notifies the producer's occupancy tracker that a whole
+// line's worth of items has been consumed.
+func (c *Controller) sendBulkAck(cycle uint64, q, n int) {
+	c.BulkAcksSent++
+	req := &bus.Req{Kind: bus.BulkAck, Src: c.id, Q: q, Aux: n}
+	req.Done = func(done uint64) {
+		dest := c.fab.producerOf(q, c.id)
+		dest.schedule(done, func(now uint64) { dest.onBulkAck(now, q, n) })
+	}
+	c.fab.submit(cycle, req)
+}
+
+func (c *Controller) onBulkAck(cycle uint64, q, n int) {
+	c.ackedCum[q] += uint64(n)
+	c.wakeStream(cycle, q, opProduce)
+}
+
+// ---- dormant entries, probes and wakes ----
+
+// tickDormant checks the probe timeout of dormant consumes.
+func (c *Controller) tickDormant(cycle uint64, e *ozEntry) {
+	if e.kind != opConsume || e.timeoutAt == 0 || cycle < e.timeoutAt {
+		return
+	}
+	if c.availCum[e.q] > e.slot {
+		// Data arrived; the wake already requeued us (or will).
+		e.timeoutAt = 0
+		return
+	}
+	if !c.probeOut[e.q] {
+		c.probeOut[e.q] = true
+		c.ProbesSent++
+		q := e.q
+		req := &bus.Req{Kind: bus.Probe, Src: c.id, Q: q}
+		req.Done = func(done uint64) {
+			c.schedule(done, func(now uint64) { c.onProbeReply(now, q, req.Aux, req.Slot) })
+		}
+		c.fab.submit(cycle, req)
+	}
+	e.timeoutAt = cycle + uint64(c.p.ConsumeTimeout)
+}
+
+// onProbeReply installs the partial-line flush elicited by a probe.
+// count items starting at cumulative slot start become available.
+func (c *Controller) onProbeReply(cycle uint64, q, count int, start uint64) {
+	c.probeOut[q] = false
+	if count > 0 {
+		c.acceptStreamForward(cycle, q, start, count)
+	}
+}
+
+// flushForProbe runs at the producer when a probe is granted: it returns
+// the items produced but not yet forwarded and marks them forwarded.
+func (c *Controller) flushForProbe(q int) (start uint64, count int) {
+	start = c.forwardedCum[q]
+	count = int(c.doneCum[q] - c.forwardedCum[q])
+	if count > 0 {
+		c.forwardedCum[q] = c.doneCum[q]
+		// The flushed line(s) leave this cache in shared state.
+		for i := 0; i < count; i++ {
+			addr := c.p.Layout.SlotAddr(q, int(start+uint64(i))%c.p.Layout.Depth)
+			c.downgradeLine(c.l2.LineAddr(addr))
+		}
+	}
+	return start, count
+}
+
+// wakeStream requeues dormant produce/consume entries of queue q so they
+// re-check their synchronization condition.
+func (c *Controller) wakeStream(cycle uint64, q int, kind ozKind) {
+	for _, e := range c.ozq {
+		if e.state == stWaitSync && e.kind == kind && e.q == q {
+			e.state = stWaitPort
+			e.readyAt = cycle
+		}
+	}
+}
+
+// StreamDrained reports whether all streaming state is quiescent: every
+// produced item was consumed.
+func (c *Controller) StreamDrained() bool {
+	for q := range c.sentCum {
+		if c.sentCum[q] != c.doneCum[q] {
+			return false
+		}
+	}
+	for q := range c.consumeIssueCum {
+		if c.consumeIssueCum[q] != c.consumedCum[q] {
+			return false
+		}
+	}
+	return true
+}

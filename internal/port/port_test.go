@@ -1,0 +1,37 @@
+package port
+
+import (
+	"testing"
+
+	"hfstream/internal/stats"
+)
+
+func TestTokenLifecycle(t *testing.T) {
+	tok := NewToken(stats.L2)
+	if tok.Done(100) {
+		t.Error("fresh token done")
+	}
+	if tok.Loc != stats.L2 {
+		t.Error("location lost")
+	}
+	tok.Complete(10, 42)
+	if !tok.Done(10) || !tok.Done(11) {
+		t.Error("completed token not done")
+	}
+	if tok.Done(9) {
+		t.Error("token done before completion cycle")
+	}
+	if tok.Value != 42 {
+		t.Error("value lost")
+	}
+}
+
+func TestPendingSentinel(t *testing.T) {
+	tok := NewToken(stats.Bus)
+	if tok.DoneAt != Pending {
+		t.Error("fresh token should be Pending")
+	}
+	if tok.Done(^uint64(0) - 1) {
+		t.Error("pending token reported done near max cycle")
+	}
+}

@@ -1,0 +1,314 @@
+package queue
+
+import (
+	"fmt"
+
+	"hfstream/internal/port"
+	"hfstream/internal/stats"
+)
+
+// SAParams configures the HEAVYWT synchronization array and its dedicated
+// interconnect.
+type SAParams struct {
+	NumQueues int
+	Depth     int // dedicated storage entries per queue
+	// OpsPerCycle is the number of concurrent operations the dedicated
+	// store can service per cycle (paper: 4).
+	OpsPerCycle int
+	// ConsumeToUse is the consume-to-use latency within the consuming core
+	// (paper: 1 cycle).
+	ConsumeToUse int
+	// InterconnectLatency is the end-to-end latency of the dedicated
+	// interconnect in cycles (paper default: 1; 10 in Figure 6).
+	InterconnectLatency int
+	// Pipelined selects a pipelined interconnect. An M-stage pipelined
+	// interconnect with end-to-end latency N accepts a new message every
+	// N/M cycles, and its in-flight stages act as extra queue storage
+	// (paper §3.3 and the Figure 6 discussion); a non-pipelined one
+	// accepts a message only every N cycles.
+	Pipelined bool
+	// Stages is the pipeline depth of the dedicated interconnect (3,
+	// matching the baseline bus).
+	Stages int
+	// LinkWidth is the number of messages one pipeline slot carries in
+	// each direction.
+	LinkWidth int
+}
+
+// DefaultSAParams returns the paper's HEAVYWT configuration.
+func DefaultSAParams(numQueues, depth int) SAParams {
+	return SAParams{
+		NumQueues:           numQueues,
+		Depth:               depth,
+		OpsPerCycle:         4,
+		ConsumeToUse:        1,
+		InterconnectLatency: 1,
+		Pipelined:           true,
+		Stages:              3,
+		LinkWidth:           2,
+	}
+}
+
+type saMessage struct {
+	deliverAt uint64
+	q         int
+	value     uint64
+	credit    bool // true: ACK back to the producer, false: data to the SA
+}
+
+type saQueue struct {
+	// Producer-side view: items sent minus credits received. Conservative
+	// (an item in flight counts as occupying the queue).
+	outstanding int
+	// Consumer-side FIFO resident in the dedicated store.
+	fifo []uint64
+}
+
+// interconnect directions: data (producer to SA) and credits (back).
+const (
+	dirData = iota
+	dirCredit
+	numDirs
+)
+
+// SyncArray models HEAVYWT's distributed dedicated backing store: a FIFO
+// array located at the consumer core, with replicated occupancy tracking at
+// the producer (credit-based) and a dedicated interconnect carrying data
+// one way and credits the other. It implements port.Stream for both cores.
+type SyncArray struct {
+	p        SAParams
+	queues   []saQueue
+	inflight []saMessage
+
+	// linkFree tracks, per direction, the next quarter-cycle at which the
+	// interconnect accepts a message (token bucket at the pipeline
+	// initiation rate; paper §3.3).
+	linkFree [numDirs]uint64
+	// pendingCredits holds credits the link could not accept yet; they
+	// drain in Tick so consumes never block on credit-path contention.
+	pendingCredits []int
+	// pendingData is the small network-interface egress buffer on the
+	// data path: short produce bursts absorb here; once it fills, produce
+	// operations back up in the processor pipeline (paper §3.2).
+	pendingData []saMessage
+
+	// consumeBudget tracks dedicated-store port usage in the current cycle.
+	budgetCycle uint64
+	budgetUsed  int
+
+	// LinkBackpressure counts produce attempts rejected by the
+	// interconnect initiation rate.
+	LinkBackpressure uint64
+
+	// Stats.
+	Produces     uint64
+	Consumes     uint64
+	FullStalls   uint64 // produce attempts rejected (queue full)
+	EmptyStalls  uint64 // consume attempts rejected (no data)
+	MaxOccupancy int
+}
+
+// NewSyncArray builds a synchronization array.
+func NewSyncArray(p SAParams) (*SyncArray, error) {
+	if p.NumQueues <= 0 || p.Depth <= 0 {
+		return nil, fmt.Errorf("queue: bad SA params %+v", p)
+	}
+	if p.OpsPerCycle <= 0 {
+		p.OpsPerCycle = 4
+	}
+	if p.ConsumeToUse <= 0 {
+		p.ConsumeToUse = 1
+	}
+	if p.InterconnectLatency <= 0 {
+		p.InterconnectLatency = 1
+	}
+	return &SyncArray{p: p, queues: make([]saQueue, p.NumQueues)}, nil
+}
+
+// capacity returns the effective producer-visible capacity: the dedicated
+// store depth plus, for a pipelined interconnect, its in-flight stages
+// (which buffer data and effectively extend the queue).
+func (sa *SyncArray) capacity() int {
+	if sa.p.Pipelined {
+		return sa.p.Depth + sa.p.InterconnectLatency
+	}
+	return sa.p.Depth
+}
+
+// Tick delivers interconnect messages due at the given cycle and drains
+// queued credits as link bandwidth allows. It must be called once per
+// cycle before the cores tick.
+func (sa *SyncArray) Tick(cycle uint64) {
+	for len(sa.pendingCredits) > 0 && sa.tryInject(cycle, dirCredit) {
+		q := sa.pendingCredits[0]
+		sa.pendingCredits = sa.pendingCredits[1:]
+		sa.inflight = append(sa.inflight, saMessage{
+			deliverAt: cycle + uint64(sa.p.InterconnectLatency),
+			q:         q,
+			credit:    true,
+		})
+	}
+	for len(sa.pendingData) > 0 && sa.tryInject(cycle, dirData) {
+		m := sa.pendingData[0]
+		sa.pendingData = sa.pendingData[1:]
+		m.deliverAt = cycle + uint64(sa.p.InterconnectLatency)
+		sa.inflight = append(sa.inflight, m)
+	}
+	kept := sa.inflight[:0]
+	for _, m := range sa.inflight {
+		if m.deliverAt > cycle {
+			kept = append(kept, m)
+			continue
+		}
+		q := &sa.queues[m.q]
+		if m.credit {
+			q.outstanding--
+			if q.outstanding < 0 {
+				panic(fmt.Sprintf("queue: SA credit underflow on q%d", m.q))
+			}
+		} else {
+			q.fifo = append(q.fifo, m.value)
+			if len(q.fifo) > sa.MaxOccupancy {
+				sa.MaxOccupancy = len(q.fifo)
+			}
+		}
+	}
+	sa.inflight = kept
+}
+
+// msgCostQ4 is the interconnect initiation interval per message in
+// quarter-cycles: latency/stages for a pipelined network (one slot every
+// initiation interval, LinkWidth messages per slot), the full latency for
+// a non-pipelined one.
+func (sa *SyncArray) msgCostQ4() uint64 {
+	w := sa.p.LinkWidth
+	if w <= 0 {
+		w = 1
+	}
+	if !sa.p.Pipelined {
+		// A non-pipelined link carries one message per full traversal.
+		return uint64(4 * sa.p.InterconnectLatency)
+	}
+	stages := sa.p.Stages
+	if stages <= 0 {
+		stages = 3
+	}
+	interval := (sa.p.InterconnectLatency + stages - 1) / stages
+	if interval < 1 {
+		interval = 1
+	}
+	cost := uint64(4 * interval / w)
+	if cost < 1 {
+		cost = 1
+	}
+	return cost
+}
+
+// tryInject consumes link bandwidth in the given direction if available.
+func (sa *SyncArray) tryInject(cycle uint64, dir int) bool {
+	q4 := cycle * 4
+	if sa.linkFree[dir] > q4+3 {
+		return false
+	}
+	next := sa.linkFree[dir]
+	if next < q4 {
+		next = q4
+	}
+	sa.linkFree[dir] = next + sa.msgCostQ4()
+	return true
+}
+
+func (sa *SyncArray) takeBudget(cycle uint64) bool {
+	if sa.budgetCycle != cycle {
+		sa.budgetCycle = cycle
+		sa.budgetUsed = 0
+	}
+	if sa.budgetUsed >= sa.p.OpsPerCycle {
+		return false
+	}
+	sa.budgetUsed++
+	return true
+}
+
+// Produce implements port.Stream. A produce on a full queue blocks the
+// pipeline: ok=false tells the core to stall issue and retry.
+func (sa *SyncArray) Produce(cycle uint64, q int, v uint64) (*port.Token, bool) {
+	qu := &sa.queues[q]
+	if qu.outstanding >= sa.capacity() {
+		sa.FullStalls++
+		return nil, false
+	}
+	if !sa.takeBudget(cycle) {
+		return nil, false
+	}
+	msg := saMessage{q: q, value: v}
+	switch {
+	case len(sa.pendingData) == 0 && sa.tryInject(cycle, dirData):
+		msg.deliverAt = cycle + uint64(sa.p.InterconnectLatency)
+		sa.inflight = append(sa.inflight, msg)
+	case len(sa.pendingData) < egressEntries:
+		sa.pendingData = append(sa.pendingData, msg)
+	default:
+		sa.LinkBackpressure++
+		return nil, false
+	}
+	qu.outstanding++
+	sa.Produces++
+	tok := port.NewToken(stats.PreL2)
+	tok.Complete(cycle+1, v)
+	return tok, true
+}
+
+// egressEntries sizes the network-interface egress buffer.
+const egressEntries = 4
+
+// Consume implements port.Stream. ok=false when no data has arrived at the
+// dedicated store yet.
+func (sa *SyncArray) Consume(cycle uint64, q int) (*port.Token, bool) {
+	qu := &sa.queues[q]
+	if len(qu.fifo) == 0 {
+		sa.EmptyStalls++
+		return nil, false
+	}
+	if !sa.takeBudget(cycle) {
+		return nil, false
+	}
+	v := qu.fifo[0]
+	qu.fifo = qu.fifo[1:]
+	sa.Consumes++
+	// Return the credit to the producer over the interconnect; if the
+	// credit path is saturated the credit queues without blocking the
+	// consume itself.
+	if sa.tryInject(cycle, dirCredit) {
+		sa.inflight = append(sa.inflight, saMessage{
+			deliverAt: cycle + uint64(sa.p.InterconnectLatency),
+			q:         q,
+			credit:    true,
+		})
+	} else {
+		sa.pendingCredits = append(sa.pendingCredits, q)
+	}
+	tok := port.NewToken(stats.PreL2)
+	tok.Complete(cycle+uint64(sa.p.ConsumeToUse), v)
+	return tok, true
+}
+
+// Occupancy returns the number of items resident in queue q's dedicated
+// store (excludes in-flight items).
+func (sa *SyncArray) Occupancy(q int) int { return len(sa.queues[q].fifo) }
+
+// Outstanding returns the producer-side occupancy view for queue q.
+func (sa *SyncArray) Outstanding(q int) int { return sa.queues[q].outstanding }
+
+// Drained reports whether all queues are empty with nothing in flight.
+func (sa *SyncArray) Drained() bool {
+	if len(sa.inflight) > 0 || len(sa.pendingCredits) > 0 || len(sa.pendingData) > 0 {
+		return false
+	}
+	for i := range sa.queues {
+		if len(sa.queues[i].fifo) > 0 || sa.queues[i].outstanding > 0 {
+			return false
+		}
+	}
+	return true
+}

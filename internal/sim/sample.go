@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sample is one point of the per-interval time series the simulator can
+// collect (Config.SampleInterval > 0): instruction throughput per core
+// and bus activity, each as a delta over the interval.
+type Sample struct {
+	Cycle     uint64
+	Issued    []uint64 // per-core instructions issued in the interval
+	BusGrants uint64   // bus transactions granted in the interval
+}
+
+// IPC returns core i's instructions per cycle over the interval.
+func (s Sample) IPC(i int, interval uint64) float64 {
+	if interval == 0 {
+		return 0
+	}
+	return float64(s.Issued[i]) / float64(interval)
+}
+
+// sparkRunes are the eight-level bar glyphs used by Sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line unicode bar chart, scaled to
+// the series maximum.
+func Sparkline(values []float64) string {
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return strings.Repeat(string(sparkRunes[0]), len(values))
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		idx := int(v / max * float64(len(sparkRunes)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// TraceReport renders the sampled time series: one IPC sparkline per core
+// plus a bus-activity line. Returns "" when sampling was off.
+func (r *Result) TraceReport(interval uint64) string {
+	if len(r.Samples) == 0 || interval == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "time series (%d samples, every %d cycles):\n", len(r.Samples), interval)
+	cores := len(r.Samples[0].Issued)
+	for c := 0; c < cores; c++ {
+		vals := make([]float64, len(r.Samples))
+		var peak float64
+		for i, s := range r.Samples {
+			vals[i] = s.IPC(c, interval)
+			if vals[i] > peak {
+				peak = vals[i]
+			}
+		}
+		fmt.Fprintf(&sb, "  core %d IPC  %s  (peak %.2f)\n", c, Sparkline(vals), peak)
+	}
+	bus := make([]float64, len(r.Samples))
+	var peak float64
+	for i, s := range r.Samples {
+		bus[i] = float64(s.BusGrants)
+		if bus[i] > peak {
+			peak = bus[i]
+		}
+	}
+	fmt.Fprintf(&sb, "  bus grants  %s  (peak %.0f/interval)\n", Sparkline(bus), peak)
+	return sb.String()
+}
+
+// CSV renders the samples as comma-separated values with a header row,
+// for external plotting.
+func (r *Result) CSV(interval uint64) string {
+	if len(r.Samples) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("cycle")
+	for c := range r.Samples[0].Issued {
+		fmt.Fprintf(&sb, ",core%d_ipc", c)
+	}
+	sb.WriteString(",bus_grants\n")
+	for _, s := range r.Samples {
+		fmt.Fprintf(&sb, "%d", s.Cycle)
+		for c := range s.Issued {
+			fmt.Fprintf(&sb, ",%.3f", s.IPC(c, interval))
+		}
+		fmt.Fprintf(&sb, ",%d\n", s.BusGrants)
+	}
+	return sb.String()
+}

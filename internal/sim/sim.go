@@ -1,0 +1,254 @@
+// Package sim assembles the CMP — cores, L2 controllers, shared bus, L3,
+// memory, and the selected streaming mechanism — and runs programs to
+// completion under a global cycle loop with deadlock detection.
+package sim
+
+import (
+	"fmt"
+
+	"hfstream/internal/cache"
+	"hfstream/internal/core"
+	"hfstream/internal/isa"
+	"hfstream/internal/mem"
+	"hfstream/internal/memsys"
+	"hfstream/internal/port"
+	"hfstream/internal/queue"
+	"hfstream/internal/stats"
+)
+
+// Config selects the machine to simulate.
+type Config struct {
+	Mem  memsys.Params
+	Core core.Params
+
+	// UseSyncArray routes produce/consume through the HEAVYWT dedicated
+	// synchronization array instead of the memory subsystem.
+	UseSyncArray bool
+	SA           queue.SAParams
+
+	// Preload lists memory regions to warm into the L2s and L3 before
+	// measurement begins (the paper evaluates hot loops, not cold
+	// caches). The streaming queue region is always warmed into the L3.
+	Preload []mem.Region
+
+	// MaxCycles aborts the simulation after this many cycles (0 = 500M).
+	MaxCycles uint64
+	// WatchdogIdle aborts if no instruction issues for this many
+	// consecutive cycles (0 = 100k), catching queue/coherence deadlocks.
+	WatchdogIdle uint64
+	// SampleInterval collects a throughput sample every N cycles
+	// (0 = off); see Result.Samples, TraceReport and CSV.
+	SampleInterval uint64
+}
+
+// Thread is one program plus its initial register file contents.
+type Thread struct {
+	Prog *isa.Program
+	Regs map[isa.Reg]uint64
+}
+
+// Result reports a finished simulation.
+type Result struct {
+	// Cycles is the total execution time: the cycle at which every core
+	// had halted and drained.
+	Cycles uint64
+	// Breakdowns holds each core's stall/issue breakdown; buckets sum to
+	// the core's active cycles.
+	Breakdowns []stats.Breakdown
+	// Issued and IssuedComm are per-core dynamic instruction counts
+	// (total, and communication-overhead only).
+	Issued     []uint64
+	IssuedComm []uint64
+
+	// Memory system counters.
+	BusGrants     uint64
+	BusBeats      uint64
+	BusArbWait    uint64
+	WrFwds        []uint64
+	BulkAcks      []uint64
+	Probes        []uint64
+	SCHits        []uint64
+	L2Hits        []uint64
+	L2Misses      []uint64
+	RecircRetries []uint64
+	L3Hits        uint64
+	L3Misses      uint64
+	MemAccesses   uint64
+
+	// HEAVYWT stats (zero unless UseSyncArray).
+	SAFullStalls  uint64
+	SAEmptyStalls uint64
+
+	// Samples is the per-interval time series (empty unless
+	// Config.SampleInterval was set).
+	Samples []Sample
+}
+
+// CommRatio returns core i's dynamic communication-to-application
+// instruction ratio (paper Figure 8).
+func (r *Result) CommRatio(i int) float64 {
+	app := r.Issued[i] - r.IssuedComm[i]
+	if app == 0 {
+		return 0
+	}
+	return float64(r.IssuedComm[i]) / float64(app)
+}
+
+// DeadlockError reports a simulation that stopped making progress.
+type DeadlockError struct {
+	Cycle  uint64
+	Detail string
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: no progress by cycle %d\n%s", e.Cycle, e.Detail)
+}
+
+// Run executes the given threads on the configured machine and returns
+// the result. The memory image carries workload data and receives all
+// stores; callers own pre-population and post-run inspection.
+func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
+	if len(threads) == 0 {
+		return nil, fmt.Errorf("sim: no threads")
+	}
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 500_000_000
+	}
+	watchdog := cfg.WatchdogIdle
+	if watchdog == 0 {
+		watchdog = 100_000
+	}
+
+	fab, err := memsys.NewFabric(cfg.Mem, image, len(threads))
+	if err != nil {
+		return nil, err
+	}
+	lineBytes := uint64(cfg.Mem.L2.LineBytes)
+	for _, r := range cfg.Preload {
+		for la := r.Base &^ (lineBytes - 1); la < r.End(); la += lineBytes {
+			fab.Preload(la)
+		}
+	}
+	// Warm the queue region into the L3 so the first pass over each queue
+	// line is not a compulsory memory miss.
+	layout := cfg.Mem.Layout
+	for la := layout.SlotAddr(0, 0); la < layout.RegionEnd(); la += lineBytes {
+		fab.L3().Insert(la, cache.Shared)
+	}
+
+	var sa *queue.SyncArray
+	if cfg.UseSyncArray {
+		sa, err = queue.NewSyncArray(cfg.SA)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cores := make([]*core.Core, len(threads))
+	for i, t := range threads {
+		if err := t.Prog.Validate(cfg.Mem.Layout.NumQueues); err != nil {
+			return nil, err
+		}
+		var strm port.Stream
+		switch {
+		case cfg.UseSyncArray:
+			strm = sa
+		case cfg.Mem.HWQueues:
+			strm = fab.Controller(i)
+		}
+		c := core.New(i, cfg.Core, t.Prog, fab.Controller(i), strm)
+		for r, v := range t.Regs {
+			c.SetReg(r, v)
+		}
+		cores[i] = c
+	}
+
+	var cycle uint64
+	lastIssued := uint64(0)
+	lastProgress := uint64(0)
+	var samples []Sample
+	prevIssued := make([]uint64, len(cores))
+	var prevGrants uint64
+	for {
+		cycle++
+		if cycle > maxCycles {
+			return nil, &DeadlockError{Cycle: cycle, Detail: describe(cores, fab, "cycle budget exhausted")}
+		}
+		if sa != nil {
+			sa.Tick(cycle)
+		}
+		fab.Tick(cycle)
+		allDone := true
+		var issuedNow uint64
+		for _, c := range cores {
+			c.Tick(cycle)
+			issuedNow += c.Issued
+			if !c.Done(cycle) {
+				allDone = false
+			}
+		}
+		if cfg.SampleInterval > 0 && cycle%cfg.SampleInterval == 0 {
+			s := Sample{Cycle: cycle, Issued: make([]uint64, len(cores))}
+			for i, c := range cores {
+				s.Issued[i] = c.Issued - prevIssued[i]
+				prevIssued[i] = c.Issued
+			}
+			g := fab.Bus().TotalGrants()
+			s.BusGrants = g - prevGrants
+			prevGrants = g
+			samples = append(samples, s)
+		}
+		if allDone && fab.Quiesced(cycle) && (sa == nil || sa.Drained()) {
+			break
+		}
+		if issuedNow != lastIssued {
+			lastIssued = issuedNow
+			lastProgress = cycle
+		} else if cycle-lastProgress > watchdog {
+			if allDone {
+				// Cores finished but the fabric never quiesced: in-flight
+				// junk (e.g. an unconsumed forward) — treat as done.
+				break
+			}
+			return nil, &DeadlockError{Cycle: cycle, Detail: describe(cores, fab, "watchdog")}
+		}
+	}
+
+	res := &Result{Cycles: cycle, Samples: samples}
+	for i, c := range cores {
+		res.Breakdowns = append(res.Breakdowns, c.Breakdown)
+		res.Issued = append(res.Issued, c.Issued)
+		res.IssuedComm = append(res.IssuedComm, c.IssuedComm)
+		ctrl := fab.Controller(i)
+		res.WrFwds = append(res.WrFwds, ctrl.WrFwdsSent)
+		res.BulkAcks = append(res.BulkAcks, ctrl.BulkAcksSent)
+		res.Probes = append(res.Probes, ctrl.ProbesSent)
+		res.SCHits = append(res.SCHits, ctrl.StreamCacheHits())
+		res.L2Hits = append(res.L2Hits, ctrl.L2().Hits)
+		res.L2Misses = append(res.L2Misses, ctrl.L2().Misses)
+		res.RecircRetries = append(res.RecircRetries, ctrl.RecircRetries)
+	}
+	res.BusGrants = fab.Bus().TotalGrants()
+	res.BusBeats = fab.Bus().BeatsCarried
+	res.BusArbWait = fab.Bus().ArbWait
+	res.L3Hits = fab.L3Hits
+	res.L3Misses = fab.L3Misses
+	res.MemAccesses = fab.MemAccesses
+	if sa != nil {
+		res.SAFullStalls = sa.FullStalls
+		res.SAEmptyStalls = sa.EmptyStalls
+	}
+	return res, nil
+}
+
+func describe(cores []*core.Core, fab *memsys.Fabric, why string) string {
+	s := why + "\n"
+	for _, c := range cores {
+		s += fmt.Sprintf("  core %d: halted=%v pc=%d stall=%v issued=%d\n",
+			c.ID(), c.Halted(), c.LastPC, c.LastStall, c.Issued)
+		s += fab.Controller(c.ID()).Debug()
+	}
+	return s
+}

@@ -1,0 +1,148 @@
+package sim_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hfstream/internal/asm"
+	"hfstream/internal/design"
+	"hfstream/internal/isa"
+	"hfstream/internal/mem"
+	"hfstream/internal/sim"
+)
+
+// TestWatchdogDetectsQueueDeadlock: a consumer waiting on a queue that is
+// never filled must be reported as a deadlock, not hang the simulator.
+func TestWatchdogDetectsQueueDeadlock(t *testing.T) {
+	b := asm.NewBuilder("stuck")
+	b.Consume(1, 0)
+	b.Halt()
+	other := asm.NewBuilder("idle")
+	other.Halt()
+
+	cfg := design.HeavyWTConfig().SimConfig()
+	cfg.WatchdogIdle = 2000
+	_, err := sim.Run(cfg, mem.New(), []sim.Thread{
+		{Prog: other.MustProgram()}, {Prog: b.MustProgram()},
+	})
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+	var dl *sim.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("error type %T, want DeadlockError", err)
+	}
+	if !strings.Contains(dl.Error(), "core 1") {
+		t.Errorf("report missing core state: %v", dl)
+	}
+}
+
+// TestWatchdogDetectsFullQueueStall: a producer with no consumer blocks
+// once the queue and interconnect fill.
+func TestWatchdogDetectsFullQueueStall(t *testing.T) {
+	b := asm.NewBuilder("flood")
+	b.MovI(1, 1)
+	b.Label("loop")
+	b.Produce(0, 1)
+	b.B("loop")
+	other := asm.NewBuilder("idle")
+	other.Halt()
+
+	cfg := design.HeavyWTConfig().SimConfig()
+	cfg.WatchdogIdle = 2000
+	_, err := sim.Run(cfg, mem.New(), []sim.Thread{
+		{Prog: b.MustProgram()}, {Prog: other.MustProgram()},
+	})
+	if err == nil {
+		t.Fatal("full-queue livelock not detected")
+	}
+}
+
+// TestMaxCyclesBudget: the cycle budget bounds even spinning programs
+// that keep issuing instructions.
+func TestMaxCyclesBudget(t *testing.T) {
+	b := asm.NewBuilder("spin")
+	b.Label("loop")
+	b.AddI(1, 1, 1)
+	b.B("loop")
+
+	cfg := design.ExistingConfig().SimConfig()
+	cfg.MaxCycles = 5000
+	_, err := sim.Run(cfg, mem.New(), []sim.Thread{{Prog: b.MustProgram()}})
+	if err == nil {
+		t.Fatal("cycle budget not enforced")
+	}
+}
+
+// TestValidatesQueueNumbers: bad queue indices are rejected before the
+// simulation starts.
+func TestValidatesQueueNumbers(t *testing.T) {
+	b := asm.NewBuilder("bad")
+	b.Produce(9999, 1)
+	b.Halt()
+	cfg := design.HeavyWTConfig().SimConfig()
+	_, err := sim.Run(cfg, mem.New(), []sim.Thread{{Prog: b.MustProgram()}, {Prog: b.MustProgram()}})
+	if err == nil {
+		t.Fatal("invalid queue number accepted")
+	}
+}
+
+// TestNoThreads rejects an empty thread list.
+func TestNoThreads(t *testing.T) {
+	if _, err := sim.Run(design.ExistingConfig().SimConfig(), mem.New(), nil); err == nil {
+		t.Fatal("empty thread list accepted")
+	}
+}
+
+// TestBreakdownsSumToCoreCycles: the attribution invariant holds on a
+// real run.
+func TestBreakdownsSumToCoreCycles(t *testing.T) {
+	prod := asm.NewBuilder("p")
+	prod.MovI(1, 50)
+	prod.Label("loop")
+	prod.Produce(0, 1)
+	prod.AddI(1, 1, -1)
+	prod.Bnez(1, "loop")
+	prod.Halt()
+	cons := asm.NewBuilder("c")
+	cons.MovI(1, 50)
+	cons.Label("loop")
+	cons.Consume(2, 0)
+	cons.AddI(1, 1, -1)
+	cons.Bnez(1, "loop")
+	cons.Halt()
+
+	res, err := sim.Run(design.HeavyWTConfig().SimConfig(), mem.New(), []sim.Thread{
+		{Prog: prod.MustProgram()}, {Prog: cons.MustProgram()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bd := range res.Breakdowns {
+		if bd.Total() == 0 {
+			t.Errorf("core %d: empty breakdown", i)
+		}
+		if bd.Total() > res.Cycles {
+			t.Errorf("core %d: breakdown %d exceeds total %d", i, bd.Total(), res.Cycles)
+		}
+	}
+}
+
+// TestInitialRegisters: thread register initialization is applied.
+func TestInitialRegisters(t *testing.T) {
+	b := asm.NewBuilder("r")
+	b.MovI(2, 0x9000)
+	b.St(2, 0, 1) // store r1, set via Thread.Regs
+	b.Halt()
+	img := mem.New()
+	_, err := sim.Run(design.ExistingConfig().SimConfig(), img, []sim.Thread{
+		{Prog: b.MustProgram(), Regs: map[isa.Reg]uint64{1: 777}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Read8(0x9000) != 777 {
+		t.Errorf("initial register lost: %d", img.Read8(0x9000))
+	}
+}

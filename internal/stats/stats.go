@@ -1,0 +1,168 @@
+// Package stats provides counters, execution-time breakdowns and small
+// numeric helpers shared by the simulator and the experiment harness.
+//
+// The breakdown buckets mirror the stacked bars in the paper's Figures 7,
+// 10, 11 and 12: every core cycle is attributed to exactly one bucket, so
+// the buckets always sum to the core's total cycle count.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Bucket identifies the machine region responsible for a core cycle.
+type Bucket int
+
+// Breakdown buckets, in the paper's stacking order (bottom to top).
+const (
+	// PreL2 covers everything before the L2 cache: useful issue, scoreboard
+	// and FU stalls, L1 activity, and back-pressure from a full OzQ.
+	PreL2 Bucket = iota
+	// L2 covers cycles spent waiting on the local L2 array (ports,
+	// occupancy, recirculation).
+	L2
+	// Bus covers shared-bus arbitration, snoop and data-transfer waits.
+	Bus
+	// L3 covers shared L3 cache access waits.
+	L3
+	// Mem covers main-memory access waits.
+	Mem
+	// PostL2 covers the post-L2 commit path: L1 fills and writeback of
+	// completed instructions.
+	PostL2
+
+	// NumBuckets is the number of breakdown buckets.
+	NumBuckets
+)
+
+// String returns the paper's label for the bucket.
+func (b Bucket) String() string {
+	switch b {
+	case PreL2:
+		return "PreL2"
+	case L2:
+		return "L2"
+	case Bus:
+		return "BUS"
+	case L3:
+		return "L3"
+	case Mem:
+		return "MEM"
+	case PostL2:
+		return "PostL2"
+	default:
+		return fmt.Sprintf("Bucket(%d)", int(b))
+	}
+}
+
+// Breakdown accumulates cycles per bucket for one core.
+type Breakdown struct {
+	Cycles [NumBuckets]uint64
+}
+
+// Add attributes n cycles to bucket b.
+func (bd *Breakdown) Add(b Bucket, n uint64) { bd.Cycles[b] += n }
+
+// Total returns the sum over all buckets.
+func (bd *Breakdown) Total() uint64 {
+	var t uint64
+	for _, c := range bd.Cycles {
+		t += c
+	}
+	return t
+}
+
+// Share returns bucket b's fraction of the total (0 if the total is 0).
+func (bd *Breakdown) Share(b Bucket) float64 {
+	t := bd.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(bd.Cycles[b]) / float64(t)
+}
+
+// Scaled returns the breakdown normalized so the total equals norm.
+// It is used to plot bars normalized to a baseline design's runtime.
+func (bd *Breakdown) Scaled(norm float64) [NumBuckets]float64 {
+	var out [NumBuckets]float64
+	t := bd.Total()
+	if t == 0 {
+		return out
+	}
+	for i, c := range bd.Cycles {
+		out[i] = float64(c) / float64(t) * norm
+	}
+	return out
+}
+
+// String renders the breakdown as "PreL2=… L2=… BUS=… L3=… MEM=… PostL2=…".
+func (bd *Breakdown) String() string {
+	parts := make([]string, 0, NumBuckets)
+	for b := Bucket(0); b < NumBuckets; b++ {
+		parts = append(parts, fmt.Sprintf("%s=%d", b, bd.Cycles[b]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Counters is a named set of event counters.
+type Counters struct {
+	m map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
+
+// Inc adds n to the named counter.
+func (c *Counters) Inc(name string, n uint64) { c.m[name] += n }
+
+// Get returns the named counter's value.
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Names returns all counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds all counters from other into c.
+func (c *Counters) Merge(other *Counters) {
+	for k, v := range other.m {
+		c.m[k] += v
+	}
+}
+
+// Geomean returns the geometric mean of xs. It returns 0 for an empty
+// slice and panics on non-positive inputs, which always indicate a bug in
+// the caller's normalization.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats.Geomean: non-positive input %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,183 @@
+package workloads
+
+import (
+	"hfstream/internal/asm"
+	"hfstream/internal/isa"
+	"hfstream/internal/mem"
+)
+
+// bzip2 parameters: groups of symbols decoded by a two-deep loop nest.
+// Both loop levels communicate (inner: decoded symbols on q0; outer: the
+// per-group header checksum on q1, produced only after the producer
+// finishes the group's inner iterations). The two threads run at nearly
+// equal per-group rates with bursty phase alternation — the consumer
+// stops draining symbols during its per-group bookkeeping — so the
+// benchmark has poor decoupling at the outer-loop level and is the one
+// most sensitive to inter-core transit latency (paper Figure 6).
+const (
+	bzipGroups = 20
+	bzipK      = 128 // symbols per group (exceeds the 32-entry queue)
+)
+
+// buildBzip2 is 256.bzip2's getAndMoveToFrontDecode loop, hand-partitioned
+// (the IR models single-level loops only; the StreamIt benchmarks in the
+// paper were likewise hand-parallelized).
+func buildBzip2() *Benchmark {
+	a := newAlloc()
+	syms := a.Alloc("bzip2.syms", bzipGroups*bzipK*8)
+	hdrs := a.Alloc("bzip2.hdrs", bzipGroups*8)
+	out := a.Alloc("bzip2.out", 128)
+
+	prod := bzip2Producer(syms, hdrs)
+	cons := bzip2Consumer(out)
+	single := bzip2Single(syms, hdrs, out)
+
+	return &Benchmark{
+		Name: "bzip2", Suite: "SPEC CINT2000", Function: "getAndMoveToFrontDecode", ExecPct: 17,
+		Iterations:   bzipGroups * bzipK,
+		Out:          out,
+		InputRegions: a.Regions(),
+		hand: &handPartition{
+			threads: [2]*isa.Program{prod, cons},
+			single:  single,
+			queues:  2,
+		},
+		setup: func(img *mem.Memory) {
+			r := newRng(9)
+			for i := 0; i < bzipGroups*bzipK; i++ {
+				img.Write8(syms.Base+uint64(i*8), uint64(r.intn(256)))
+			}
+			for g := 0; g < bzipGroups; g++ {
+				img.Write8(hdrs.Base+uint64(g*8), uint64(r.intn(1<<16)))
+			}
+		},
+	}
+}
+
+// selectorChain emits the per-group selector/table recomputation: a long
+// serial multiply chain (real getAndMoveToFrontDecode recomputes
+// unzftab/selector state between groups). rState accumulates, rHdr is the
+// group header, rT is scratch.
+func selectorChain(b *asm.Builder, rState, rHdr, rT isa.Reg) {
+	shifts := []int64{3, 5, 7, 4, 6, 3, 5, 7, 4, 6, 3, 5, 7, 4, 6, 3, 5, 7, 4, 6, 3, 5, 7, 4}
+	b.Xor(rState, rState, rHdr)
+	for _, s := range shifts {
+		b.Mul(rT, rState, rHdr)
+		b.ShrI(rT, rT, s)
+		b.Xor(rState, rState, rT)
+	}
+}
+
+// bzip2Producer walks the symbol stream: the front-end stage. Its inner
+// loop is unrolled and fast (it slams each group into the queue faster
+// than the consumer drains it, hitting the queue-full boundary), while
+// its per-group selector recomputation is a long serial chain during
+// which nothing is produced and the consumer drains the queue dry. The
+// resulting full/empty oscillation each group is what makes bzip2
+// sensitive to interconnect transit latency (paper Figure 6).
+func bzip2Producer(syms, hdrs mem.Region) *isa.Program {
+	b := asm.NewBuilder("bzip2.t0")
+	b.MovI(1, int64(syms.Base)) // r1 = symbol pointer
+	b.MovI(2, int64(hdrs.Base)) // r2 = header pointer
+	b.MovI(3, bzipK)            // r3 = inner trip count
+	b.MovI(4, bzipGroups)       // r4 = outer trip count
+	b.MovI(5, 0)                // r5 = group index
+	b.MovI(12, 1)               // r12 = selector state
+	b.Label("outer")
+	b.MovI(6, 0) // r6 = inner index
+	b.Label("inner")
+	b.Ld(7, 1, 0) // 4-way unrolled symbol streaming
+	b.Ld(16, 1, 8)
+	b.Ld(17, 1, 16)
+	b.Ld(18, 1, 24)
+	b.Produce(0, 7)
+	b.Produce(0, 16)
+	b.Produce(0, 17)
+	b.Produce(0, 18)
+	b.AddI(1, 1, 32)
+	b.AddI(6, 6, 4)
+	b.CmpLT(9, 6, 3)
+	b.Bnez(9, "inner")
+	b.Ld(8, 2, 0)   // r8 = *hdr
+	b.AddI(2, 2, 8) // hdr++
+	selectorChain(b, 12, 8, 13)
+	b.Produce(1, 12) // q1 <- group selector state
+	b.AddI(5, 5, 1)  // gi++
+	b.CmpLT(9, 5, 4) // gi < G
+	b.Bnez(9, "outer")
+	b.Halt()
+	return b.MustProgram()
+}
+
+func bzip2Consumer(out mem.Region) *isa.Program {
+	b := asm.NewBuilder("bzip2.t1")
+	b.MovI(1, 0) // r1 = MTF accumulator
+	b.MovI(2, 0) // r2 = selector sum
+	b.MovI(3, bzipK)
+	b.MovI(4, bzipGroups)
+	b.MovI(5, 0)
+	b.MovI(10, int64(out.Base))
+	b.Label("outer")
+	b.MovI(6, 0)
+	b.Label("inner")
+	b.Consume(7, 0)  // symbols, 4-way unrolled
+	b.Consume(16, 0) //
+	b.Consume(17, 0) //
+	b.Consume(18, 0) //
+	b.Xor(11, 1, 7)  // MTF-ish mix
+	b.Add(12, 11, 16)
+	b.Add(13, 12, 17)
+	b.Add(1, 13, 18)
+	b.AddI(6, 6, 4)
+	b.CmpLT(9, 6, 3)
+	b.Bnez(9, "inner")
+	b.Consume(8, 1) // group selector state
+	b.Add(2, 2, 8)
+	b.St(10, 0, 1)
+	b.St(10, 8, 2)
+	b.AddI(5, 5, 1)
+	b.CmpLT(9, 5, 4)
+	b.Bnez(9, "outer")
+	b.Halt()
+	return b.MustProgram()
+}
+
+// bzip2Single is the unpartitioned loop nest (the Figure 9 baseline).
+func bzip2Single(syms, hdrs, out mem.Region) *isa.Program {
+	b := asm.NewBuilder("bzip2.single")
+	b.MovI(1, int64(syms.Base))
+	b.MovI(2, int64(hdrs.Base))
+	b.MovI(3, bzipK)
+	b.MovI(4, bzipGroups)
+	b.MovI(5, 0)
+	b.MovI(10, int64(out.Base))
+	b.MovI(13, 0) // r13 = MTF accumulator
+	b.MovI(14, 0) // r14 = selector sum
+	b.MovI(12, 1) // r12 = selector state
+	b.Label("outer")
+	b.MovI(6, 0)
+	b.Label("inner")
+	b.Ld(7, 1, 0)
+	b.Ld(16, 1, 8)
+	b.Ld(17, 1, 16)
+	b.Ld(18, 1, 24)
+	b.AddI(1, 1, 32)
+	b.Xor(11, 13, 7)
+	b.Add(21, 11, 16)
+	b.Add(22, 21, 17)
+	b.Add(13, 22, 18)
+	b.AddI(6, 6, 4)
+	b.CmpLT(9, 6, 3)
+	b.Bnez(9, "inner")
+	b.Ld(8, 2, 0)
+	b.AddI(2, 2, 8)
+	selectorChain(b, 12, 8, 15)
+	b.Add(14, 14, 12)
+	b.St(10, 0, 13)
+	b.St(10, 8, 14)
+	b.AddI(5, 5, 1)
+	b.CmpLT(9, 5, 4)
+	b.Bnez(9, "outer")
+	b.Halt()
+	return b.MustProgram()
+}

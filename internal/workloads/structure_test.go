@@ -1,0 +1,151 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"hfstream/internal/dswp"
+	"hfstream/internal/isa"
+	"hfstream/internal/workloads"
+)
+
+// partitionOf returns the DSWP partition of an IR benchmark.
+func partitionOf(t *testing.T, name string) *dswp.Result {
+	t.Helper()
+	b, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Loop == nil {
+		t.Fatalf("%s has no IR", name)
+	}
+	res, err := dswp.Partition(b.Loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestWcPartitionStructure pins down the paper's wc characterization:
+// three consumes per consumer iteration, replicated counted control.
+func TestWcPartitionStructure(t *testing.T) {
+	res := partitionOf(t, "wc")
+	if res.QueueCount != 3 {
+		t.Errorf("wc queues = %d, want 3 (the paper's three consumes)", res.QueueCount)
+	}
+	if res.CondStreamed {
+		t.Error("wc's counted control should be replicated")
+	}
+	consumes := 0
+	for _, in := range res.Threads[1].Instrs {
+		if in.Op == isa.Consume {
+			consumes++
+		}
+	}
+	if consumes != 3 {
+		t.Errorf("wc consumer has %d consumes per iteration, want 3", consumes)
+	}
+}
+
+// TestMcfPartitionStructure: the pointer chase forces a streamed exit
+// condition owned by the first stage (paper Figure 2's while(ptr) form).
+func TestMcfPartitionStructure(t *testing.T) {
+	res := partitionOf(t, "mcf")
+	if !res.CondStreamed {
+		t.Error("mcf's load-dependent exit must be streamed")
+	}
+	if len(res.Replicated) != 0 {
+		t.Error("nothing is replicable in mcf's control slice")
+	}
+	// The producer runs the traversal: it must contain both loads.
+	loads := 0
+	for _, in := range res.Threads[0].Instrs {
+		if in.Op == isa.Ld {
+			loads++
+		}
+	}
+	if loads == 0 {
+		t.Error("mcf stage 0 has no loads; the chase moved out of the front end")
+	}
+}
+
+// TestFirPartitionStructure: the delay line needs both a direct and a
+// loop-carried crossing of the sample value.
+func TestFirPartitionStructure(t *testing.T) {
+	res := partitionOf(t, "fir")
+	direct, carried := 0, 0
+	cons := res.Threads[1]
+	atEnd := false
+	for _, in := range cons.Instrs {
+		if in.Op == isa.Consume {
+			if atEnd {
+				carried++
+			} else {
+				direct++
+			}
+		}
+		if in.Op == isa.Mov || in.Op.IsBranch() {
+			atEnd = true
+		}
+	}
+	if direct == 0 {
+		t.Error("fir consumer has no top-of-body consumes")
+	}
+	if res.QueueCount < 2 {
+		t.Errorf("fir should cross at least a direct and a carried value, got %d queues", res.QueueCount)
+	}
+}
+
+// TestFpKernelsUseFpUnits: the FP benchmarks must actually exercise FP
+// functional units in their consumer stage.
+func TestFpKernelsUseFpUnits(t *testing.T) {
+	for _, name := range []string{"art", "equake", "fir", "fft2"} {
+		res := partitionOf(t, name)
+		fp := 0
+		for _, p := range res.Threads {
+			for _, in := range p.Instrs {
+				if in.Op.FU() == isa.FUFP {
+					fp++
+				}
+			}
+		}
+		if fp < 2 {
+			t.Errorf("%s uses only %d FP instructions", name, fp)
+		}
+	}
+}
+
+// TestIntegerKernelsAvoidFp: the integer benchmarks stay integer.
+func TestIntegerKernelsAvoidFp(t *testing.T) {
+	for _, name := range []string{"wc", "adpcmdec", "epicdec", "mcf"} {
+		res := partitionOf(t, name)
+		for _, p := range res.Threads {
+			for _, in := range p.Instrs {
+				if in.Op.FU() == isa.FUFP {
+					t.Errorf("%s contains FP instruction %v", name, in)
+				}
+			}
+		}
+	}
+}
+
+// TestRegionSizing pins the memory-behaviour knobs: equake's vector
+// misses the L2, mcf's pool exceeds the L3, wc stays cache-resident.
+func TestRegionSizing(t *testing.T) {
+	sizes := map[string]uint64{}
+	for _, b := range workloads.All() {
+		var total uint64
+		for _, r := range b.InputRegions {
+			total += r.Size
+		}
+		sizes[b.Name] = total
+	}
+	if sizes["mcf"] < 3<<20 {
+		t.Errorf("mcf footprint %d, should exceed the 1.5MB L3", sizes["mcf"])
+	}
+	if sizes["equake"] < 512<<10 {
+		t.Errorf("equake footprint %d, should exceed the 256KB L2", sizes["equake"])
+	}
+	if sizes["wc"] > 128<<10 {
+		t.Errorf("wc footprint %d, should be cache-resident", sizes["wc"])
+	}
+}
