@@ -1,0 +1,28 @@
+# Developer targets.
+#
+#   make tier1   - the gate every PR must keep green (build + vet + tests)
+#   make race    - race-detector pass over the concurrent experiment
+#                  runner and the simulator entry points
+#   make bench   - one pass over the paper-reproduction benchmarks
+
+GO ?= go
+
+.PHONY: tier1 vet build test race bench
+
+tier1: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/exp/... ./internal/sim/...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -72,6 +72,19 @@ func BenchmarkFig7DesignPoints(b *testing.B) {
 	b.ReportMetric(existing, "existing-vs-heavywt")
 }
 
+// BenchmarkFig7Serial is BenchmarkFig7DesignPoints with the worker pool
+// pinned to one goroutine (the old serial path); comparing the two
+// measures the experiment runner's parallel speedup on this machine.
+func BenchmarkFig7Serial(b *testing.B) {
+	exp.SetParallelism(1)
+	defer exp.SetParallelism(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFig8CommFrequency(b *testing.B) {
 	var prod, cons float64
 	for i := 0; i < b.N; i++ {

@@ -1,10 +1,12 @@
 // Command hfexp regenerates the paper's evaluation: Tables 1-2 and
-// Figures 3 and 6-12. With no flags it runs everything.
+// Figures 3 and 6-12. With no flags it runs everything. Simulations are
+// fanned across all cores by default; -j 1 reproduces the old serial
+// behaviour (the figures are byte-identical either way).
 //
 // Usage:
 //
-//	hfexp [-table1] [-table2] [-fig3] [-fig6] [-fig7] [-fig8] [-fig9]
-//	      [-fig10] [-fig11] [-fig12]
+//	hfexp [-j N] [-progress] [-table1] [-table2] [-fig3] [-fig6] [-fig7]
+//	      [-fig8] [-fig9] [-fig10] [-fig11] [-fig12]
 package main
 
 import (
@@ -17,21 +19,39 @@ import (
 
 func main() {
 	var (
-		table1 = flag.Bool("table1", false, "benchmark loop information")
-		table2 = flag.Bool("table2", false, "baseline simulator configuration")
-		fig3   = flag.Bool("fig3", false, "transit vs COMM-OP delay illustration")
-		fig6   = flag.Bool("fig6", false, "transit-delay tolerance (HEAVYWT)")
-		fig7   = flag.Bool("fig7", false, "design-point execution time breakdowns")
-		fig8   = flag.Bool("fig8", false, "communication frequency")
-		fig9   = flag.Bool("fig9", false, "HEAVYWT speedup over single-threaded")
-		fig10  = flag.Bool("fig10", false, "4-cycle bus sensitivity")
-		fig11  = flag.Bool("fig11", false, "128-byte bus bandwidth")
-		fig12  = flag.Bool("fig12", false, "stream cache and queue size optimizations")
-		abl    = flag.Bool("ablations", false, "design-space ablations beyond the paper's figures")
-		costs  = flag.Bool("costs", false, "hardware/OS cost vs performance summary")
-		charts = flag.Bool("charts", false, "render breakdown figures as ASCII stacked bars")
+		table1   = flag.Bool("table1", false, "benchmark loop information")
+		table2   = flag.Bool("table2", false, "baseline simulator configuration")
+		fig3     = flag.Bool("fig3", false, "transit vs COMM-OP delay illustration")
+		fig6     = flag.Bool("fig6", false, "transit-delay tolerance (HEAVYWT)")
+		fig7     = flag.Bool("fig7", false, "design-point execution time breakdowns")
+		fig8     = flag.Bool("fig8", false, "communication frequency")
+		fig9     = flag.Bool("fig9", false, "HEAVYWT speedup over single-threaded")
+		fig10    = flag.Bool("fig10", false, "4-cycle bus sensitivity")
+		fig11    = flag.Bool("fig11", false, "128-byte bus bandwidth")
+		fig12    = flag.Bool("fig12", false, "stream cache and queue size optimizations")
+		abl      = flag.Bool("ablations", false, "design-space ablations beyond the paper's figures")
+		costs    = flag.Bool("costs", false, "hardware/OS cost vs performance summary")
+		charts   = flag.Bool("charts", false, "render breakdown figures as ASCII stacked bars")
+		workers  = flag.Int("j", 0, "simulation worker count (0 = all cores, 1 = serial)")
+		progress = flag.Bool("progress", false, "report each simulation's wall time and cycles to stderr")
 	)
 	flag.Parse()
+
+	exp.SetParallelism(*workers)
+	exp.SetWarnHook(func(msg string) {
+		fmt.Fprintln(os.Stderr, "hfexp: warning:", msg)
+	})
+	if *progress {
+		exp.SetProgress(func(done, total int, r exp.JobResult) {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "[%d/%d] %-28s FAILED after %7.1fms: %v\n",
+					done, total, r.Job.Name(), float64(r.Wall.Microseconds())/1000, r.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-28s %9d cycles  %7.1fms\n",
+				done, total, r.Job.Name(), r.Res.Cycles, float64(r.Wall.Microseconds())/1000)
+		})
+	}
 
 	all := !(*table1 || *table2 || *fig3 || *fig6 || *fig7 || *fig8 ||
 		*fig9 || *fig10 || *fig11 || *fig12 || *abl || *costs)

@@ -79,6 +79,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hfsim:", err)
 		os.Exit(1)
 	}
+	if res.UnquiescedExit {
+		fmt.Fprintf(os.Stderr, "hfsim: warning: cores done but fabric never quiesced\n%s", res.UnquiescedDetail)
+	}
 	if *trace > 0 && *csv {
 		fmt.Print(res.CSV(*trace))
 		return

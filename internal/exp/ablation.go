@@ -58,23 +58,23 @@ func (r *AblationResult) Value(variant string) float64 {
 	return 0
 }
 
-// ablate runs every benchmark over the variants, normalizing each row to
-// the first variant's cycle count.
+// ablate runs every benchmark over the variants on the worker pool,
+// normalizing each row to the first variant's cycle count.
 func ablate(title string, variants []string, configs []design.Config) (*AblationResult, error) {
 	if len(variants) != len(configs) {
 		return nil, fmt.Errorf("exp: %d variants vs %d configs", len(variants), len(configs))
 	}
+	grid, err := runMatrix(configs)
+	if err != nil {
+		return nil, err
+	}
 	res := &AblationResult{Title: title, Variants: variants}
 	sums := make([][]float64, len(configs))
-	for _, b := range workloads.All() {
+	for bi, b := range workloads.All() {
 		row := AblationRow{Benchmark: b.Name}
 		var base float64
-		for ci, cfg := range configs {
-			r, err := RunBenchmark(b, cfg)
-			if err != nil {
-				return nil, err
-			}
-			total := float64(r.Cycles)
+		for ci := range configs {
+			total := float64(grid[bi][ci].Cycles)
 			if ci == 0 {
 				base = total
 			}

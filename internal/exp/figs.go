@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"hfstream/internal/design"
@@ -32,20 +33,21 @@ type BreakdownFigure struct {
 	Geomean []BreakdownBar
 }
 
-// breakdownFigure runs every benchmark on each config and normalizes each
-// bar to the first config's (the baseline's) execution time.
+// breakdownFigure runs every benchmark on each config (fanned across the
+// worker pool) and normalizes each bar to the first config's (the
+// baseline's) execution time.
 func breakdownFigure(title string, configs []design.Config, coreIdx int) (*BreakdownFigure, error) {
 	fig := &BreakdownFigure{Title: title, Core: coreIdx}
+	grid, err := runMatrix(configs)
+	if err != nil {
+		return nil, err
+	}
 	sums := make([][]float64, len(configs))
-	for _, b := range workloads.All() {
+	for bi, b := range workloads.All() {
 		row := BreakdownRow{Benchmark: b.Name}
 		var base float64
 		for ci, cfg := range configs {
-			res, err := RunBenchmark(b, cfg)
-			if err != nil {
-				return nil, err
-			}
-			bd := res.Breakdowns[coreIdx]
+			bd := grid[bi][ci].Breakdowns[coreIdx]
 			total := float64(bd.Total())
 			if ci == 0 {
 				base = total
@@ -122,26 +124,18 @@ func Fig6() (*Fig6Result, error) {
 	cfg10q64.Label = "HEAVYWT_lat10_q64"
 
 	res := &Fig6Result{Geomean: Fig6Row{Benchmark: "GeoMean"}}
+	grid, err := runMatrix([]design.Config{cfg1, cfg10, cfg10q64})
+	if err != nil {
+		return nil, err
+	}
 	var g1, g10, g64 []float64
-	for _, b := range workloads.All() {
-		r1, err := RunBenchmark(b, cfg1)
-		if err != nil {
-			return nil, err
-		}
-		r10, err := RunBenchmark(b, cfg10)
-		if err != nil {
-			return nil, err
-		}
-		r64, err := RunBenchmark(b, cfg10q64)
-		if err != nil {
-			return nil, err
-		}
-		base := float64(r1.Cycles)
+	for bi, b := range workloads.All() {
+		base := float64(grid[bi][0].Cycles)
 		row := Fig6Row{
 			Benchmark: b.Name,
 			Lat1Q32:   1.0,
-			Lat10Q32:  float64(r10.Cycles) / base,
-			Lat10Q64:  float64(r64.Cycles) / base,
+			Lat10Q32:  float64(grid[bi][1].Cycles) / base,
+			Lat10Q64:  float64(grid[bi][2].Cycles) / base,
 		}
 		res.Rows = append(res.Rows, row)
 		g1 = append(g1, row.Lat1Q32)
@@ -205,12 +199,13 @@ type Fig8Result struct {
 // produce/consume instruction builds, as in the paper).
 func Fig8() (*Fig8Result, error) {
 	res := &Fig8Result{Geomean: Fig8Row{Benchmark: "GeoMean"}}
+	grid, err := runMatrix([]design.Config{design.HeavyWTConfig()})
+	if err != nil {
+		return nil, err
+	}
 	var gp, gc []float64
-	for _, b := range workloads.All() {
-		r, err := RunBenchmark(b, design.HeavyWTConfig())
-		if err != nil {
-			return nil, err
-		}
+	for bi, b := range workloads.All() {
+		r := grid[bi][0]
 		row := Fig8Row{Benchmark: b.Name, Producer: r.CommRatio(0), Consumer: r.CommRatio(1)}
 		res.Rows = append(res.Rows, row)
 		gp = append(gp, row.Producer)
@@ -259,24 +254,30 @@ type Fig9Result struct {
 	Geomean float64
 }
 
-// Fig9 runs the speedup experiment.
+// Fig9 runs the speedup experiment: each benchmark's single-threaded
+// baseline and HEAVYWT run are independent jobs on the worker pool.
 func Fig9() (*Fig9Result, error) {
+	benches := workloads.All()
+	heavy := design.HeavyWTConfig()
+	jobs := make([]Job, 0, 2*len(benches))
+	for _, b := range benches {
+		jobs = append(jobs,
+			Job{Bench: b.Name, Single: true},
+			Job{Bench: b.Name, Config: heavy})
+	}
+	results := newRunner().Run(context.Background(), jobs)
+	if err := FirstErr(results); err != nil {
+		return nil, err
+	}
 	res := &Fig9Result{}
 	var sp []float64
-	for _, b := range workloads.All() {
-		single, err := RunSingle(b)
-		if err != nil {
-			return nil, err
-		}
-		heavy, err := RunBenchmark(b, design.HeavyWTConfig())
-		if err != nil {
-			return nil, err
-		}
+	for bi, b := range benches {
+		single, heavyRes := results[2*bi].Res, results[2*bi+1].Res
 		row := Fig9Row{
 			Benchmark:    b.Name,
 			SingleCycles: single.Cycles,
-			HeavyCycles:  heavy.Cycles,
-			Speedup:      float64(single.Cycles) / float64(heavy.Cycles),
+			HeavyCycles:  heavyRes.Cycles,
+			Speedup:      float64(single.Cycles) / float64(heavyRes.Cycles),
 		}
 		res.Rows = append(res.Rows, row)
 		sp = append(sp, row.Speedup)

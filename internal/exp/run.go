@@ -2,14 +2,16 @@
 // points and regenerates every table and figure of the paper's evaluation
 // (Tables 1-2, Figures 3 and 6-12). Each experiment returns structured
 // rows plus a rendered text table so the command-line tools, tests and
-// Go benchmarks share one implementation.
+// Go benchmarks share one implementation. Independent simulations are
+// fanned out across a worker pool (see runner.go) and verified against a
+// memoized functional-interpreter oracle (see oracle.go).
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"hfstream/internal/design"
-	"hfstream/internal/interp"
 	"hfstream/internal/isa"
 	"hfstream/internal/lower"
 	"hfstream/internal/mem"
@@ -20,12 +22,19 @@ import (
 // RunBenchmark executes the pipelined version of b on the given design
 // point and verifies the output region against the functional oracle.
 func RunBenchmark(b *workloads.Benchmark, cfg design.Config) (*sim.Result, error) {
-	return RunBenchmarkSampled(b, cfg, 0)
+	return RunBenchmarkSampledCtx(context.Background(), b, cfg, 0)
 }
 
 // RunBenchmarkSampled is RunBenchmark with per-interval time-series
 // collection (sampleInterval cycles per sample; 0 disables).
 func RunBenchmarkSampled(b *workloads.Benchmark, cfg design.Config, sampleInterval uint64) (*sim.Result, error) {
+	return RunBenchmarkSampledCtx(context.Background(), b, cfg, sampleInterval)
+}
+
+// RunBenchmarkSampledCtx is RunBenchmarkSampled with cancellation: the
+// simulation aborts with a *sim.CanceledError once ctx is done, so a
+// deadlocked or slow job cannot outlive its caller's deadline.
+func RunBenchmarkSampledCtx(ctx context.Context, b *workloads.Benchmark, cfg design.Config, sampleInterval uint64) (*sim.Result, error) {
 	threads, _, err := b.Pipelined()
 	if err != nil {
 		return nil, err
@@ -51,6 +60,7 @@ func RunBenchmarkSampled(b *workloads.Benchmark, cfg design.Config, sampleInterv
 	simCfg := cfg.SimConfig()
 	simCfg.Preload = b.InputRegions
 	simCfg.SampleInterval = sampleInterval
+	simCfg.Cancel = ctx.Done()
 	res, err := sim.Run(simCfg, img, ths)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s/%s: %w", b.Name, cfg.Name(), err)
@@ -64,6 +74,11 @@ func RunBenchmarkSampled(b *workloads.Benchmark, cfg design.Config, sampleInterv
 // RunSingle executes the single-threaded baseline of b on the EXISTING
 // machine (one core) and verifies its output.
 func RunSingle(b *workloads.Benchmark) (*sim.Result, error) {
+	return RunSingleCtx(context.Background(), b)
+}
+
+// RunSingleCtx is RunSingle with cancellation (see RunBenchmarkSampledCtx).
+func RunSingleCtx(ctx context.Context, b *workloads.Benchmark) (*sim.Result, error) {
 	prog, err := b.Single()
 	if err != nil {
 		return nil, err
@@ -72,6 +87,7 @@ func RunSingle(b *workloads.Benchmark) (*sim.Result, error) {
 	b.Setup(img)
 	simCfg := design.ExistingConfig().SimConfig()
 	simCfg.Preload = b.InputRegions
+	simCfg.Cancel = ctx.Done()
 	res, err := sim.Run(simCfg, img, []sim.Thread{{Prog: prog}})
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s/single: %w", b.Name, err)
@@ -82,24 +98,8 @@ func RunSingle(b *workloads.Benchmark) (*sim.Result, error) {
 	return res, nil
 }
 
-// Expected computes the oracle memory image by running the single-threaded
-// program on the functional interpreter.
-func Expected(b *workloads.Benchmark) (*mem.Memory, error) {
-	prog, err := b.Single()
-	if err != nil {
-		return nil, err
-	}
-	img := mem.New()
-	b.Setup(img)
-	m := interp.New(img, prog)
-	if err := m.Run(0); err != nil {
-		return nil, fmt.Errorf("exp: %s oracle: %w", b.Name, err)
-	}
-	return img, nil
-}
-
 // CheckOutput compares the benchmark's output region in img against the
-// functional oracle, word by word.
+// memoized functional oracle, word by word.
 func CheckOutput(b *workloads.Benchmark, img *mem.Memory) error {
 	want, err := Expected(b)
 	if err != nil {

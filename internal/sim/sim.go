@@ -39,7 +39,17 @@ type Config struct {
 	// SampleInterval collects a throughput sample every N cycles
 	// (0 = off); see Result.Samples, TraceReport and CSV.
 	SampleInterval uint64
+
+	// Cancel aborts the run when closed (typically wired to a
+	// context.Done channel by the experiment runner); Run then returns a
+	// *CanceledError. The channel is polled every cancelCheckMask+1
+	// cycles, so cancellation latency is bounded without a per-cycle
+	// select on the hot loop.
+	Cancel <-chan struct{}
 }
+
+// cancelCheckMask throttles Cancel polling to every 1024th cycle.
+const cancelCheckMask = 1023
 
 // Thread is one program plus its initial register file contents.
 type Thread struct {
@@ -82,6 +92,15 @@ type Result struct {
 	// Samples is the per-interval time series (empty unless
 	// Config.SampleInterval was set).
 	Samples []Sample
+
+	// UnquiescedExit reports that every core halted but the memory
+	// fabric never quiesced within the watchdog window (in-flight junk
+	// such as an unconsumed forward). The run's outputs are still
+	// verified by the harness, but callers should surface the condition
+	// rather than swallow it; UnquiescedDetail carries the fabric debug
+	// dump captured at exit.
+	UnquiescedExit   bool
+	UnquiescedDetail string
 }
 
 // CommRatio returns core i's dynamic communication-to-application
@@ -103,6 +122,17 @@ type DeadlockError struct {
 // Error implements error.
 func (e *DeadlockError) Error() string {
 	return fmt.Sprintf("sim: no progress by cycle %d\n%s", e.Cycle, e.Detail)
+}
+
+// CanceledError reports a run aborted through Config.Cancel before
+// completion (per-job timeout or whole-experiment cancellation).
+type CanceledError struct {
+	Cycle uint64
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: canceled at cycle %d", e.Cycle)
 }
 
 // Run executes the given threads on the configured machine and returns
@@ -171,10 +201,19 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 	var samples []Sample
 	prevIssued := make([]uint64, len(cores))
 	var prevGrants uint64
+	var unquiesced bool
+	var unquiescedDetail string
 	for {
 		cycle++
 		if cycle > maxCycles {
 			return nil, &DeadlockError{Cycle: cycle, Detail: describe(cores, fab, "cycle budget exhausted")}
+		}
+		if cfg.Cancel != nil && cycle&cancelCheckMask == 0 {
+			select {
+			case <-cfg.Cancel:
+				return nil, &CanceledError{Cycle: cycle}
+			default:
+			}
 		}
 		if sa != nil {
 			sa.Tick(cycle)
@@ -209,14 +248,24 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 		} else if cycle-lastProgress > watchdog {
 			if allDone {
 				// Cores finished but the fabric never quiesced: in-flight
-				// junk (e.g. an unconsumed forward) — treat as done.
+				// junk (e.g. an unconsumed forward). The outputs are
+				// complete, so finish the run — but record the condition
+				// so callers can surface it instead of silently absorbing
+				// a fabric bug.
+				unquiesced = true
+				unquiescedDetail = describe(cores, fab, "cores done but fabric never quiesced")
 				break
 			}
 			return nil, &DeadlockError{Cycle: cycle, Detail: describe(cores, fab, "watchdog")}
 		}
 	}
 
-	res := &Result{Cycles: cycle, Samples: samples}
+	res := &Result{
+		Cycles:           cycle,
+		Samples:          samples,
+		UnquiescedExit:   unquiesced,
+		UnquiescedDetail: unquiescedDetail,
+	}
 	for i, c := range cores {
 		res.Breakdowns = append(res.Breakdowns, c.Breakdown)
 		res.Issued = append(res.Issued, c.Issued)

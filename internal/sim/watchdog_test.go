@@ -75,6 +75,50 @@ func TestMaxCyclesBudget(t *testing.T) {
 	}
 }
 
+// TestCancelAbortsRun: a closed Cancel channel stops even a spinning
+// program promptly with a CanceledError.
+func TestCancelAbortsRun(t *testing.T) {
+	b := asm.NewBuilder("spin")
+	b.Label("loop")
+	b.AddI(1, 1, 1)
+	b.B("loop")
+
+	cancel := make(chan struct{})
+	close(cancel)
+	cfg := design.ExistingConfig().SimConfig()
+	cfg.Cancel = cancel
+	_, err := sim.Run(cfg, mem.New(), []sim.Thread{{Prog: b.MustProgram()}})
+	var ce *sim.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error = %v (%T), want CanceledError", err, err)
+	}
+	// The poll interval bounds how far a canceled run may get.
+	if ce.Cycle > 2048 {
+		t.Errorf("canceled only at cycle %d, want prompt abort", ce.Cycle)
+	}
+}
+
+// TestCancelUnusedDoesNotFire: an armed but never-closed Cancel channel
+// must not perturb a normal run.
+func TestCancelUnusedDoesNotFire(t *testing.T) {
+	b := asm.NewBuilder("count")
+	b.MovI(1, 2000)
+	b.Label("loop")
+	b.AddI(1, 1, -1)
+	b.Bnez(1, "loop")
+	b.Halt()
+
+	cfg := design.ExistingConfig().SimConfig()
+	cfg.Cancel = make(chan struct{})
+	res, err := sim.Run(cfg, mem.New(), []sim.Thread{{Prog: b.MustProgram()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.UnquiescedExit {
+		t.Errorf("unexpected result: cycles=%d unquiesced=%v", res.Cycles, res.UnquiescedExit)
+	}
+}
+
 // TestValidatesQueueNumbers: bad queue indices are rejected before the
 // simulation starts.
 func TestValidatesQueueNumbers(t *testing.T) {

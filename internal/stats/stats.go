@@ -138,21 +138,32 @@ func (c *Counters) Merge(other *Counters) {
 	}
 }
 
-// Geomean returns the geometric mean of xs. It returns 0 for an empty
-// slice and panics on non-positive inputs, which always indicate a bug in
-// the caller's normalization.
-func Geomean(xs []float64) float64 {
+// GeomeanErr returns the geometric mean of xs. It returns 0 for an empty
+// slice and an error on non-positive inputs, which always indicate a bug
+// in the caller's normalization (e.g. a zero-cycle baseline run).
+func GeomeanErr(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 0
+		return 0, nil
 	}
 	sum := 0.0
-	for _, x := range xs {
-		if x <= 0 {
-			panic(fmt.Sprintf("stats.Geomean: non-positive input %v", x))
+	for i, x := range xs {
+		if x <= 0 || math.IsNaN(x) {
+			return 0, fmt.Errorf("stats: geomean input %d is non-positive (%v)", i, x)
 		}
 		sum += math.Log(x)
 	}
-	return math.Exp(sum / float64(len(xs)))
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// Geomean is GeomeanErr for callers that cannot fail: a degenerate input
+// yields NaN (rendered as such in tables) instead of aborting the whole
+// regeneration.
+func Geomean(xs []float64) float64 {
+	g, err := GeomeanErr(xs)
+	if err != nil {
+		return math.NaN()
+	}
+	return g
 }
 
 // Mean returns the arithmetic mean of xs (0 for an empty slice).

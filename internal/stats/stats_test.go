@@ -113,13 +113,26 @@ func TestGeomean(t *testing.T) {
 	}
 }
 
-func TestGeomeanPanicsOnNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
+func TestGeomeanErr(t *testing.T) {
+	if g, err := GeomeanErr([]float64{2, 8}); err != nil || math.Abs(g-4) > 1e-9 {
+		t.Errorf("GeomeanErr(2,8) = %v, %v", g, err)
+	}
+	if g, err := GeomeanErr(nil); err != nil || g != 0 {
+		t.Errorf("GeomeanErr(nil) = %v, %v", g, err)
+	}
+	for _, bad := range [][]float64{{1, 0}, {-2}, {1, math.NaN()}} {
+		if _, err := GeomeanErr(bad); err == nil {
+			t.Errorf("GeomeanErr(%v): no error", bad)
 		}
-	}()
-	Geomean([]float64{1, 0})
+	}
+}
+
+// TestGeomeanNonPositiveIsNaN: the infallible wrapper degrades to NaN so a
+// single degenerate row cannot crash a whole figure regeneration.
+func TestGeomeanNonPositiveIsNaN(t *testing.T) {
+	if g := Geomean([]float64{1, 0}); !math.IsNaN(g) {
+		t.Errorf("Geomean(1,0) = %v, want NaN", g)
+	}
 }
 
 func TestMean(t *testing.T) {
