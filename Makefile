@@ -1,13 +1,21 @@
 # Developer targets.
 #
-#   make tier1   - the gate every PR must keep green (build + vet + tests)
-#   make race    - race-detector pass over the concurrent experiment
-#                  runner and the simulator entry points
-#   make bench   - one pass over the paper-reproduction benchmarks
+#   make tier1        - the gate every PR must keep green (build + vet + tests)
+#   make race         - race-detector pass over the concurrent experiment
+#                       runner and the simulator entry points
+#   make bench        - one pass over the paper-reproduction benchmarks
+#   make ci           - everything CI runs: tier1, race, formatting, goldens
+#   make golden       - regenerate the metrics snapshots in testdata/golden/
+#   make golden-check - rebuild the snapshots into a temp dir and diff them
+#                       against the checked-in goldens
 
 GO ?= go
 
-.PHONY: tier1 vet build test race bench
+# Benchmarks covered by the golden metrics snapshots: the two fastest, so
+# the check stays cheap enough to run on every push.
+GOLDEN_BENCHES = bzip2,adpcmdec
+
+.PHONY: tier1 vet build test race bench ci fmtcheck golden golden-check
 
 tier1: build vet test
 
@@ -26,3 +34,17 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+ci: tier1 race fmtcheck golden-check
+
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+golden:
+	$(GO) run ./cmd/hfexp -metrics testdata/golden -benches $(GOLDEN_BENCHES)
+
+golden-check:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/hfexp -metrics "$$tmp" -benches $(GOLDEN_BENCHES) && \
+	diff -ru testdata/golden "$$tmp" && echo "goldens match"

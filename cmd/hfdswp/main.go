@@ -8,6 +8,8 @@
 //	hfdswp                      # summary for every benchmark
 //	hfdswp -bench wc -asm       # one benchmark with full listings
 //	hfdswp -bench fft2 -stages 3
+//	hfdswp -bench wc -run       # also simulate the 2-stage pipeline and
+//	                            # show where each stage stalls
 package main
 
 import (
@@ -15,7 +17,9 @@ import (
 	"fmt"
 	"os"
 
+	"hfstream/internal/design"
 	"hfstream/internal/dswp"
+	"hfstream/internal/exp"
 	"hfstream/internal/workloads"
 )
 
@@ -24,6 +28,7 @@ func main() {
 		benchName = flag.String("bench", "", "benchmark to inspect (default: all)")
 		stages    = flag.Int("stages", 2, "pipeline stages")
 		showAsm   = flag.Bool("asm", false, "print the generated thread programs")
+		runSim    = flag.Bool("run", false, "simulate the 2-stage pipeline on SYNCOPTI and print per-stage stall attribution")
 	)
 	flag.Parse()
 
@@ -42,6 +47,9 @@ func main() {
 	for _, b := range list {
 		if b.Loop == nil {
 			fmt.Printf("%-10s hand-partitioned (nested loop); no IR to inspect\n", b.Name)
+			if *runSim {
+				simulate(b)
+			}
 			continue
 		}
 		res, err := dswp.PartitionN(b.Loop, *stages)
@@ -69,5 +77,23 @@ func main() {
 				fmt.Println(p)
 			}
 		}
+		if *runSim {
+			simulate(b)
+		}
+	}
+}
+
+// simulate runs the standard 2-stage pipeline on SYNCOPTI and prints where
+// each stage spends its cycles — the partition-quality view the stage
+// assignment alone cannot give.
+func simulate(b *workloads.Benchmark) {
+	res, err := exp.RunBenchmark(b, design.SyncOptiConfig())
+	if err != nil {
+		fmt.Printf("           run failed: %v\n", err)
+		return
+	}
+	for i := range res.Stalls {
+		fmt.Printf("           stage %d: %d cycles (%d issuing), stalls: %s\n",
+			i, res.CoreCycles[i], res.IssueCycles[i], res.Stalls[i].Summary())
 	}
 }

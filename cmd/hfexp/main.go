@@ -3,16 +3,23 @@
 // fanned across all cores by default; -j 1 reproduces the old serial
 // behaviour (the figures are byte-identical either way).
 //
+// With -metrics it instead writes one machine-readable metrics JSON
+// snapshot per (benchmark, design) pair — deterministic files CI diffs
+// against the checked-in goldens in testdata/golden/.
+//
 // Usage:
 //
 //	hfexp [-j N] [-progress] [-table1] [-table2] [-fig3] [-fig6] [-fig7]
-//	      [-fig8] [-fig9] [-fig10] [-fig11] [-fig12]
+//	      [-fig8] [-fig9] [-fig10] [-fig11] [-fig12] [-stalls]
+//	hfexp -metrics dir/ [-benches bzip2,adpcmdec]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hfstream/internal/exp"
 )
@@ -31,9 +38,12 @@ func main() {
 		fig12    = flag.Bool("fig12", false, "stream cache and queue size optimizations")
 		abl      = flag.Bool("ablations", false, "design-space ablations beyond the paper's figures")
 		costs    = flag.Bool("costs", false, "hardware/OS cost vs performance summary")
+		stalls   = flag.Bool("stalls", false, "per-design stall-cycle attribution table")
 		charts   = flag.Bool("charts", false, "render breakdown figures as ASCII stacked bars")
 		workers  = flag.Int("j", 0, "simulation worker count (0 = all cores, 1 = serial)")
 		progress = flag.Bool("progress", false, "report each simulation's wall time and cycles to stderr")
+		metrics  = flag.String("metrics", "", "write per-(benchmark,design) metrics JSON snapshots into this directory and exit")
+		benches  = flag.String("benches", "", "comma-separated benchmark subset for -metrics (default: all)")
 	)
 	flag.Parse()
 
@@ -53,8 +63,20 @@ func main() {
 		})
 	}
 
+	if *metrics != "" {
+		var names []string
+		if *benches != "" {
+			names = strings.Split(*benches, ",")
+		}
+		if err := exp.WriteMetricsDir(context.Background(), *metrics, names); err != nil {
+			fmt.Fprintln(os.Stderr, "hfexp:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	all := !(*table1 || *table2 || *fig3 || *fig6 || *fig7 || *fig8 ||
-		*fig9 || *fig10 || *fig11 || *fig12 || *abl || *costs)
+		*fig9 || *fig10 || *fig11 || *fig12 || *abl || *costs || *stalls)
 
 	type job struct {
 		on  bool
@@ -75,6 +97,7 @@ func main() {
 		{*fig10 || all, renderFig(exp.Fig10)},
 		{*fig11 || all, renderFig(exp.Fig11)},
 		{*fig12 || all, tableOf(exp.Fig12)},
+		{*stalls || all, tableOf(exp.StallBreakdown)},
 		{*abl, tableOf(exp.AblationQLU)},
 		{*abl, tableOf(exp.AblationBusPipelining)},
 		{*abl, tableOf(exp.AblationRegMapped)},

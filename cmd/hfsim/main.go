@@ -1,15 +1,20 @@
 // Command hfsim runs one benchmark on one design point and prints the
-// detailed result: cycles, per-core breakdowns, communication ratios and
-// memory-system counters.
+// detailed result: cycles, per-core breakdowns, stall attribution,
+// communication ratios and memory-system counters. It can also emit a
+// Chrome trace_event JSON file of the run (load it in about:tracing or
+// https://ui.perfetto.dev) and a machine-readable metrics snapshot.
 //
 // Usage:
 //
 //	hfsim -bench wc -design SYNCOPTI_SC+Q64
 //	hfsim -bench mcf -design HEAVYWT -single
+//	hfsim -bench wc -trace out.json
+//	hfsim -bench wc -metrics -
 //	hfsim -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,16 +23,13 @@ import (
 	"hfstream/internal/design"
 	"hfstream/internal/exp"
 	"hfstream/internal/sim"
+	"hfstream/internal/trace"
 	"hfstream/internal/workloads"
 )
 
 func designs() map[string]design.Config {
 	m := map[string]design.Config{}
-	for _, c := range []design.Config{
-		design.ExistingConfig(), design.MemOptiConfig(), design.SyncOptiConfig(),
-		design.SyncOptiQ64Config(), design.SyncOptiSCConfig(),
-		design.SyncOptiSCQ64Config(), design.HeavyWTConfig(),
-	} {
+	for _, c := range design.StandardConfigs() {
 		m[c.Name()] = c
 	}
 	return m
@@ -39,8 +41,11 @@ func main() {
 		designName = flag.String("design", "SYNCOPTI", "design point (see -list)")
 		single     = flag.Bool("single", false, "run the single-threaded baseline instead")
 		list       = flag.Bool("list", false, "list benchmarks and design points")
-		trace      = flag.Uint64("trace", 0, "sample throughput every N cycles and print sparklines")
-		csv        = flag.Bool("csv", false, "with -trace: emit the samples as CSV instead")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON file of issue/stall/queue/bus events")
+		traceCap   = flag.Int("tracecap", 0, "trace ring capacity in events (0 = default 64k; older events are dropped)")
+		metrics    = flag.String("metrics", "", "write the metrics JSON snapshot to this file (\"-\" for stdout)")
+		sample     = flag.Uint64("sample", 0, "sample throughput every N cycles and print sparklines")
+		csv        = flag.Bool("csv", false, "with -sample: emit the samples as CSV instead")
 	)
 	flag.Parse()
 
@@ -69,11 +74,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	opts := exp.RunOpts{SampleInterval: *sample}
+	if *tracePath != "" {
+		opts.Trace = trace.NewBuffer(*traceCap)
+	}
 	var res *sim.Result
 	if *single {
-		res, err = exp.RunSingle(b)
+		res, err = exp.RunSingleOpts(context.Background(), b, opts)
 	} else {
-		res, err = exp.RunBenchmarkSampled(b, cfg, *trace)
+		res, err = exp.RunBenchmarkOpts(context.Background(), b, cfg, opts)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hfsim:", err)
@@ -82,8 +91,43 @@ func main() {
 	if res.UnquiescedExit {
 		fmt.Fprintf(os.Stderr, "hfsim: warning: cores done but fabric never quiesced\n%s", res.UnquiescedDetail)
 	}
-	if *trace > 0 && *csv {
-		fmt.Print(res.CSV(*trace))
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfsim:", err)
+			os.Exit(1)
+		}
+		werr := trace.WriteChrome(f, res.Trace.Events(), res.Trace.Dropped())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "hfsim:", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hfsim: wrote %d trace events to %s (%d dropped)\n",
+			res.Trace.Len(), *tracePath, res.Trace.Dropped())
+	}
+	if *metrics != "" {
+		m := res.Metrics()
+		m.Benchmark = b.Name
+		m.Design = label(cfg, *single)
+		buf, err := sim.MetricsJSON(m)
+		if err == nil && *metrics == "-" {
+			_, err = os.Stdout.Write(buf)
+		} else if err == nil {
+			err = os.WriteFile(*metrics, buf, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfsim:", err)
+			os.Exit(1)
+		}
+		if *metrics == "-" {
+			return
+		}
+	}
+	if *sample > 0 && *csv {
+		fmt.Print(res.CSV(*sample))
 		return
 	}
 
@@ -101,6 +145,8 @@ func main() {
 		fmt.Printf("  core %d (%s): %s\n", i, role, res.Breakdowns[i].String())
 		fmt.Printf("    instructions: %d (comm %d, ratio %.3f)\n",
 			res.Issued[i], res.IssuedComm[i], res.CommRatio(i))
+		fmt.Printf("    issue cycles: %d of %d; stalls: %s\n",
+			res.IssueCycles[i], res.CoreCycles[i], res.Stalls[i].Summary())
 	}
 	fmt.Printf("  bus: %d grants, %d beats, %d arbitration-wait cycles\n",
 		res.BusGrants, res.BusBeats, res.BusArbWait)
@@ -114,8 +160,8 @@ func main() {
 				res.SAFullStalls, res.SAEmptyStalls)
 		}
 	}
-	if *trace > 0 {
-		fmt.Print(res.TraceReport(*trace))
+	if *sample > 0 {
+		fmt.Print(res.TraceReport(*sample))
 	}
 }
 

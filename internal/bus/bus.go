@@ -137,6 +137,10 @@ type Bus struct {
 	// ArbWait accumulates CPU cycles requests spent waiting for a grant.
 	ArbWait   uint64
 	submitted map[*Req]uint64
+
+	// Trace, when non-nil, observes every address-phase grant (the
+	// simulator wires it to the structured event trace).
+	Trace func(cycle uint64, k Kind, src int, addr uint64)
 }
 
 // New creates a bus with n requesters.
@@ -212,6 +216,9 @@ func (b *Bus) Tick(cycle uint64) {
 func (b *Bus) grant(cycle uint64, r *Req) {
 	r.granted = true
 	b.Grants[r.Kind]++
+	if b.Trace != nil {
+		b.Trace(cycle, r.Kind, r.Src, r.Addr)
+	}
 	if t, ok := b.submitted[r]; ok {
 		b.ArbWait += cycle - t
 		delete(b.submitted, r)

@@ -14,10 +14,12 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"hfstream/internal/isa"
 	"hfstream/internal/port"
 	"hfstream/internal/stats"
+	"hfstream/internal/trace"
 )
 
 // Params configures a core.
@@ -56,10 +58,14 @@ const (
 	StallFU
 	StallOzQFull
 	StallLoadLimit
+	StallFence
 	StallQueueFull
 	StallQueueEmpty
 	StallWAW
 	StallHalted
+
+	// NumStallReasons sizes StallCycles.
+	NumStallReasons
 )
 
 // String names the stall reason.
@@ -77,6 +83,8 @@ func (s StallReason) String() string {
 		return "ozq-full"
 	case StallLoadLimit:
 		return "load-limit"
+	case StallFence:
+		return "fence"
 	case StallQueueFull:
 		return "queue-full"
 	case StallQueueEmpty:
@@ -88,6 +96,34 @@ func (s StallReason) String() string {
 	default:
 		return fmt.Sprintf("StallReason(%d)", int(s))
 	}
+}
+
+// StallCycles accumulates zero-issue cycles by blocking reason. The
+// StallNone slot is unused; reasons from StallOperand through StallHalted
+// sum to the core's total stall cycles (Cycles - IssueCycles).
+type StallCycles [NumStallReasons]uint64
+
+// Total sums stall cycles across every reason.
+func (s *StallCycles) Total() uint64 {
+	var t uint64
+	for _, c := range s {
+		t += c
+	}
+	return t
+}
+
+// Summary renders the non-zero counters as "reason=n ..." plus the total.
+func (s *StallCycles) Summary() string {
+	var parts []string
+	for r := StallReason(1); r < NumStallReasons; r++ {
+		if s[r] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", r, s[r]))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return fmt.Sprintf("%s total=%d", strings.Join(parts, " "), s.Total())
 }
 
 // Core executes one thread program against a memory port and an optional
@@ -118,6 +154,29 @@ type Core struct {
 	Breakdown   stats.Breakdown
 	LastStall   StallReason
 	LastPC      int
+
+	// IssueCycles counts cycles in which at least one instruction issued;
+	// every other active cycle is a stall, so
+	// Stalls.Total() == Cycles - IssueCycles always holds.
+	IssueCycles uint64
+	// Stalls attributes each zero-issue cycle to its blocking reason
+	// (drain cycles after halt count as StallHalted).
+	Stalls StallCycles
+	// StallRegions attributes the same zero-issue cycles to the machine
+	// region responsible (the blocking token's location; PreL2 for purely
+	// core-local hazards), so StallRegions totals equal Stalls totals.
+	StallRegions stats.Breakdown
+	// Produces and Consumes count successfully issued queue operations.
+	Produces uint64
+	Consumes uint64
+
+	// Tracer, when non-nil, receives issue/retire/queue-op/stall events.
+	Tracer *trace.Buffer
+
+	// Stall-run coalescing for the tracer: consecutive zero-issue cycles
+	// with one reason emit a single KindStall event with a duration.
+	stallSince uint64
+	stallCur   StallReason
 }
 
 // New builds a core running prog. strm may be nil for programs without
@@ -169,6 +228,10 @@ func (c *Core) collect(cycle uint64) {
 			c.regs[r] = t.Value
 			c.ready[r] = t.DoneAt
 			c.pend[r] = nil
+			if c.Tracer != nil {
+				c.Tracer.Add(trace.Event{Cycle: cycle, Kind: trace.KindRetire,
+					Core: c.id, PC: -1, Q: -1, Op: "writeback", Val: t.Value})
+			}
 		}
 	}
 	kept := c.inflight[:0]
@@ -191,7 +254,11 @@ func (c *Core) Tick(cycle uint64) {
 	c.Cycles++
 	if c.halted {
 		// Draining: attribute to the oldest incomplete token's location.
-		c.Breakdown.Add(c.drainBucket(cycle), 1)
+		b := c.drainBucket(cycle)
+		c.Breakdown.Add(b, 1)
+		c.Stalls[StallHalted]++
+		c.StallRegions.Add(b, 1)
+		c.noteStall(cycle, StallHalted)
 		c.LastStall = StallHalted
 		return
 	}
@@ -243,7 +310,7 @@ issueLoop:
 		case isa.Halt:
 			c.halted = true
 			issued++
-			c.note(in)
+			c.note(cycle, in)
 			break issueLoop
 
 		case isa.B, isa.Beqz, isa.Bnez:
@@ -252,7 +319,7 @@ issueLoop:
 				(in.Op == isa.Bnez && c.regs[in.Ra] != 0)
 			fuUsed[fu]++
 			issued++
-			c.note(in)
+			c.note(cycle, in)
 			if !in.Comm {
 				commOnly = false
 			}
@@ -278,7 +345,7 @@ issueLoop:
 			c.IssuedLoads++
 			fuUsed[fu]++
 			issued++
-			c.note(in)
+			c.note(cycle, in)
 			if !in.Comm {
 				commOnly = false
 			}
@@ -294,7 +361,7 @@ issueLoop:
 			c.inflight = append(c.inflight, tok)
 			fuUsed[fu]++
 			issued++
-			c.note(in)
+			c.note(cycle, in)
 			if !in.Comm {
 				commOnly = false
 			}
@@ -302,14 +369,14 @@ issueLoop:
 
 		case isa.Fence:
 			if !c.memp.CanAccept() {
-				stall = StallOzQFull
+				stall = StallFence
 				break issueLoop
 			}
 			tok := c.memp.Fence(cycle)
 			c.inflight = append(c.inflight, tok)
 			fuUsed[fu]++
 			issued++
-			c.note(in)
+			c.note(cycle, in)
 			c.pc++
 
 		case isa.Produce:
@@ -323,7 +390,7 @@ issueLoop:
 				fuUsed[fu]++
 				issued++
 			}
-			c.note(in)
+			c.note(cycle, in)
 			c.pc++
 
 		case isa.Consume:
@@ -337,14 +404,14 @@ issueLoop:
 				fuUsed[fu]++
 				issued++
 			}
-			c.note(in)
+			c.note(cycle, in)
 			c.pc++
 
 		default:
 			c.exec(in, cycle)
 			fuUsed[fu]++
 			issued++
-			c.note(in)
+			c.note(cycle, in)
 			if !in.Comm {
 				commOnly = false
 			}
@@ -357,17 +424,73 @@ issueLoop:
 	switch {
 	case issued == 0:
 		c.Breakdown.Add(stallBucket, 1)
+		c.Stalls[stall]++
+		c.StallRegions.Add(stallBucket, 1)
+		c.noteStall(cycle, stall)
 	case commOnly:
 		c.Breakdown.Add(stats.PostL2, 1)
+		c.IssueCycles++
+		c.flushStallTrace(cycle)
 	default:
 		c.Breakdown.Add(stats.PreL2, 1)
+		c.IssueCycles++
+		c.flushStallTrace(cycle)
 	}
 }
 
-func (c *Core) note(in isa.Instr) {
+// noteStall extends or starts the current stall run for the tracer.
+func (c *Core) noteStall(cycle uint64, r StallReason) {
+	if c.Tracer == nil {
+		return
+	}
+	if c.stallSince != 0 && c.stallCur == r {
+		return
+	}
+	c.flushStallTrace(cycle)
+	c.stallSince = cycle
+	c.stallCur = r
+}
+
+// flushStallTrace emits the in-progress stall run, if any, as one event
+// covering [stallSince, endCycle).
+func (c *Core) flushStallTrace(endCycle uint64) {
+	if c.Tracer == nil || c.stallSince == 0 {
+		return
+	}
+	dur := endCycle - c.stallSince
+	if dur == 0 {
+		dur = 1
+	}
+	c.Tracer.Add(trace.Event{Cycle: c.stallSince, Dur: dur, Kind: trace.KindStall,
+		Core: c.id, PC: c.pc, Q: -1, Op: c.stallCur.String()})
+	c.stallSince = 0
+}
+
+// FinishTrace flushes any in-progress stall run; the simulator calls it
+// once after the final cycle so trailing drain stalls appear in the trace.
+func (c *Core) FinishTrace(endCycle uint64) { c.flushStallTrace(endCycle) }
+
+// note records one issued instruction. It runs before c.pc advances, so
+// c.pc still names the issuing instruction.
+func (c *Core) note(cycle uint64, in isa.Instr) {
 	c.Issued++
 	if in.Comm {
 		c.IssuedComm++
+	}
+	isQueueOp := in.Op == isa.Produce || in.Op == isa.Consume
+	if in.Op == isa.Produce {
+		c.Produces++
+	} else if in.Op == isa.Consume {
+		c.Consumes++
+	}
+	if c.Tracer != nil {
+		e := trace.Event{Cycle: cycle, Kind: trace.KindIssue, Core: c.id,
+			PC: c.pc, Q: -1, Op: in.Op.String()}
+		if isQueueOp {
+			e.Kind = trace.KindQueueOp
+			e.Q = in.Q
+		}
+		c.Tracer.Add(e)
 	}
 }
 

@@ -171,6 +171,17 @@ func FourPoints() []Config {
 	return []Config{HeavyWTConfig(), SyncOptiConfig(), MemOptiConfig(), ExistingConfig()}
 }
 
+// StandardConfigs returns every named design point of the evaluation —
+// the four primary points plus the Figure 12 queue-size and stream-cache
+// variants — in a fixed, CLI- and goldens-friendly order.
+func StandardConfigs() []Config {
+	return []Config{
+		ExistingConfig(), MemOptiConfig(), SyncOptiConfig(),
+		SyncOptiQ64Config(), SyncOptiSCConfig(), SyncOptiSCQ64Config(),
+		HeavyWTConfig(),
+	}
+}
+
 // Layout returns the queue layout implied by the configuration.
 func (c Config) Layout() queue.Layout {
 	return queue.Layout{

@@ -16,6 +16,7 @@ import (
 	"hfstream/internal/lower"
 	"hfstream/internal/mem"
 	"hfstream/internal/sim"
+	"hfstream/internal/trace"
 	"hfstream/internal/workloads"
 )
 
@@ -31,10 +32,25 @@ func RunBenchmarkSampled(b *workloads.Benchmark, cfg design.Config, sampleInterv
 	return RunBenchmarkSampledCtx(context.Background(), b, cfg, sampleInterval)
 }
 
+// RunOpts bundles the optional observability knobs a run can enable.
+type RunOpts struct {
+	// SampleInterval enables the per-interval time series (0 = off).
+	SampleInterval uint64
+	// Trace, when non-nil, receives the structured event trace.
+	Trace *trace.Buffer
+}
+
 // RunBenchmarkSampledCtx is RunBenchmarkSampled with cancellation: the
 // simulation aborts with a *sim.CanceledError once ctx is done, so a
 // deadlocked or slow job cannot outlive its caller's deadline.
 func RunBenchmarkSampledCtx(ctx context.Context, b *workloads.Benchmark, cfg design.Config, sampleInterval uint64) (*sim.Result, error) {
+	return RunBenchmarkOpts(ctx, b, cfg, RunOpts{SampleInterval: sampleInterval})
+}
+
+// RunBenchmarkOpts runs the pipelined version of b on the given design
+// point with the requested observability options and verifies the output
+// region against the functional oracle.
+func RunBenchmarkOpts(ctx context.Context, b *workloads.Benchmark, cfg design.Config, opts RunOpts) (*sim.Result, error) {
 	threads, _, err := b.Pipelined()
 	if err != nil {
 		return nil, err
@@ -59,7 +75,8 @@ func RunBenchmarkSampledCtx(ctx context.Context, b *workloads.Benchmark, cfg des
 	}
 	simCfg := cfg.SimConfig()
 	simCfg.Preload = b.InputRegions
-	simCfg.SampleInterval = sampleInterval
+	simCfg.SampleInterval = opts.SampleInterval
+	simCfg.Trace = opts.Trace
 	simCfg.Cancel = ctx.Done()
 	res, err := sim.Run(simCfg, img, ths)
 	if err != nil {
@@ -79,6 +96,11 @@ func RunSingle(b *workloads.Benchmark) (*sim.Result, error) {
 
 // RunSingleCtx is RunSingle with cancellation (see RunBenchmarkSampledCtx).
 func RunSingleCtx(ctx context.Context, b *workloads.Benchmark) (*sim.Result, error) {
+	return RunSingleOpts(ctx, b, RunOpts{})
+}
+
+// RunSingleOpts is RunSingle with observability options.
+func RunSingleOpts(ctx context.Context, b *workloads.Benchmark, opts RunOpts) (*sim.Result, error) {
 	prog, err := b.Single()
 	if err != nil {
 		return nil, err
@@ -87,6 +109,8 @@ func RunSingleCtx(ctx context.Context, b *workloads.Benchmark) (*sim.Result, err
 	b.Setup(img)
 	simCfg := design.ExistingConfig().SimConfig()
 	simCfg.Preload = b.InputRegions
+	simCfg.SampleInterval = opts.SampleInterval
+	simCfg.Trace = opts.Trace
 	simCfg.Cancel = ctx.Done()
 	res, err := sim.Run(simCfg, img, []sim.Thread{{Prog: prog}})
 	if err != nil {

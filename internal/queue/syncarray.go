@@ -106,6 +106,9 @@ type SyncArray struct {
 	FullStalls   uint64 // produce attempts rejected (queue full)
 	EmptyStalls  uint64 // consume attempts rejected (no data)
 	MaxOccupancy int
+	// OccHist is a histogram of dedicated-store occupancy, recorded after
+	// every delivery and every consume.
+	OccHist stats.Hist
 }
 
 // NewSyncArray builds a synchronization array.
@@ -171,6 +174,7 @@ func (sa *SyncArray) Tick(cycle uint64) {
 			if len(q.fifo) > sa.MaxOccupancy {
 				sa.MaxOccupancy = len(q.fifo)
 			}
+			sa.OccHist.Observe(uint64(len(q.fifo)))
 		}
 	}
 	sa.inflight = kept
@@ -276,6 +280,7 @@ func (sa *SyncArray) Consume(cycle uint64, q int) (*port.Token, bool) {
 	v := qu.fifo[0]
 	qu.fifo = qu.fifo[1:]
 	sa.Consumes++
+	sa.OccHist.Observe(uint64(len(qu.fifo)))
 	// Return the credit to the producer over the interconnect; if the
 	// credit path is saturated the credit queues without blocking the
 	// consume itself.

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"encoding/json"
+
+	"hfstream/internal/core"
+	"hfstream/internal/stats"
+)
+
+// Metrics is the machine-readable snapshot of one run: IPC, instruction
+// and communication counts, stall-cycle attribution by reason and by
+// machine region, queue occupancy histograms, and the memory-system
+// counters. It marshals deterministically (fixed field order, sorted
+// maps), so CI can diff snapshots across commits byte for byte.
+type Metrics struct {
+	// Benchmark and Design are annotations filled in by the experiment
+	// harness; the simulator itself does not know them.
+	Benchmark string `json:"benchmark,omitempty"`
+	Design    string `json:"design,omitempty"`
+
+	Cycles         uint64 `json:"cycles"`
+	UnquiescedExit bool   `json:"unquiesced_exit,omitempty"`
+
+	Cores []CoreMetrics `json:"cores"`
+
+	Bus struct {
+		Grants  uint64 `json:"grants"`
+		Beats   uint64 `json:"beats"`
+		ArbWait uint64 `json:"arb_wait"`
+	} `json:"bus"`
+
+	Memory struct {
+		L2Hits      []uint64 `json:"l2_hits"`
+		L2Misses    []uint64 `json:"l2_misses"`
+		L3Hits      uint64   `json:"l3_hits"`
+		L3Misses    uint64   `json:"l3_misses"`
+		MemAccesses uint64   `json:"mem_accesses"`
+	} `json:"memory"`
+
+	Streaming struct {
+		WrFwds        []uint64 `json:"wr_fwds,omitempty"`
+		BulkAcks      []uint64 `json:"bulk_acks,omitempty"`
+		Probes        []uint64 `json:"probes,omitempty"`
+		SCHits        []uint64 `json:"sc_hits,omitempty"`
+		RecircRetries []uint64 `json:"recirc_retries,omitempty"`
+		SAFullStalls  uint64   `json:"sa_full_stalls,omitempty"`
+		SAEmptyStalls uint64   `json:"sa_empty_stalls,omitempty"`
+	} `json:"streaming"`
+
+	// QueueOccupancy is the per-cycle histogram of stream items in flight
+	// end to end; SAOccupancy is the HEAVYWT dedicated-store histogram.
+	QueueOccupancy []HistBucket `json:"queue_occupancy,omitempty"`
+	SAOccupancy    []HistBucket `json:"sa_occupancy,omitempty"`
+}
+
+// CoreMetrics is one core's slice of the snapshot.
+type CoreMetrics struct {
+	IPC         float64 `json:"ipc"`
+	Issued      uint64  `json:"issued"`
+	IssuedComm  uint64  `json:"issued_comm"`
+	CommRatio   float64 `json:"comm_ratio"`
+	Cycles      uint64  `json:"cycles"`
+	IssueCycles uint64  `json:"issue_cycles"`
+	StallCycles uint64  `json:"stall_cycles"`
+	Produces    uint64  `json:"produces,omitempty"`
+	Consumes    uint64  `json:"consumes,omitempty"`
+	// Stalls maps stall reason -> cycles (zero reasons omitted); values
+	// sum to StallCycles.
+	Stalls map[string]uint64 `json:"stalls,omitempty"`
+	// Regions is the full execution-time breakdown by machine region;
+	// StallRegions restricts it to zero-issue cycles.
+	Regions      map[string]uint64 `json:"regions"`
+	StallRegions map[string]uint64 `json:"stall_regions,omitempty"`
+}
+
+// HistBucket is one non-empty histogram bucket ("2-3" -> count).
+type HistBucket struct {
+	Range string `json:"range"`
+	Count uint64 `json:"count"`
+}
+
+func histBuckets(h *stats.Hist) []HistBucket {
+	var out []HistBucket
+	for i, c := range h.Counts {
+		if c > 0 {
+			out = append(out, HistBucket{Range: stats.HistLabel(i), Count: c})
+		}
+	}
+	return out
+}
+
+// Metrics builds the snapshot for this result.
+func (r *Result) Metrics() *Metrics {
+	m := &Metrics{Cycles: r.Cycles, UnquiescedExit: r.UnquiescedExit}
+	for i := range r.Issued {
+		cm := CoreMetrics{
+			Issued:      r.Issued[i],
+			IssuedComm:  r.IssuedComm[i],
+			CommRatio:   r.CommRatio(i),
+			Cycles:      r.CoreCycles[i],
+			IssueCycles: r.IssueCycles[i],
+			StallCycles: r.Stalls[i].Total(),
+			Produces:    r.Produces[i],
+			Consumes:    r.Consumes[i],
+			Regions:     map[string]uint64{},
+		}
+		if r.CoreCycles[i] > 0 {
+			cm.IPC = float64(r.Issued[i]) / float64(r.CoreCycles[i])
+		}
+		for reason := core.StallReason(1); reason < core.NumStallReasons; reason++ {
+			if n := r.Stalls[i][reason]; n > 0 {
+				if cm.Stalls == nil {
+					cm.Stalls = map[string]uint64{}
+				}
+				cm.Stalls[reason.String()] = n
+			}
+		}
+		for b := stats.Bucket(0); b < stats.NumBuckets; b++ {
+			cm.Regions[b.String()] = r.Breakdowns[i].Cycles[b]
+			if n := r.StallRegions[i].Cycles[b]; n > 0 {
+				if cm.StallRegions == nil {
+					cm.StallRegions = map[string]uint64{}
+				}
+				cm.StallRegions[b.String()] = n
+			}
+		}
+		m.Cores = append(m.Cores, cm)
+	}
+	m.Bus.Grants = r.BusGrants
+	m.Bus.Beats = r.BusBeats
+	m.Bus.ArbWait = r.BusArbWait
+	m.Memory.L2Hits = r.L2Hits
+	m.Memory.L2Misses = r.L2Misses
+	m.Memory.L3Hits = r.L3Hits
+	m.Memory.L3Misses = r.L3Misses
+	m.Memory.MemAccesses = r.MemAccesses
+	m.Streaming.WrFwds = r.WrFwds
+	m.Streaming.BulkAcks = r.BulkAcks
+	m.Streaming.Probes = r.Probes
+	m.Streaming.SCHits = r.SCHits
+	m.Streaming.RecircRetries = r.RecircRetries
+	m.Streaming.SAFullStalls = r.SAFullStalls
+	m.Streaming.SAEmptyStalls = r.SAEmptyStalls
+	occ := r.QueueOcc
+	m.QueueOccupancy = histBuckets(&occ)
+	if r.SAOcc != nil {
+		m.SAOccupancy = histBuckets(r.SAOcc)
+	}
+	return m
+}
+
+// MetricsJSON renders the snapshot as indented JSON with a trailing
+// newline. The output is deterministic: the simulator is deterministic,
+// struct fields marshal in declaration order, and Go sorts map keys.
+func (r *Result) MetricsJSON() ([]byte, error) {
+	return MetricsJSON(r.Metrics())
+}
+
+// MetricsJSON marshals an (optionally annotated) snapshot.
+func MetricsJSON(m *Metrics) ([]byte, error) {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

@@ -6,6 +6,7 @@ package sim
 import (
 	"fmt"
 
+	"hfstream/internal/bus"
 	"hfstream/internal/cache"
 	"hfstream/internal/core"
 	"hfstream/internal/isa"
@@ -14,6 +15,7 @@ import (
 	"hfstream/internal/port"
 	"hfstream/internal/queue"
 	"hfstream/internal/stats"
+	"hfstream/internal/trace"
 )
 
 // Config selects the machine to simulate.
@@ -46,6 +48,12 @@ type Config struct {
 	// cycles, so cancellation latency is bounded without a per-cycle
 	// select on the hot loop.
 	Cancel <-chan struct{}
+
+	// Trace, when non-nil, receives structured issue/retire/queue-op/
+	// bus-grant/stall events from every core and the shared bus. The ring
+	// is bounded (see trace.NewBuffer), so tracing a long run keeps the
+	// most recent events; the same buffer is echoed on Result.Trace.
+	Trace *trace.Buffer
 }
 
 // cancelCheckMask throttles Cancel polling to every 1024th cycle.
@@ -70,6 +78,30 @@ type Result struct {
 	Issued     []uint64
 	IssuedComm []uint64
 
+	// CoreCycles is each core's active cycle count (it stops counting once
+	// halted and drained, so it can undercut Cycles).
+	CoreCycles []uint64
+	// IssueCycles counts each core's cycles with at least one instruction
+	// issued; CoreCycles[i] - IssueCycles[i] is core i's total stall time.
+	IssueCycles []uint64
+	// Stalls attributes each core's zero-issue cycles to the blocking
+	// reason; Stalls[i].Total() == CoreCycles[i] - IssueCycles[i].
+	Stalls []core.StallCycles
+	// StallRegions attributes the same zero-issue cycles to the machine
+	// region responsible (paper Figure 6's delay decomposition).
+	StallRegions []stats.Breakdown
+	// Produces and Consumes are per-core issued queue-operation counts.
+	Produces []uint64
+	Consumes []uint64
+
+	// QueueOcc is a per-cycle histogram of the number of stream items in
+	// flight end to end (produced but not yet consumed, across all queues
+	// and designs).
+	QueueOcc stats.Hist
+	// SAOcc is the dedicated-store occupancy histogram, recorded at each
+	// delivery and consume (HEAVYWT only, nil otherwise).
+	SAOcc *stats.Hist
+
 	// Memory system counters.
 	BusGrants     uint64
 	BusBeats      uint64
@@ -92,6 +124,10 @@ type Result struct {
 	// Samples is the per-interval time series (empty unless
 	// Config.SampleInterval was set).
 	Samples []Sample
+
+	// Trace echoes Config.Trace (nil when tracing was off), so callers can
+	// export the events without keeping the config around.
+	Trace *trace.Buffer
 
 	// UnquiescedExit reports that every core halted but the memory
 	// fabric never quiesced within the watchdog window (in-flight junk
@@ -189,16 +225,24 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 			strm = fab.Controller(i)
 		}
 		c := core.New(i, cfg.Core, t.Prog, fab.Controller(i), strm)
+		c.Tracer = cfg.Trace
 		for r, v := range t.Regs {
 			c.SetReg(r, v)
 		}
 		cores[i] = c
+	}
+	if cfg.Trace != nil {
+		fab.Bus().Trace = func(cycle uint64, k bus.Kind, src int, addr uint64) {
+			cfg.Trace.Add(trace.Event{Cycle: cycle, Kind: trace.KindBusGrant,
+				Core: src, PC: -1, Q: -1, Op: k.String(), Val: addr})
+		}
 	}
 
 	var cycle uint64
 	lastIssued := uint64(0)
 	lastProgress := uint64(0)
 	var samples []Sample
+	var queueOcc stats.Hist
 	prevIssued := make([]uint64, len(cores))
 	var prevGrants uint64
 	var unquiesced bool
@@ -220,14 +264,17 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 		}
 		fab.Tick(cycle)
 		allDone := true
-		var issuedNow uint64
+		var issuedNow, prodNow, consNow uint64
 		for _, c := range cores {
 			c.Tick(cycle)
 			issuedNow += c.Issued
+			prodNow += c.Produces
+			consNow += c.Consumes
 			if !c.Done(cycle) {
 				allDone = false
 			}
 		}
+		queueOcc.Observe(prodNow - consNow)
 		if cfg.SampleInterval > 0 && cycle%cfg.SampleInterval == 0 {
 			s := Sample{Cycle: cycle, Issued: make([]uint64, len(cores))}
 			for i, c := range cores {
@@ -263,13 +310,22 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 	res := &Result{
 		Cycles:           cycle,
 		Samples:          samples,
+		Trace:            cfg.Trace,
+		QueueOcc:         queueOcc,
 		UnquiescedExit:   unquiesced,
 		UnquiescedDetail: unquiescedDetail,
 	}
 	for i, c := range cores {
+		c.FinishTrace(cycle + 1)
 		res.Breakdowns = append(res.Breakdowns, c.Breakdown)
 		res.Issued = append(res.Issued, c.Issued)
 		res.IssuedComm = append(res.IssuedComm, c.IssuedComm)
+		res.CoreCycles = append(res.CoreCycles, c.Cycles)
+		res.IssueCycles = append(res.IssueCycles, c.IssueCycles)
+		res.Stalls = append(res.Stalls, c.Stalls)
+		res.StallRegions = append(res.StallRegions, c.StallRegions)
+		res.Produces = append(res.Produces, c.Produces)
+		res.Consumes = append(res.Consumes, c.Consumes)
 		ctrl := fab.Controller(i)
 		res.WrFwds = append(res.WrFwds, ctrl.WrFwdsSent)
 		res.BulkAcks = append(res.BulkAcks, ctrl.BulkAcksSent)
@@ -288,6 +344,8 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 	if sa != nil {
 		res.SAFullStalls = sa.FullStalls
 		res.SAEmptyStalls = sa.EmptyStalls
+		occ := sa.OccHist
+		res.SAOcc = &occ
 	}
 	return res, nil
 }

@@ -9,6 +9,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -105,6 +106,47 @@ func (bd *Breakdown) String() string {
 		parts = append(parts, fmt.Sprintf("%s=%d", b, bd.Cycles[b]))
 	}
 	return strings.Join(parts, " ")
+}
+
+// HistBuckets is the number of Hist buckets: 0, 1, 2-3, 4-7, ... up to a
+// final bucket absorbing everything >= 2^15.
+const HistBuckets = 17
+
+// Hist is a power-of-two-bucket histogram of small non-negative values
+// (queue occupancies, burst lengths). Bucket 0 counts zeros and bucket
+// i >= 1 counts values in [2^(i-1), 2^i).
+type Hist struct {
+	Counts [HistBuckets]uint64
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v uint64) {
+	b := bits.Len64(v)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.Counts[b]++
+}
+
+// Total returns the number of observations.
+func (h *Hist) Total() uint64 {
+	var t uint64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// HistLabel names bucket i ("0", "1", "2-3", ..., ">=32768").
+func HistLabel(i int) string {
+	switch {
+	case i <= 1:
+		return fmt.Sprintf("%d", i)
+	case i == HistBuckets-1:
+		return fmt.Sprintf(">=%d", 1<<(i-1))
+	default:
+		return fmt.Sprintf("%d-%d", 1<<(i-1), 1<<i-1)
+	}
 }
 
 // Counters is a named set of event counters.

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The exporter emits the Chrome trace_event "JSON object format": a
+// top-level object with a traceEvents array. Cores map to pid 0 (one tid
+// per core), the bus to pid 1, and one cycle is rendered as one
+// microsecond so Perfetto's zoom levels behave sensibly. Every payload
+// field is mirrored into args so ReadChrome can reconstruct the events.
+
+const (
+	pidCores = 0
+	pidBus   = 1
+)
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	Dropped         uint64        `json:"droppedEvents,omitempty"`
+}
+
+func toChrome(e Event) chromeEvent {
+	ce := chromeEvent{
+		Name: e.Op,
+		Cat:  e.Kind.String(),
+		Ph:   "X",
+		Ts:   e.Cycle,
+		Dur:  e.Dur,
+		Pid:  pidCores,
+		Tid:  e.Core,
+		Args: map[string]any{"cycle": e.Cycle},
+	}
+	if ce.Dur == 0 {
+		ce.Dur = 1
+	}
+	if e.Kind == KindBusGrant {
+		ce.Pid = pidBus
+	}
+	if e.Kind == KindStall {
+		ce.Name = "stall:" + e.Op
+	}
+	ce.Args["op"] = e.Op
+	if e.PC >= 0 {
+		ce.Args["pc"] = e.PC
+	}
+	if e.Q >= 0 {
+		ce.Args["q"] = e.Q
+	}
+	if e.Val != 0 {
+		ce.Args["val"] = e.Val
+	}
+	return ce
+}
+
+// ChromeJSON serializes events (plus thread-naming metadata) as a Chrome
+// trace_event JSON document. dropped, if non-zero, is recorded in the
+// top-level droppedEvents field.
+func ChromeJSON(events []Event, dropped uint64) ([]byte, error) {
+	doc := chromeTrace{DisplayTimeUnit: "ms", Dropped: dropped}
+	// Name the processes and the core threads that appear in the events.
+	seen := map[int]bool{}
+	meta := func(pid, tid int, key, name string) chromeEvent {
+		return chromeEvent{
+			Name: key, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		}
+	}
+	doc.TraceEvents = append(doc.TraceEvents,
+		meta(pidCores, 0, "process_name", "cores"),
+		meta(pidBus, 0, "process_name", "bus"))
+	for _, e := range events {
+		if e.Kind == KindBusGrant || seen[e.Core] {
+			continue
+		}
+		seen[e.Core] = true
+		doc.TraceEvents = append(doc.TraceEvents,
+			meta(pidCores, e.Core, "thread_name", fmt.Sprintf("core %d", e.Core)))
+	}
+	for _, e := range events {
+		doc.TraceEvents = append(doc.TraceEvents, toChrome(e))
+	}
+	return json.MarshalIndent(&doc, "", " ")
+}
+
+// WriteChrome writes ChromeJSON(events, dropped) to w.
+func WriteChrome(w io.Writer, events []Event, dropped uint64) error {
+	buf, err := ChromeJSON(events, dropped)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadChrome parses a document produced by ChromeJSON back into events
+// (metadata records are skipped). It exists so tests and tools can
+// round-trip traces without a browser.
+func ReadChrome(data []byte) ([]Event, uint64, error) {
+	var doc chromeTrace
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, 0, fmt.Errorf("trace: bad chrome document: %w", err)
+	}
+	var out []Event
+	for _, ce := range doc.TraceEvents {
+		if ce.Ph != "X" {
+			continue
+		}
+		kind, ok := KindFromString(ce.Cat)
+		if !ok {
+			return nil, 0, fmt.Errorf("trace: unknown event category %q", ce.Cat)
+		}
+		e := Event{Cycle: ce.Ts, Kind: kind, Core: ce.Tid, PC: -1, Q: -1}
+		if ce.Dur > 1 || kind == KindStall {
+			e.Dur = ce.Dur
+		}
+		if op, ok := ce.Args["op"].(string); ok {
+			e.Op = op
+		}
+		if pc, ok := ce.Args["pc"].(float64); ok {
+			e.PC = int(pc)
+		}
+		if q, ok := ce.Args["q"].(float64); ok {
+			e.Q = int(q)
+		}
+		if v, ok := ce.Args["val"].(float64); ok {
+			e.Val = uint64(v)
+		}
+		out = append(out, e)
+	}
+	return out, doc.Dropped, nil
+}

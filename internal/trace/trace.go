@@ -1,0 +1,132 @@
+// Package trace records cycle-level simulator events — instruction issue,
+// operand writeback, queue operations, bus grants and stall runs — in a
+// bounded ring buffer, and exports them in Chrome's trace_event JSON format
+// so a run can be inspected in about:tracing or Perfetto.
+//
+// Recording is allocation-light and bounded: the ring keeps the most recent
+// events and counts how many older ones it overwrote, so tracing a long run
+// costs a fixed amount of memory and the tail of the execution (usually the
+// interesting part for drain and deadlock analysis) is always retained.
+package trace
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindIssue is one instruction leaving the issue stage.
+	KindIssue Kind = iota
+	// KindRetire is an in-flight token (load or consume result) writing back.
+	KindRetire
+	// KindQueueOp is a produce or consume accepted by the streaming device.
+	KindQueueOp
+	// KindBusGrant is a shared-bus address-phase grant.
+	KindBusGrant
+	// KindStall is a run of consecutive zero-issue cycles with one blocking
+	// reason; Dur carries the run length.
+	KindStall
+
+	numKinds
+)
+
+// String names the kind (also the Chrome "cat" field).
+func (k Kind) String() string {
+	switch k {
+	case KindIssue:
+		return "issue"
+	case KindRetire:
+		return "retire"
+	case KindQueueOp:
+		return "queue-op"
+	case KindBusGrant:
+		return "bus-grant"
+	case KindStall:
+		return "stall"
+	default:
+		return "unknown"
+	}
+}
+
+// KindFromString inverts Kind.String (ok=false for unknown names).
+func KindFromString(s string) (Kind, bool) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Event is one recorded occurrence. Fields not meaningful for a kind are
+// zero (or -1 for PC/Q, which have meaningful zero values).
+type Event struct {
+	// Cycle is the CPU cycle the event occurred (for KindStall, the first
+	// cycle of the run).
+	Cycle uint64
+	// Dur is the event length in cycles (0 renders as 1; stall runs use it).
+	Dur uint64
+	// Kind classifies the event.
+	Kind Kind
+	// Core is the core index, or the bus requester for KindBusGrant.
+	Core int
+	// PC is the program counter for issue events (-1 when not applicable).
+	PC int
+	// Q is the stream queue number for queue operations (-1 otherwise).
+	Q int
+	// Op is the instruction mnemonic, stall reason, or bus transaction kind.
+	Op string
+	// Val is a payload: writeback value, produced value, or bus address.
+	Val uint64
+}
+
+// DefaultCap is the ring capacity used when NewBuffer is given a
+// non-positive one (64k events).
+const DefaultCap = 1 << 16
+
+// Buffer is a bounded ring of events, safe for single-goroutine use (the
+// simulator's cycle loop). When full it overwrites the oldest event.
+type Buffer struct {
+	evs     []Event
+	start   int // index of the oldest event
+	n       int // live event count
+	dropped uint64
+}
+
+// NewBuffer returns a ring holding at most capacity events (DefaultCap if
+// capacity <= 0).
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Buffer{evs: make([]Event, capacity)}
+}
+
+// Add records an event, evicting the oldest if the ring is full.
+func (b *Buffer) Add(e Event) {
+	if b.n < len(b.evs) {
+		b.evs[(b.start+b.n)%len(b.evs)] = e
+		b.n++
+		return
+	}
+	b.evs[b.start] = e
+	b.start = (b.start + 1) % len(b.evs)
+	b.dropped++
+}
+
+// Len returns the number of live events.
+func (b *Buffer) Len() int { return b.n }
+
+// Cap returns the ring capacity.
+func (b *Buffer) Cap() int { return len(b.evs) }
+
+// Dropped returns how many events were overwritten after the ring filled.
+func (b *Buffer) Dropped() uint64 { return b.dropped }
+
+// Events returns the live events oldest-first.
+func (b *Buffer) Events() []Event {
+	out := make([]Event, b.n)
+	for i := 0; i < b.n; i++ {
+		out[i] = b.evs[(b.start+i)%len(b.evs)]
+	}
+	return out
+}

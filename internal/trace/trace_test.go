@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestBufferKeepsLatest(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 1; i <= 6; i++ {
+		b.Add(Event{Cycle: uint64(i), Kind: KindIssue, PC: i, Q: -1, Op: "add"})
+	}
+	if b.Cap() != 4 {
+		t.Errorf("cap = %d, want 4", b.Cap())
+	}
+	if b.Len() != 4 {
+		t.Errorf("len = %d, want 4", b.Len())
+	}
+	if b.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", b.Dropped())
+	}
+	evs := b.Events()
+	for i, want := range []uint64{3, 4, 5, 6} {
+		if evs[i].Cycle != want {
+			t.Errorf("event %d cycle = %d, want %d (oldest-first)", i, evs[i].Cycle, want)
+		}
+	}
+}
+
+func TestBufferDefaultCap(t *testing.T) {
+	if got := NewBuffer(0).Cap(); got != DefaultCap {
+		t.Errorf("cap = %d, want %d", got, DefaultCap)
+	}
+	if got := NewBuffer(-5).Cap(); got != DefaultCap {
+		t.Errorf("cap = %d, want %d", got, DefaultCap)
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Errorf("KindFromString(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := KindFromString("bogus"); ok {
+		t.Error("KindFromString accepted an unknown name")
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	events := []Event{
+		{Cycle: 1, Kind: KindIssue, Core: 0, PC: 0, Q: -1, Op: "movi"},
+		{Cycle: 2, Kind: KindQueueOp, Core: 0, PC: 1, Q: 3, Op: "produce", Val: 41},
+		{Cycle: 2, Kind: KindBusGrant, Core: 1, PC: -1, Q: -1, Op: "BusRdX", Val: 0x1040},
+		{Cycle: 3, Dur: 7, Kind: KindStall, Core: 1, PC: 2, Q: -1, Op: "queue-empty"},
+		{Cycle: 9, Kind: KindRetire, Core: 1, PC: -1, Q: -1, Op: "writeback", Val: 41},
+	}
+	buf, err := ChromeJSON(events, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The document must be the Chrome "JSON object format": a top-level
+	// object whose traceEvents entries all carry ph and a dur >= 1 for
+	// complete events.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Dropped     uint64           `json:"droppedEvents"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Dropped != 5 {
+		t.Errorf("droppedEvents = %d, want 5", doc.Dropped)
+	}
+	var complete int
+	for _, ce := range doc.TraceEvents {
+		ph, _ := ce["ph"].(string)
+		switch ph {
+		case "M":
+			continue
+		case "X":
+			complete++
+			if dur, _ := ce["dur"].(float64); dur < 1 {
+				t.Errorf("complete event %v has dur < 1", ce)
+			}
+		default:
+			t.Errorf("unexpected phase %q in %v", ph, ce)
+		}
+	}
+	if complete != len(events) {
+		t.Errorf("%d complete events in JSON, want %d", complete, len(events))
+	}
+
+	got, dropped, err := ReadChrome(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 5 {
+		t.Errorf("ReadChrome dropped = %d, want 5", dropped)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+func TestReadChromeRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadChrome([]byte("not json")); err == nil {
+		t.Error("ReadChrome accepted garbage")
+	}
+	bad := []byte(`{"traceEvents":[{"ph":"X","cat":"martian","ts":1}]}`)
+	if _, _, err := ReadChrome(bad); err == nil {
+		t.Error("ReadChrome accepted an unknown category")
+	}
+}
