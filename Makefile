@@ -3,11 +3,20 @@
 #   make tier1        - the gate every PR must keep green (build + vet + tests)
 #   make race         - race-detector pass over the concurrent experiment
 #                       runner and the simulator entry points
-#   make bench        - one pass over the paper-reproduction benchmarks
+#   make bench        - run the kernel performance harness over the full
+#                       nine-benchmark x seven-design matrix and write
+#                       BENCH_PR3.json
+#   make bench-smoke  - one-rep bench harness pass over the golden benchmark
+#                       subset (CI's sanity check; numbers are noise there)
+#   make gobench      - one `go test -bench` pass over the paper-reproduction
+#                       benchmarks
 #   make ci           - everything CI runs: tier1, race, formatting, goldens
+#                       (with fast-forward on and off), bench smoke
 #   make golden       - regenerate the metrics snapshots in testdata/golden/
 #   make golden-check - rebuild the snapshots into a temp dir and diff them
 #                       against the checked-in goldens
+#   make golden-check-noff - the same with HFSTREAM_NO_FASTFORWARD=1, proving
+#                       the fast-forward optimization is invisible in output
 
 GO ?= go
 
@@ -15,7 +24,7 @@ GO ?= go
 # the check stays cheap enough to run on every push.
 GOLDEN_BENCHES = bzip2,adpcmdec
 
-.PHONY: tier1 vet build test race bench ci fmtcheck golden golden-check
+.PHONY: tier1 vet build test race bench bench-smoke gobench ci fmtcheck golden golden-check golden-check-noff
 
 tier1: build vet test
 
@@ -33,9 +42,16 @@ race:
 	$(GO) test -race ./internal/exp/... ./internal/sim/...
 
 bench:
+	$(GO) run ./bench -out BENCH_PR3.json
+
+# Quick harness exercise for CI: one rep over the two fastest benchmarks.
+bench-smoke:
+	$(GO) run ./bench -benches $(GOLDEN_BENCHES) -reps 1 -out -
+
+gobench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-ci: tier1 race fmtcheck golden-check
+ci: tier1 race fmtcheck golden-check golden-check-noff bench-smoke
 
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -48,3 +64,8 @@ golden-check:
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) run ./cmd/hfexp -metrics "$$tmp" -benches $(GOLDEN_BENCHES) && \
 	diff -ru testdata/golden "$$tmp" && echo "goldens match"
+
+# The goldens were produced with fast-forwarding on; regenerating them
+# with it off and diffing proves the optimization changes no number.
+golden-check-noff:
+	HFSTREAM_NO_FASTFORWARD=1 $(MAKE) golden-check

@@ -1,10 +1,12 @@
 package hfstream
 
 import (
+	"context"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"hfstream/internal/design"
-	"hfstream/internal/exp"
 	"hfstream/internal/sim"
 	"hfstream/internal/stats"
 	"hfstream/internal/workloads"
@@ -57,16 +59,41 @@ func CentralizedStore(consumeToUse int) Design {
 	return Design{design.CentralizedStoreConfig(consumeToUse)}
 }
 
-// DesignByName resolves a design point by its paper name (e.g.
-// "SYNCOPTI_SC+Q64").
+// DesignByName resolves a design point by its paper name. Beyond the
+// seven standard points (e.g. "SYNCOPTI_SC+Q64") it accepts the §3
+// variants: "REGMAPPED", "NETQUEUE_<h>hop" (network-backed queues for
+// cores h hops apart, h >= 1), and "HEAVYWT_CENTRAL" (the centralized
+// dedicated store, with its default 4-cycle consume-to-use latency).
 func DesignByName(name string) (Design, error) {
 	for _, d := range Designs() {
 		if d.Name() == name {
 			return d, nil
 		}
 	}
-	return Design{}, fmt.Errorf("hfstream: unknown design %q", name)
+	switch {
+	case name == "REGMAPPED":
+		return RegMapped(), nil
+	case name == "HEAVYWT_CENTRAL":
+		return CentralizedStore(centralConsumeToUse), nil
+	case strings.HasPrefix(name, "NETQUEUE_") && strings.HasSuffix(name, "hop"):
+		h, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "NETQUEUE_"), "hop"))
+		if err == nil && h >= 1 {
+			return NetQueue(h), nil
+		}
+	}
+	names := make([]string, 0, len(Designs())+3)
+	for _, d := range Designs() {
+		names = append(names, d.Name())
+	}
+	names = append(names, "REGMAPPED", "NETQUEUE_<h>hop", "HEAVYWT_CENTRAL")
+	return Design{}, fmt.Errorf("hfstream: unknown design %q (valid: %s)",
+		name, strings.Join(names, ", "))
 }
+
+// centralConsumeToUse is DesignByName's consume-to-use latency for
+// "HEAVYWT_CENTRAL" (a central structure several cycles from the cores);
+// use CentralizedStore directly for other distances.
+const centralConsumeToUse = 4
 
 // Name returns the paper's label for the design point.
 func (d Design) Name() string { return d.cfg.Name() }
@@ -132,6 +159,10 @@ func (b Benchmark) Function() string { return b.b.Function }
 // Iterations returns the simulated loop trip count.
 func (b Benchmark) Iterations() int { return b.b.Iterations }
 
+// ExecPct returns the loop's share of whole-program execution time from
+// the paper's Table 1, in percent.
+func (b Benchmark) ExecPct() int { return b.b.ExecPct }
+
 // Breakdown is a core's execution-time split across machine regions; the
 // six buckets sum to the core's total cycles (paper Figures 7, 10-12).
 type Breakdown struct {
@@ -141,6 +172,12 @@ type Breakdown struct {
 // Total returns the sum of all buckets.
 func (bd Breakdown) Total() uint64 {
 	return bd.PreL2 + bd.L2 + bd.Bus + bd.L3 + bd.Mem + bd.PostL2
+}
+
+// String renders the breakdown as "PreL2=… L2=… BUS=… L3=… MEM=… PostL2=…".
+func (bd Breakdown) String() string {
+	return fmt.Sprintf("PreL2=%d L2=%d BUS=%d L3=%d MEM=%d PostL2=%d",
+		bd.PreL2, bd.L2, bd.Bus, bd.L3, bd.Mem, bd.PostL2)
 }
 
 func fromStats(s stats.Breakdown) Breakdown {
@@ -164,12 +201,57 @@ type Result struct {
 	Instructions     []uint64
 	CommInstructions []uint64
 
+	// CoreCycles is each core's active cycle count (a core stops counting
+	// once halted and drained, so it can undercut Cycles). IssueCycles
+	// counts the cycles with at least one instruction issued, so
+	// CoreCycles[i] - IssueCycles[i] is core i's total stall time.
+	CoreCycles  []uint64
+	IssueCycles []uint64
+	// StallSummaries gives each core's zero-issue cycles attributed to the
+	// blocking reason, rendered human-readable (e.g. "operand=1200 ...").
+	StallSummaries []string
+
 	// Memory-system counters.
 	BusGrants       uint64
+	BusBeats        uint64
+	BusArbWait      uint64
 	L3Hits          uint64
+	L3Misses        uint64
 	MemAccesses     uint64
 	WriteForwards   []uint64
+	BulkAcks        []uint64
+	Probes          []uint64
 	StreamCacheHits []uint64
+
+	// Synchronization-array stalls (zero unless the design uses HEAVYWT's
+	// dedicated store).
+	SAFullStalls  uint64
+	SAEmptyStalls uint64
+
+	// UnquiescedExit reports that every core halted but the memory fabric
+	// never quiesced within the watchdog window; UnquiescedDetail carries
+	// the debug dump captured at exit. The outputs are still verified.
+	UnquiescedExit   bool
+	UnquiescedDetail string
+
+	res *sim.Result // full internal result, for the report helpers
+}
+
+// TimeSeriesReport renders the per-interval throughput samples collected
+// by WithSampleInterval as sparkline text (empty without sampling).
+func (r Result) TimeSeriesReport(interval uint64) string {
+	if r.res == nil {
+		return ""
+	}
+	return r.res.TraceReport(interval)
+}
+
+// TimeSeriesCSV renders the same samples as CSV (empty without sampling).
+func (r Result) TimeSeriesCSV(interval uint64) string {
+	if r.res == nil {
+		return ""
+	}
+	return r.res.CSV(interval)
 }
 
 // CommRatio returns core i's communication-to-application dynamic
@@ -187,14 +269,29 @@ func fromSim(res *sim.Result) Result {
 		Cycles:           res.Cycles,
 		Instructions:     res.Issued,
 		CommInstructions: res.IssuedComm,
+		CoreCycles:       res.CoreCycles,
+		IssueCycles:      res.IssueCycles,
 		BusGrants:        res.BusGrants,
+		BusBeats:         res.BusBeats,
+		BusArbWait:       res.BusArbWait,
 		L3Hits:           res.L3Hits,
+		L3Misses:         res.L3Misses,
 		MemAccesses:      res.MemAccesses,
 		WriteForwards:    res.WrFwds,
+		BulkAcks:         res.BulkAcks,
+		Probes:           res.Probes,
 		StreamCacheHits:  res.SCHits,
+		SAFullStalls:     res.SAFullStalls,
+		SAEmptyStalls:    res.SAEmptyStalls,
+		UnquiescedExit:   res.UnquiescedExit,
+		UnquiescedDetail: res.UnquiescedDetail,
+		res:              res,
 	}
 	for _, bd := range res.Breakdowns {
 		out.Breakdowns = append(out.Breakdowns, fromStats(bd))
+	}
+	for i := range res.Stalls {
+		out.StallSummaries = append(out.StallSummaries, res.Stalls[i].Summary())
 	}
 	return out
 }
@@ -202,23 +299,17 @@ func fromSim(res *sim.Result) Result {
 // Run executes the pipelined (two-thread) version of the benchmark on the
 // design point. The run is verified end to end: the memory image must
 // match a functional-interpreter oracle, so a successful Run also
-// certifies simulator and partitioner correctness for that input.
+// certifies simulator and partitioner correctness for that input. It is
+// RunCtx without cancellation or options.
 func Run(b Benchmark, d Design) (Result, error) {
-	res, err := exp.RunBenchmark(b.b, d.cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	return fromSim(res), nil
+	return RunCtx(context.Background(), b, d)
 }
 
 // RunSingleThreaded executes the unpartitioned loop on one core of the
-// baseline machine (the paper's Figure 9 reference).
+// baseline machine (the paper's Figure 9 reference). It is
+// RunSingleThreadedCtx without cancellation or options.
 func RunSingleThreaded(b Benchmark) (Result, error) {
-	res, err := exp.RunSingle(b.b)
-	if err != nil {
-		return Result{}, err
-	}
-	return fromSim(res), nil
+	return RunSingleThreadedCtx(context.Background(), b)
 }
 
 // RunStaged partitions the benchmark into the given number of pipeline
@@ -226,11 +317,8 @@ func RunSingleThreaded(b Benchmark) (Result, error) {
 // extension of the paper's dual-core evaluation. It fails for kernels
 // whose dependence structure cannot fill the requested stages (and for
 // the hand-partitioned bzip2). Like Run, the result is verified against
-// the functional oracle.
+// the functional oracle. It is RunStagedCtx without cancellation or
+// options.
 func RunStaged(b Benchmark, d Design, stages int) (Result, error) {
-	res, err := exp.RunStaged(b.b, d.cfg, stages)
-	if err != nil {
-		return Result{}, err
-	}
-	return fromSim(res), nil
+	return RunStagedCtx(context.Background(), b, d, stages)
 }

@@ -13,13 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"hfstream/internal/design"
+	"hfstream"
 	"hfstream/internal/dswp"
-	"hfstream/internal/exp"
 	"hfstream/internal/workloads"
 )
 
@@ -87,13 +87,18 @@ func main() {
 // each stage spends its cycles — the partition-quality view the stage
 // assignment alone cannot give.
 func simulate(b *workloads.Benchmark) {
-	res, err := exp.RunBenchmark(b, design.SyncOptiConfig())
+	pb, err := hfstream.BenchmarkByName(b.Name)
 	if err != nil {
 		fmt.Printf("           run failed: %v\n", err)
 		return
 	}
-	for i := range res.Stalls {
+	res, err := hfstream.RunCtx(context.Background(), pb, hfstream.SyncOpti)
+	if err != nil {
+		fmt.Printf("           run failed: %v\n", err)
+		return
+	}
+	for i := range res.StallSummaries {
 		fmt.Printf("           stage %d: %d cycles (%d issuing), stalls: %s\n",
-			i, res.CoreCycles[i], res.IssueCycles[i], res.Stalls[i].Summary())
+			i, res.CoreCycles[i], res.IssueCycles[i], res.StallSummaries[i])
 	}
 }

@@ -1,7 +1,8 @@
 // Command hfexp regenerates the paper's evaluation: Tables 1-2 and
 // Figures 3 and 6-12. With no flags it runs everything. Simulations are
 // fanned across all cores by default; -j 1 reproduces the old serial
-// behaviour (the figures are byte-identical either way).
+// behaviour (the figures are byte-identical either way). Ctrl-C cancels
+// in-flight simulations cleanly.
 //
 // With -metrics it instead writes one machine-readable metrics JSON
 // snapshot per (benchmark, design) pair — deterministic files CI diffs
@@ -19,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"hfstream/internal/exp"
@@ -47,6 +49,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	exp.SetParallelism(*workers)
 	exp.SetWarnHook(func(msg string) {
 		fmt.Fprintln(os.Stderr, "hfexp: warning:", msg)
@@ -68,7 +73,7 @@ func main() {
 		if *benches != "" {
 			names = strings.Split(*benches, ",")
 		}
-		if err := exp.WriteMetricsDir(context.Background(), *metrics, names); err != nil {
+		if err := exp.WriteMetricsDir(ctx, *metrics, names); err != nil {
 			fmt.Fprintln(os.Stderr, "hfexp:", err)
 			os.Exit(1)
 		}
@@ -82,21 +87,21 @@ func main() {
 		on  bool
 		run func() (string, error)
 	}
-	renderFig := tableOf[*exp.BreakdownFigure]
+	renderFig := tableCtx[*exp.BreakdownFigure](ctx)
 	if *charts {
-		renderFig = chartOf
+		renderFig = chartCtx(ctx)
 	}
 	jobs := []job{
 		{*table1 || all, func() (string, error) { return exp.Table1(), nil }},
 		{*table2 || all, func() (string, error) { return exp.Table2(), nil }},
 		{*fig3 || all, func() (string, error) { return exp.Fig3().Table(), nil }},
-		{*fig6 || all, tableOf(exp.Fig6)},
-		{*fig7 || all, renderFig(exp.Fig7)},
-		{*fig8 || all, tableOf(exp.Fig8)},
-		{*fig9 || all, tableOf(exp.Fig9)},
-		{*fig10 || all, renderFig(exp.Fig10)},
-		{*fig11 || all, renderFig(exp.Fig11)},
-		{*fig12 || all, tableOf(exp.Fig12)},
+		{*fig6 || all, tableCtx[*exp.Fig6Result](ctx)(exp.Fig6Ctx)},
+		{*fig7 || all, renderFig(exp.Fig7Ctx)},
+		{*fig8 || all, tableCtx[*exp.Fig8Result](ctx)(exp.Fig8Ctx)},
+		{*fig9 || all, tableCtx[*exp.Fig9Result](ctx)(exp.Fig9Ctx)},
+		{*fig10 || all, renderFig(exp.Fig10Ctx)},
+		{*fig11 || all, renderFig(exp.Fig11Ctx)},
+		{*fig12 || all, tableCtx[*exp.Fig12Result](ctx)(exp.Fig12Ctx)},
 		{*stalls || all, tableOf(exp.StallBreakdown)},
 		{*abl, tableOf(exp.AblationQLU)},
 		{*abl, tableOf(exp.AblationBusPipelining)},
@@ -134,12 +139,28 @@ func tableOf[T tabler](f func() (T, error)) func() (string, error) {
 	}
 }
 
-func chartOf(f func() (*exp.BreakdownFigure, error)) func() (string, error) {
-	return func() (string, error) {
-		r, err := f()
-		if err != nil {
-			return "", err
+// tableCtx is tableOf for the cancellable figure variants: it binds ctx
+// and adapts a func(ctx) (T, error) into the job runner shape.
+func tableCtx[T tabler](ctx context.Context) func(func(context.Context) (T, error)) func() (string, error) {
+	return func(f func(context.Context) (T, error)) func() (string, error) {
+		return func() (string, error) {
+			r, err := f(ctx)
+			if err != nil {
+				return "", err
+			}
+			return r.Table(), nil
 		}
-		return r.Chart(), nil
+	}
+}
+
+func chartCtx(ctx context.Context) func(func(context.Context) (*exp.BreakdownFigure, error)) func() (string, error) {
+	return func(f func(context.Context) (*exp.BreakdownFigure, error)) func() (string, error) {
+		return func() (string, error) {
+			r, err := f(ctx)
+			if err != nil {
+				return "", err
+			}
+			return r.Chart(), nil
+		}
 	}
 }

@@ -18,22 +18,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"os/signal"
 
-	"hfstream/internal/design"
-	"hfstream/internal/exp"
-	"hfstream/internal/sim"
-	"hfstream/internal/trace"
-	"hfstream/internal/workloads"
+	"hfstream"
+	"hfstream/trace"
 )
-
-func designs() map[string]design.Config {
-	m := map[string]design.Config{}
-	for _, c := range design.StandardConfigs() {
-		m[c.Name()] = c
-	}
-	return m
-}
 
 func main() {
 	var (
@@ -49,40 +38,61 @@ func main() {
 	)
 	flag.Parse()
 
-	ds := designs()
 	if *list {
 		fmt.Println("benchmarks:")
-		for _, b := range workloads.All() {
-			fmt.Printf("  %-10s %-14s %s (%d%% of execution time)\n", b.Name, b.Suite, b.Function, b.ExecPct)
+		for _, b := range hfstream.Benchmarks() {
+			fmt.Printf("  %-10s %-14s %s (%d%% of execution time)\n",
+				b.Name(), b.Suite(), b.Function(), b.ExecPct())
 		}
-		names := make([]string, 0, len(ds))
-		for n := range ds {
-			names = append(names, n)
+		fmt.Print("designs:")
+		for _, d := range hfstream.Designs() {
+			fmt.Printf(" %s", d.Name())
 		}
-		fmt.Println("designs:", strings.Join(names, " "))
+		fmt.Println(" REGMAPPED NETQUEUE_<h>hop HEAVYWT_CENTRAL")
 		return
 	}
 
-	b, err := workloads.ByName(*benchName)
+	b, err := hfstream.BenchmarkByName(*benchName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hfsim:", err)
 		os.Exit(1)
 	}
-	cfg, ok := ds[*designName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "hfsim: unknown design %q (try -list)\n", *designName)
+	d, err := hfstream.DesignByName(*designName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfsim:", err)
 		os.Exit(1)
 	}
 
-	opts := exp.RunOpts{SampleInterval: *sample}
-	if *tracePath != "" {
-		opts.Trace = trace.NewBuffer(*traceCap)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var opts []hfstream.RunOpt
+	if *sample > 0 {
+		opts = append(opts, hfstream.WithSampleInterval(*sample))
 	}
-	var res *sim.Result
+	var buf *trace.Sink
+	if *tracePath != "" {
+		buf = trace.NewBuffer(*traceCap)
+		opts = append(opts, hfstream.WithTrace(buf))
+	}
+	if *metrics != "" {
+		mf := os.Stdout
+		if *metrics != "-" {
+			mf, err = os.Create(*metrics)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hfsim:", err)
+				os.Exit(1)
+			}
+			defer mf.Close()
+		}
+		opts = append(opts, hfstream.WithMetrics(mf))
+	}
+
+	var res hfstream.Result
 	if *single {
-		res, err = exp.RunSingleOpts(context.Background(), b, opts)
+		res, err = hfstream.RunSingleThreadedCtx(ctx, b, opts...)
 	} else {
-		res, err = exp.RunBenchmarkOpts(context.Background(), b, cfg, opts)
+		res, err = hfstream.RunCtx(ctx, b, d, opts...)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hfsim:", err)
@@ -91,13 +101,13 @@ func main() {
 	if res.UnquiescedExit {
 		fmt.Fprintf(os.Stderr, "hfsim: warning: cores done but fabric never quiesced\n%s", res.UnquiescedDetail)
 	}
-	if *tracePath != "" {
+	if buf != nil {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hfsim:", err)
 			os.Exit(1)
 		}
-		werr := trace.WriteChrome(f, res.Trace.Events(), res.Trace.Dropped())
+		werr := trace.WriteChrome(f, buf.Events(), buf.Dropped())
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
@@ -106,34 +116,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "hfsim: wrote %d trace events to %s (%d dropped)\n",
-			res.Trace.Len(), *tracePath, res.Trace.Dropped())
+			buf.Len(), *tracePath, buf.Dropped())
 	}
-	if *metrics != "" {
-		m := res.Metrics()
-		m.Benchmark = b.Name
-		m.Design = label(cfg, *single)
-		buf, err := sim.MetricsJSON(m)
-		if err == nil && *metrics == "-" {
-			_, err = os.Stdout.Write(buf)
-		} else if err == nil {
-			err = os.WriteFile(*metrics, buf, 0o644)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "hfsim:", err)
-			os.Exit(1)
-		}
-		if *metrics == "-" {
-			return
-		}
+	if *metrics == "-" {
+		return
 	}
 	if *sample > 0 && *csv {
-		fmt.Print(res.CSV(*sample))
+		fmt.Print(res.TimeSeriesCSV(*sample))
 		return
 	}
 
 	fmt.Printf("%s on %s: %d cycles (%d iterations, %.1f cycles/iter)\n",
-		b.Name, label(cfg, *single), res.Cycles, b.Iterations,
-		float64(res.Cycles)/float64(b.Iterations))
+		b.Name(), label(d, *single), res.Cycles, b.Iterations(),
+		float64(res.Cycles)/float64(b.Iterations()))
 	for i := range res.Breakdowns {
 		role := "producer"
 		if i == 1 {
@@ -144,9 +139,9 @@ func main() {
 		}
 		fmt.Printf("  core %d (%s): %s\n", i, role, res.Breakdowns[i].String())
 		fmt.Printf("    instructions: %d (comm %d, ratio %.3f)\n",
-			res.Issued[i], res.IssuedComm[i], res.CommRatio(i))
+			res.Instructions[i], res.CommInstructions[i], res.CommRatio(i))
 		fmt.Printf("    issue cycles: %d of %d; stalls: %s\n",
-			res.IssueCycles[i], res.CoreCycles[i], res.Stalls[i].Summary())
+			res.IssueCycles[i], res.CoreCycles[i], res.StallSummaries[i])
 	}
 	fmt.Printf("  bus: %d grants, %d beats, %d arbitration-wait cycles\n",
 		res.BusGrants, res.BusBeats, res.BusArbWait)
@@ -154,20 +149,20 @@ func main() {
 		res.L3Hits, res.L3Misses, res.MemAccesses)
 	if !*single {
 		fmt.Printf("  streaming: forwards %v, bulk ACKs %v, probes %v, stream-cache hits %v\n",
-			res.WrFwds, res.BulkAcks, res.Probes, res.SCHits)
+			res.WriteForwards, res.BulkAcks, res.Probes, res.StreamCacheHits)
 		if res.SAFullStalls+res.SAEmptyStalls > 0 {
 			fmt.Printf("  synchronization array: %d full stalls, %d empty stalls\n",
 				res.SAFullStalls, res.SAEmptyStalls)
 		}
 	}
 	if *sample > 0 {
-		fmt.Print(res.TraceReport(*sample))
+		fmt.Print(res.TimeSeriesReport(*sample))
 	}
 }
 
-func label(cfg design.Config, single bool) string {
+func label(d hfstream.Design, single bool) string {
 	if single {
 		return "single-threaded baseline"
 	}
-	return cfg.Name()
+	return d.Name()
 }

@@ -55,28 +55,57 @@ type CustomRun struct {
 // Read returns the 8-byte word at addr in the final memory image.
 func (c *CustomRun) Read(addr uint64) uint64 { return c.image.Read8(addr) }
 
+// maxCustomCores is the largest machine RunPrograms can build: queue
+// routing between cores uses the implicit dual-core peer mapping, so a
+// third communicating thread has no defined producer/consumer pairing.
+const maxCustomCores = 2
+
+// CoreCountError reports a RunPrograms call with more programs than the
+// design point's machine has cores for.
+type CoreCountError struct {
+	// Programs is the number of programs passed; Max is the largest
+	// supported machine.
+	Programs, Max int
+}
+
+// Error implements error.
+func (e *CoreCountError) Error() string {
+	return fmt.Sprintf("hfstream: %d programs, but custom machines have at most %d cores (queue routing is pairwise)",
+		e.Programs, e.Max)
+}
+
 // RunPrograms executes custom kernel threads (one per core, at most two
 // when they communicate through queues) on the given design point. init
-// seeds the functional memory image before execution.
+// seeds the functional memory image before execution. It returns a
+// *CoreCountError when progs exceeds the machine's core count; a lowering
+// failure anywhere in the slice fails the call before anything runs.
 func RunPrograms(d Design, progs []*Program, init map[uint64]uint64) (*CustomRun, error) {
 	if len(progs) == 0 {
 		return nil, fmt.Errorf("hfstream: no programs")
+	}
+	if len(progs) > maxCustomCores {
+		return nil, &CoreCountError{Programs: len(progs), Max: maxCustomCores}
+	}
+	// Lower every program before building the machine, so a failure on a
+	// later program cannot leave a half-constructed run behind.
+	lowered := make([]*isa.Program, len(progs))
+	for i, p := range progs {
+		lowered[i] = p.p
+		if d.cfg.SoftwareQueues() {
+			var err error
+			lowered[i], err = lower.Lower(p.p, d.cfg.Layout())
+			if err != nil {
+				return nil, fmt.Errorf("hfstream: program %d: %w", i, err)
+			}
+		}
 	}
 	image := mem.New()
 	for a, v := range init {
 		image.Write8(a, v)
 	}
-	var threads []sim.Thread
-	for _, p := range progs {
-		ip := p.p
-		if d.cfg.SoftwareQueues() {
-			var err error
-			ip, err = lower.Lower(ip, d.cfg.Layout())
-			if err != nil {
-				return nil, err
-			}
-		}
-		threads = append(threads, sim.Thread{Prog: ip})
+	threads := make([]sim.Thread, len(lowered))
+	for i, ip := range lowered {
+		threads[i] = sim.Thread{Prog: ip}
 	}
 	res, err := sim.Run(d.cfg.SimConfig(), image, threads)
 	if err != nil {

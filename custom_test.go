@@ -1,0 +1,196 @@
+package hfstream
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// mustCompile assembles src or fails the test.
+func mustCompile(t *testing.T, name, src string) *Program {
+	t.Helper()
+	p, err := CompileAsm(name, src)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return p
+}
+
+func TestCompileAsmErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"unknown-mnemonic", "frobnicate r1, r2\nhalt\n", "unknown mnemonic"},
+		{"bad-register", "movi r99, 1\nhalt\n", "bad register"},
+		{"undefined-label", "b nowhere\nhalt\n", "undefined label"},
+		{"duplicate-label", "x:\nmovi r1, 1\nx:\nhalt\n", "duplicate label"},
+		{"bad-queue", "movi r1, 1\nproduce qx, r1\nhalt\n", "bad queue"},
+		{"bad-memory-operand", "ld r1, oops\nhalt\n", "bad memory operand"},
+		{"bad-memory-base", "ld r1, [oops+8]\nhalt\n", "bad register"},
+		{"missing-operand", "add r1, r2\nhalt\n", "missing operand"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := CompileAsm(tc.name, tc.src)
+			if err == nil {
+				t.Fatalf("CompileAsm accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunProgramsCoreCount(t *testing.T) {
+	p := mustCompile(t, "p", "movi r1, 1\nhalt\n")
+
+	if _, err := RunPrograms(Existing, nil, nil); err == nil {
+		t.Error("RunPrograms accepted an empty program list")
+	}
+
+	_, err := RunPrograms(Existing, []*Program{p, p, p}, nil)
+	if err == nil {
+		t.Fatal("RunPrograms accepted 3 programs")
+	}
+	var cce *CoreCountError
+	if !errors.As(err, &cce) {
+		t.Fatalf("error %T is not *CoreCountError", err)
+	}
+	if cce.Programs != 3 || cce.Max != 2 {
+		t.Errorf("CoreCountError = %+v, want Programs=3 Max=2", cce)
+	}
+	if !strings.Contains(err.Error(), "3 programs") || !strings.Contains(err.Error(), "at most 2") {
+		t.Errorf("unhelpful message %q", err)
+	}
+}
+
+// A lowering failure anywhere in the slice must fail the whole call up
+// front, identify the offending program, and leave the inputs untouched.
+func TestRunProgramsLoweringFailure(t *testing.T) {
+	good := mustCompile(t, "good", `
+		movi r1, 7
+		st   [r0+4096], r1
+		halt
+	`)
+	// r60 collides with the scratch registers software-queue lowering
+	// claims from the top of the file.
+	bad := mustCompile(t, "bad", `
+		movi r60, 1
+		produce q0, r60
+		halt
+	`)
+	goodAsm, badAsm := good.Disassemble(), bad.Disassemble()
+
+	_, err := RunPrograms(Existing, []*Program{good, bad}, nil)
+	if err == nil {
+		t.Fatal("RunPrograms accepted a program colliding with lowering scratch registers")
+	}
+	if !strings.Contains(err.Error(), "program 1") {
+		t.Errorf("error %q does not name the offending slice index", err)
+	}
+	if good.Disassemble() != goodAsm || bad.Disassemble() != badAsm {
+		t.Error("RunPrograms mutated its input programs on failure")
+	}
+
+	// The same pair is fine on a hardware-queue design (no lowering).
+	if _, err := RunPrograms(HeavyWT, []*Program{good, bad}, nil); err != nil {
+		t.Errorf("HEAVYWT run failed: %v", err)
+	}
+}
+
+// RunPrograms must agree with the functional interpreter on every design
+// point, including the extension designs DesignByName resolves.
+func TestRunProgramsMatchesInterpretEverywhere(t *testing.T) {
+	prod := mustCompile(t, "prod", `
+		movi r1, 1
+		movi r2, 50
+		movi r3, 1
+	loop:
+		produce q0, r1
+		add  r1, r1, r3
+		cmplt r4, r2, r1
+		beqz r4, loop
+		movi r5, 0
+		produce q0, r5
+		halt
+	`)
+	cons := mustCompile(t, "cons", `
+		movi r1, 0
+		movi r2, 8192
+	loop:
+		consume r3, q0
+		beqz r3, done
+		add  r1, r1, r3
+		b loop
+	done:
+		st [r2+0], r1
+		halt
+	`)
+	init := map[uint64]uint64{8192: 0xdead}
+
+	oracle, err := Interpret([]*Program{prod, cons}, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle(8192)
+	if want != 50*51/2 {
+		t.Fatalf("oracle sum = %d, want %d", want, 50*51/2)
+	}
+
+	names := make([]string, 0, len(Designs())+3)
+	for _, d := range Designs() {
+		names = append(names, d.Name())
+	}
+	// NETQUEUE_3hop's odd hop count exercises the QLU/depth fixup.
+	names = append(names, "REGMAPPED", "NETQUEUE_2hop", "NETQUEUE_3hop", "HEAVYWT_CENTRAL")
+	for _, name := range names {
+		d, err := DesignByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		run, err := RunPrograms(d, []*Program{prod, cons}, init)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := run.Read(8192); got != want {
+			t.Errorf("%s: sum = %d, want %d", name, got, want)
+		}
+		if run.Cycles == 0 {
+			t.Errorf("%s: zero cycles", name)
+		}
+	}
+}
+
+func TestDesignByNameExtensions(t *testing.T) {
+	for name, want := range map[string]string{
+		"REGMAPPED":       "REGMAPPED",
+		"NETQUEUE_1hop":   "NETQUEUE_1hop",
+		"NETQUEUE_8hop":   "NETQUEUE_8hop",
+		"HEAVYWT_CENTRAL": "HEAVYWT_CENTRAL",
+	} {
+		d, err := DesignByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if d.Name() != want {
+			t.Errorf("DesignByName(%q).Name() = %q", name, d.Name())
+		}
+	}
+	for _, bad := range []string{"NETQUEUE_0hop", "NETQUEUE_xhop", "NETQUEUE_", "nope"} {
+		_, err := DesignByName(bad)
+		if err == nil {
+			t.Errorf("DesignByName accepted %q", bad)
+			continue
+		}
+		// The error must enumerate the valid names so callers can recover.
+		for _, must := range []string{"EXISTING", "HEAVYWT", "REGMAPPED", "NETQUEUE_<h>hop", "HEAVYWT_CENTRAL"} {
+			if !strings.Contains(err.Error(), must) {
+				t.Errorf("DesignByName(%q) error %q omits %s", bad, err, must)
+			}
+		}
+	}
+}

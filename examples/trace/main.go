@@ -14,8 +14,8 @@ import (
 
 	"hfstream/internal/design"
 	"hfstream/internal/exp"
-	"hfstream/internal/trace"
 	"hfstream/internal/workloads"
+	"hfstream/trace"
 )
 
 func main() {

@@ -1,6 +1,10 @@
 package hfstream
 
-import "hfstream/internal/exp"
+import (
+	"context"
+
+	"hfstream/internal/exp"
+)
 
 // Experiment names accepted by RunExperiment.
 const (
@@ -26,8 +30,17 @@ func ExperimentNames() []string {
 
 // RunExperiment regenerates one of the paper's tables or figures and
 // returns its text rendering. Figure experiments run the full benchmark
-// matrix and take seconds each.
+// matrix and take seconds each. It is RunExperimentCtx without
+// cancellation.
 func RunExperiment(name string) (string, error) {
+	return RunExperimentCtx(context.Background(), name)
+}
+
+// RunExperimentCtx is RunExperiment with cancellation: once ctx is done,
+// in-flight simulations abort and the experiment returns an error. The
+// table experiments (table1, table2, fig3) are pure computations and
+// finish regardless of ctx.
+func RunExperimentCtx(ctx context.Context, name string) (string, error) {
 	switch name {
 	case ExpTable1:
 		return exp.Table1(), nil
@@ -36,43 +49,43 @@ func RunExperiment(name string) (string, error) {
 	case ExpFig3:
 		return exp.Fig3().Table(), nil
 	case ExpFig6:
-		r, err := exp.Fig6()
+		r, err := exp.Fig6Ctx(ctx)
 		if err != nil {
 			return "", err
 		}
 		return r.Table(), nil
 	case ExpFig7:
-		r, err := exp.Fig7()
+		r, err := exp.Fig7Ctx(ctx)
 		if err != nil {
 			return "", err
 		}
 		return r.Table(), nil
 	case ExpFig8:
-		r, err := exp.Fig8()
+		r, err := exp.Fig8Ctx(ctx)
 		if err != nil {
 			return "", err
 		}
 		return r.Table(), nil
 	case ExpFig9:
-		r, err := exp.Fig9()
+		r, err := exp.Fig9Ctx(ctx)
 		if err != nil {
 			return "", err
 		}
 		return r.Table(), nil
 	case ExpFig10:
-		r, err := exp.Fig10()
+		r, err := exp.Fig10Ctx(ctx)
 		if err != nil {
 			return "", err
 		}
 		return r.Table(), nil
 	case ExpFig11:
-		r, err := exp.Fig11()
+		r, err := exp.Fig11Ctx(ctx)
 		if err != nil {
 			return "", err
 		}
 		return r.Table(), nil
 	case ExpFig12:
-		r, err := exp.Fig12()
+		r, err := exp.Fig12Ctx(ctx)
 		if err != nil {
 			return "", err
 		}

@@ -1,0 +1,61 @@
+package hfstream
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// pureExperiments are the table renderings that do no simulation.
+var pureExperiments = map[string]bool{
+	ExpTable1: true, ExpTable2: true, ExpFig3: true,
+}
+
+// TestRunExperimentAll smokes every registered experiment: each name must
+// resolve, run, and render non-empty output mentioning no error text. The
+// figure experiments simulate the full benchmark matrix, so -short keeps
+// to the pure tables.
+func TestRunExperimentAll(t *testing.T) {
+	for _, name := range ExperimentNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if testing.Short() && !pureExperiments[name] {
+				t.Skipf("%s simulates the full matrix; skipped in -short", name)
+			}
+			out, err := RunExperiment(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.TrimSpace(out) == "" {
+				t.Fatal("empty output")
+			}
+			if !strings.Contains(out, "\n") {
+				t.Errorf("output is a single line: %q", out)
+			}
+		})
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	_, err := RunExperiment("nope")
+	if err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+	if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error %q does not name the bad experiment", err)
+	}
+}
+
+// A canceled context must abort figure experiments instead of running the
+// full matrix; pure table experiments finish regardless.
+func TestRunExperimentCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunExperimentCtx(ctx, ExpFig9); err == nil {
+		t.Error("canceled fig9 did not fail")
+	}
+	out, err := RunExperimentCtx(ctx, ExpTable1)
+	if err != nil || out == "" {
+		t.Errorf("canceled table1 = (%q, %v), want output", out, err)
+	}
+}

@@ -93,7 +93,8 @@ type Req struct {
 	// result before that cycle. May be nil.
 	Done func(cycle uint64)
 
-	granted bool
+	granted  bool
+	submitAt uint64
 }
 
 // Handler performs the semantic part of a granted transaction: snooping
@@ -135,8 +136,7 @@ type Bus struct {
 	Grants       [numKinds]uint64
 	BeatsCarried uint64
 	// ArbWait accumulates CPU cycles requests spent waiting for a grant.
-	ArbWait   uint64
-	submitted map[*Req]uint64
+	ArbWait uint64
 
 	// Trace, when non-nil, observes every address-phase grant (the
 	// simulator wires it to the structured event trace).
@@ -155,10 +155,9 @@ func New(p Params, n int, h Handler) *Bus {
 		p.SnoopLat = 1
 	}
 	return &Bus{
-		p:         p,
-		handler:   h,
-		queues:    make([][]pending, n),
-		submitted: make(map[*Req]uint64),
+		p:       p,
+		handler: h,
+		queues:  make([][]pending, n),
 	}
 }
 
@@ -176,7 +175,7 @@ func (b *Bus) Submit(cycle uint64, r *Req) {
 		panic(fmt.Sprintf("bus: bad source %d", r.Src))
 	}
 	b.queues[r.Src] = append(b.queues[r.Src], pending{req: r})
-	b.submitted[r] = cycle
+	r.submitAt = cycle
 }
 
 // PendingFor returns the number of queued (ungranted) requests from src.
@@ -190,6 +189,29 @@ func (b *Bus) Idle(cycle uint64) bool {
 		}
 	}
 	return b.addrFree <= cycle && b.dataFree <= cycle
+}
+
+// NextWake returns the earliest future cycle at which the bus can change
+// state on its own: the next grant opportunity when requests are queued,
+// or the cycle its address/data paths drain (which can flip Idle and so
+// let the machine quiesce). Returns ^uint64(0) when nothing is pending.
+func (b *Bus) NextWake(cycle uint64) uint64 {
+	for _, q := range b.queues {
+		if len(q) > 0 {
+			if b.addrFree > cycle {
+				return b.addrFree
+			}
+			return cycle + 1
+		}
+	}
+	w := ^uint64(0)
+	if b.addrFree > cycle {
+		w = b.addrFree
+	}
+	if b.dataFree > cycle && b.dataFree < w {
+		w = b.dataFree
+	}
+	return w
 }
 
 // Tick advances the bus one CPU cycle, granting at most one address phase
@@ -219,10 +241,7 @@ func (b *Bus) grant(cycle uint64, r *Req) {
 	if b.Trace != nil {
 		b.Trace(cycle, r.Kind, r.Src, r.Addr)
 	}
-	if t, ok := b.submitted[r]; ok {
-		b.ArbWait += cycle - t
-		delete(b.submitted, r)
-	}
+	b.ArbWait += cycle - r.submitAt
 	cpb := uint64(b.p.CPB)
 	addrPhase := uint64(b.p.ArbLat+b.p.SnoopLat) * cpb
 

@@ -14,12 +14,13 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"hfstream/internal/isa"
 	"hfstream/internal/port"
 	"hfstream/internal/stats"
-	"hfstream/internal/trace"
+	"hfstream/trace"
 )
 
 // Params configures a core.
@@ -126,17 +127,33 @@ func (s *StallCycles) Summary() string {
 	return fmt.Sprintf("%s total=%d", strings.Join(parts, " "), s.Total())
 }
 
+// imeta is the predecoded form of one instruction: the per-issue opcode
+// property lookups (FU class, operand roles, latency, reg-mapped queue
+// exemption) resolved once at core construction instead of per attempt.
+type imeta struct {
+	fu       isa.FU
+	free     bool // reg-mapped queue op: no issue slot, no FU
+	readsRa  bool
+	readsRb  bool
+	writesRd bool
+	lat      uint64
+}
+
 // Core executes one thread program against a memory port and an optional
 // streaming port.
 type Core struct {
 	id   int
 	p    Params
 	prog *isa.Program
+	meta []imeta // predecoded Instrs, same indexing as prog.Instrs
 	pc   int
 
 	regs  [isa.NumRegs]uint64
 	ready [isa.NumRegs]uint64
 	pend  [isa.NumRegs]*port.Token
+	// pendMask has bit r set iff pend[r] != nil, so the per-cycle collect
+	// and outstanding-load scans touch only live registers.
+	pendMask uint64
 
 	memp port.Mem
 	strm port.Stream
@@ -177,6 +194,12 @@ type Core struct {
 	// with one reason emit a single KindStall event with a duration.
 	stallSince uint64
 	stallCur   StallReason
+
+	// Fast-forward bookkeeping: the bucket the last zero-issue cycle was
+	// charged to, and (for operand stalls) the cycle the blocking register
+	// becomes ready. See FastForward and NextWake.
+	lastStallBucket stats.Bucket
+	stallWake       uint64
 }
 
 // New builds a core running prog. strm may be nil for programs without
@@ -185,7 +208,18 @@ func New(id int, p Params, prog *isa.Program, memp port.Mem, strm port.Stream) *
 	if p.IssueWidth <= 0 {
 		p = DefaultParams()
 	}
-	return &Core{id: id, p: p, prog: prog, pc: 0, memp: memp, strm: strm}
+	meta := make([]imeta, len(prog.Instrs))
+	for i, in := range prog.Instrs {
+		meta[i] = imeta{
+			fu:       in.Op.FU(),
+			free:     p.RegMappedQueues && (in.Op == isa.Produce || in.Op == isa.Consume),
+			readsRa:  in.Op.ReadsRa(),
+			readsRb:  in.Op.ReadsRb(),
+			writesRd: in.Op.WritesRd(),
+			lat:      uint64(in.Op.Latency()),
+		}
+	}
+	return &Core{id: id, p: p, prog: prog, meta: meta, pc: 0, memp: memp, strm: strm}
 }
 
 // ID returns the core index.
@@ -205,8 +239,11 @@ func (c *Core) Done(cycle uint64) bool {
 	if !c.halted {
 		return false
 	}
-	for r := range c.pend {
-		if c.pend[r] != nil && !c.pend[r].Done(cycle) {
+	m := c.pendMask
+	for m != 0 {
+		r := bits.TrailingZeros64(m)
+		m &= m - 1
+		if !c.pend[r].Done(cycle) {
 			return false
 		}
 	}
@@ -223,16 +260,25 @@ func (c *Core) Done(cycle uint64) bool {
 func (c *Core) AppIssued() uint64 { return c.Issued - c.IssuedComm }
 
 func (c *Core) collect(cycle uint64) {
-	for r := range c.pend {
-		if t := c.pend[r]; t != nil && t.Done(cycle) {
-			c.regs[r] = t.Value
-			c.ready[r] = t.DoneAt
-			c.pend[r] = nil
-			if c.Tracer != nil {
-				c.Tracer.Add(trace.Event{Cycle: cycle, Kind: trace.KindRetire,
-					Core: c.id, PC: -1, Q: -1, Op: "writeback", Val: t.Value})
-			}
+	m := c.pendMask
+	for m != 0 {
+		r := bits.TrailingZeros64(m)
+		m &= m - 1
+		t := c.pend[r]
+		if !t.Done(cycle) {
+			continue
 		}
+		c.regs[r] = t.Value
+		c.ready[r] = t.DoneAt
+		c.pend[r] = nil
+		c.pendMask &^= 1 << uint(r)
+		if c.Tracer != nil {
+			c.Tracer.Add(trace.Event{Cycle: cycle, Kind: trace.KindRetire,
+				Core: c.id, PC: -1, Q: -1, Op: "writeback", Val: t.Value})
+		}
+	}
+	if len(c.inflight) == 0 {
+		return
 	}
 	kept := c.inflight[:0]
 	for _, t := range c.inflight {
@@ -260,6 +306,7 @@ func (c *Core) Tick(cycle uint64) {
 		c.StallRegions.Add(b, 1)
 		c.noteStall(cycle, StallHalted)
 		c.LastStall = StallHalted
+		c.lastStallBucket = b
 		return
 	}
 
@@ -268,40 +315,42 @@ func (c *Core) Tick(cycle uint64) {
 	var fuUsed [isa.NumFUs]int
 	stall := StallNone
 	var stallBucket stats.Bucket = stats.PreL2
+	var stallWake uint64
 
 issueLoop:
 	for issued < c.p.IssueWidth {
 		in := c.prog.Instrs[c.pc]
-		fu := in.Op.FU()
+		m := &c.meta[c.pc]
+		fu := m.fu
 		// Register-mapped queue operations ride on the instructions that
 		// produce or use the value: no issue slot, no FU.
-		free := c.p.RegMappedQueues && (in.Op == isa.Produce || in.Op == isa.Consume)
+		free := m.free
 		if !free && fuUsed[fu] >= c.p.FUs[fu] {
 			stall = StallFU
 			break
 		}
 		// Operand readiness.
-		if in.Op.ReadsRa() {
+		if m.readsRa {
 			if t := c.pend[in.Ra]; t != nil {
 				stall, stallBucket = StallToken, t.Loc
 				break
 			}
 			if c.ready[in.Ra] > cycle {
-				stall = StallOperand
+				stall, stallWake = StallOperand, c.ready[in.Ra]
 				break
 			}
 		}
-		if in.Op.ReadsRb() {
+		if m.readsRb {
 			if t := c.pend[in.Rb]; t != nil {
 				stall, stallBucket = StallToken, t.Loc
 				break
 			}
 			if c.ready[in.Rb] > cycle {
-				stall = StallOperand
+				stall, stallWake = StallOperand, c.ready[in.Rb]
 				break
 			}
 		}
-		if in.Op.WritesRd() && c.pend[in.Rd] != nil {
+		if m.writesRd && c.pend[in.Rd] != nil {
 			stall = StallWAW
 			break
 		}
@@ -341,6 +390,7 @@ issueLoop:
 			addr := c.regs[in.Ra] + uint64(in.Imm)
 			tok := c.memp.Load(cycle, addr)
 			c.pend[in.Rd] = tok
+			c.pendMask |= 1 << uint(in.Rd)
 			c.loads++
 			c.IssuedLoads++
 			fuUsed[fu]++
@@ -400,6 +450,7 @@ issueLoop:
 				break issueLoop
 			}
 			c.pend[in.Rd] = tok
+			c.pendMask |= 1 << uint(in.Rd)
 			if !free {
 				fuUsed[fu]++
 				issued++
@@ -408,7 +459,7 @@ issueLoop:
 			c.pc++
 
 		default:
-			c.exec(in, cycle)
+			c.exec(in, cycle, m.lat)
 			fuUsed[fu]++
 			issued++
 			c.note(cycle, in)
@@ -426,6 +477,8 @@ issueLoop:
 		c.Breakdown.Add(stallBucket, 1)
 		c.Stalls[stall]++
 		c.StallRegions.Add(stallBucket, 1)
+		c.lastStallBucket = stallBucket
+		c.stallWake = stallWake
 		c.noteStall(cycle, stall)
 	case commOnly:
 		c.Breakdown.Add(stats.PostL2, 1)
@@ -470,6 +523,50 @@ func (c *Core) flushStallTrace(endCycle uint64) {
 // once after the final cycle so trailing drain stalls appear in the trace.
 func (c *Core) FinishTrace(endCycle uint64) { c.flushStallTrace(endCycle) }
 
+// FastForward accounts n skipped dead cycles exactly as n repetitions of
+// the zero-issue Tick the core just executed would have: the same stall
+// reason, breakdown bucket, and region are charged per cycle. The caller
+// (the simulator's idle fast-forward) guarantees that nothing the core
+// observes can change during the skipped cycles.
+func (c *Core) FastForward(n uint64) {
+	c.Cycles += n
+	c.Breakdown.Add(c.lastStallBucket, n)
+	c.Stalls[c.LastStall] += n
+	c.StallRegions.Add(c.lastStallBucket, n)
+}
+
+// NextWake returns the earliest future cycle at which this core's issue or
+// drain state can change without outside activity: the ready cycle of the
+// operand it stalled on, or the completion of any outstanding memory/
+// stream token (which can unblock issue, change the drain bucket, or
+// finish the drain). Event-driven waits (queue full/empty, OzQ full,
+// fence) contribute no wake of their own — the component that unblocks
+// them reports one instead. Returns ^uint64(0) when only outside activity
+// can wake the core.
+func (c *Core) NextWake(cycle uint64) uint64 {
+	w := uint64(port.Pending)
+	if c.LastStall == StallOperand && c.stallWake > cycle {
+		w = c.stallWake
+	}
+	m := c.pendMask
+	for m != 0 {
+		r := bits.TrailingZeros64(m)
+		m &= m - 1
+		if t := c.pend[r]; t.DoneAt < w {
+			w = t.DoneAt
+		}
+	}
+	for _, t := range c.inflight {
+		if t.DoneAt < w {
+			w = t.DoneAt
+		}
+	}
+	if w <= cycle {
+		return cycle + 1
+	}
+	return w
+}
+
 // note records one issued instruction. It runs before c.pc advances, so
 // c.pc still names the issuing instruction.
 func (c *Core) note(cycle uint64, in isa.Instr) {
@@ -496,8 +593,11 @@ func (c *Core) note(cycle uint64, in isa.Instr) {
 
 func (c *Core) countLoads(cycle uint64) {
 	n := 0
-	for r := range c.pend {
-		if t := c.pend[r]; t != nil && !t.Done(cycle) {
+	m := c.pendMask
+	for m != 0 {
+		r := bits.TrailingZeros64(m)
+		m &= m - 1
+		if !c.pend[r].Done(cycle) {
 			n++
 		}
 	}
@@ -505,8 +605,11 @@ func (c *Core) countLoads(cycle uint64) {
 }
 
 func (c *Core) drainBucket(cycle uint64) stats.Bucket {
-	for r := range c.pend {
-		if t := c.pend[r]; t != nil && !t.Done(cycle) {
+	m := c.pendMask
+	for m != 0 {
+		r := bits.TrailingZeros64(m)
+		m &= m - 1
+		if t := c.pend[r]; !t.Done(cycle) {
 			return t.Loc
 		}
 	}
@@ -520,10 +623,10 @@ func (c *Core) drainBucket(cycle uint64) stats.Bucket {
 
 // exec evaluates a register-register instruction functionally and sets the
 // destination's ready cycle from the opcode latency.
-func (c *Core) exec(in isa.Instr, cycle uint64) {
+func (c *Core) exec(in isa.Instr, cycle, lat uint64) {
 	if in.Op == isa.Nop {
 		return
 	}
 	c.regs[in.Rd] = isa.Eval(in.Op, c.regs[in.Ra], c.regs[in.Rb], in.Imm)
-	c.ready[in.Rd] = cycle + uint64(in.Op.Latency())
+	c.ready[in.Rd] = cycle + lat
 }

@@ -6,7 +6,7 @@ import (
 	"hfstream/internal/asm"
 	"hfstream/internal/isa"
 	"hfstream/internal/stats"
-	"hfstream/internal/trace"
+	"hfstream/trace"
 )
 
 // checkStallInvariant asserts the accounting identity the observability

@@ -158,8 +158,10 @@ func NetQueueConfig(hops int) Config {
 	c := base(HeavyWT)
 	c.Label = fmt.Sprintf("NETQUEUE_%dhop", hops)
 	c.QueueDepth = hops * netQueueBufsPerHop
-	if c.QueueDepth < c.QLU {
-		c.QLU = c.QueueDepth // the memory layout is unused but must stay valid
+	// The memory layout is unused but must stay valid: QLU has to divide
+	// the depth (odd hop counts give depths like 12 that 8 does not).
+	for c.QueueDepth%c.QLU != 0 {
+		c.QLU /= 2
 	}
 	c.InterconnectLat = hops
 	return c

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"hfstream/internal/design"
@@ -64,7 +65,7 @@ func ablate(title string, variants []string, configs []design.Config) (*Ablation
 	if len(variants) != len(configs) {
 		return nil, fmt.Errorf("exp: %d variants vs %d configs", len(variants), len(configs))
 	}
-	grid, err := runMatrix(configs)
+	grid, err := runMatrix(context.Background(), configs)
 	if err != nil {
 		return nil, err
 	}

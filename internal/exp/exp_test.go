@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -110,7 +111,7 @@ func TestBreakdownFigureNormalization(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full benchmark set")
 	}
-	fig, err := breakdownFigure("test", []design.Config{design.HeavyWTConfig(), design.SyncOptiConfig()}, 0)
+	fig, err := breakdownFigure(context.Background(), "test", []design.Config{design.HeavyWTConfig(), design.SyncOptiConfig()}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

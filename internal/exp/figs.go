@@ -36,9 +36,9 @@ type BreakdownFigure struct {
 // breakdownFigure runs every benchmark on each config (fanned across the
 // worker pool) and normalizes each bar to the first config's (the
 // baseline's) execution time.
-func breakdownFigure(title string, configs []design.Config, coreIdx int) (*BreakdownFigure, error) {
+func breakdownFigure(ctx context.Context, title string, configs []design.Config, coreIdx int) (*BreakdownFigure, error) {
 	fig := &BreakdownFigure{Title: title, Core: coreIdx}
-	grid, err := runMatrix(configs)
+	grid, err := runMatrix(ctx, configs)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +113,11 @@ type Fig6Result struct {
 }
 
 // Fig6 runs the transit-delay tolerance experiment.
-func Fig6() (*Fig6Result, error) {
+func Fig6() (*Fig6Result, error) { return Fig6Ctx(context.Background()) }
+
+// Fig6Ctx is Fig6 with cancellation: in-flight simulations abort once ctx
+// is done.
+func Fig6Ctx(ctx context.Context) (*Fig6Result, error) {
 	cfg1 := design.HeavyWTConfig()
 	cfg10 := design.HeavyWTConfig()
 	cfg10.InterconnectLat = 10
@@ -124,7 +128,7 @@ func Fig6() (*Fig6Result, error) {
 	cfg10q64.Label = "HEAVYWT_lat10_q64"
 
 	res := &Fig6Result{Geomean: Fig6Row{Benchmark: "GeoMean"}}
-	grid, err := runMatrix([]design.Config{cfg1, cfg10, cfg10q64})
+	grid, err := runMatrix(ctx, []design.Config{cfg1, cfg10, cfg10q64})
 	if err != nil {
 		return nil, err
 	}
@@ -163,8 +167,11 @@ func (r *Fig6Result) Table() string {
 
 // Fig7 runs the four primary design points and reports the producer
 // thread's normalized execution-time breakdowns.
-func Fig7() (*BreakdownFigure, error) {
-	return breakdownFigure(
+func Fig7() (*BreakdownFigure, error) { return Fig7Ctx(context.Background()) }
+
+// Fig7Ctx is Fig7 with cancellation (see Fig6Ctx).
+func Fig7Ctx(ctx context.Context) (*BreakdownFigure, error) {
+	return breakdownFigure(ctx,
 		"Figure 7: Normalized execution times for each design point (producer thread)",
 		design.FourPoints(), 0)
 }
@@ -173,7 +180,7 @@ func Fig7() (*BreakdownFigure, error) {
 // omitted it "due to space constraints", noting overall consumer
 // performance matched the producer with different component breakdowns.
 func Fig7Consumer() (*BreakdownFigure, error) {
-	return breakdownFigure(
+	return breakdownFigure(context.Background(),
 		"Figure 7 (consumer thread; omitted in the paper for space)",
 		design.FourPoints(), 1)
 }
@@ -197,9 +204,12 @@ type Fig8Result struct {
 
 // Fig8 measures communication frequency on the HEAVYWT design (the
 // produce/consume instruction builds, as in the paper).
-func Fig8() (*Fig8Result, error) {
+func Fig8() (*Fig8Result, error) { return Fig8Ctx(context.Background()) }
+
+// Fig8Ctx is Fig8 with cancellation (see Fig6Ctx).
+func Fig8Ctx(ctx context.Context) (*Fig8Result, error) {
 	res := &Fig8Result{Geomean: Fig8Row{Benchmark: "GeoMean"}}
-	grid, err := runMatrix([]design.Config{design.HeavyWTConfig()})
+	grid, err := runMatrix(ctx, []design.Config{design.HeavyWTConfig()})
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +266,10 @@ type Fig9Result struct {
 
 // Fig9 runs the speedup experiment: each benchmark's single-threaded
 // baseline and HEAVYWT run are independent jobs on the worker pool.
-func Fig9() (*Fig9Result, error) {
+func Fig9() (*Fig9Result, error) { return Fig9Ctx(context.Background()) }
+
+// Fig9Ctx is Fig9 with cancellation (see Fig6Ctx).
+func Fig9Ctx(ctx context.Context) (*Fig9Result, error) {
 	benches := workloads.All()
 	heavy := design.HeavyWTConfig()
 	jobs := make([]Job, 0, 2*len(benches))
@@ -265,7 +278,7 @@ func Fig9() (*Fig9Result, error) {
 			Job{Bench: b.Name, Single: true},
 			Job{Bench: b.Name, Config: heavy})
 	}
-	results := newRunner().Run(context.Background(), jobs)
+	results := newRunner().Run(ctx, jobs)
 	if err := FirstErr(results); err != nil {
 		return nil, err
 	}
@@ -301,27 +314,33 @@ func (r *Fig9Result) Table() string {
 
 // Fig10 repeats Figure 7 with a 4-CPU-cycle bus (and a 4-cycle HEAVYWT
 // interconnect), exposing arbitration backlog on the narrow bus.
-func Fig10() (*BreakdownFigure, error) {
+func Fig10() (*BreakdownFigure, error) { return Fig10Ctx(context.Background()) }
+
+// Fig10Ctx is Fig10 with cancellation (see Fig6Ctx).
+func Fig10Ctx(ctx context.Context) (*BreakdownFigure, error) {
 	configs := design.FourPoints()
 	for i := range configs {
 		configs[i].BusCPB = 4
 		configs[i].InterconnectLat = 4
 	}
-	return breakdownFigure(
+	return breakdownFigure(ctx,
 		"Figure 10: Effect of increased transit delay (bus latency = 4 CPU cycles)",
 		configs, 0)
 }
 
 // Fig11 widens the 4-cycle bus to 128 bytes (a full line per beat),
 // restoring most of the lost performance.
-func Fig11() (*BreakdownFigure, error) {
+func Fig11() (*BreakdownFigure, error) { return Fig11Ctx(context.Background()) }
+
+// Fig11Ctx is Fig11 with cancellation (see Fig6Ctx).
+func Fig11Ctx(ctx context.Context) (*BreakdownFigure, error) {
 	configs := design.FourPoints()
 	for i := range configs {
 		configs[i].BusCPB = 4
 		configs[i].BusWidth = 128
 		configs[i].InterconnectLat = 4
 	}
-	return breakdownFigure(
+	return breakdownFigure(ctx,
 		"Figure 11: Effect of increased interconnect bandwidth (bus width = 128 bytes, latency = 4)",
 		configs, 0)
 }
@@ -337,7 +356,10 @@ type Fig12Result struct {
 
 // Fig12 evaluates the stream cache and queue-size optimizations:
 // HEAVYWT vs SYNCOPTI_SC+Q64 vs SYNCOPTI_SC vs SYNCOPTI_Q64 vs SYNCOPTI.
-func Fig12() (*Fig12Result, error) {
+func Fig12() (*Fig12Result, error) { return Fig12Ctx(context.Background()) }
+
+// Fig12Ctx is Fig12 with cancellation (see Fig6Ctx).
+func Fig12Ctx(ctx context.Context) (*Fig12Result, error) {
 	configs := []design.Config{
 		design.HeavyWTConfig(),
 		design.SyncOptiSCQ64Config(),
@@ -345,12 +367,12 @@ func Fig12() (*Fig12Result, error) {
 		design.SyncOptiQ64Config(),
 		design.SyncOptiConfig(),
 	}
-	prod, err := breakdownFigure(
+	prod, err := breakdownFigure(ctx,
 		"Figure 12 (producer): effect of streaming cache and queue size", configs, 0)
 	if err != nil {
 		return nil, err
 	}
-	cons, err := breakdownFigure(
+	cons, err := breakdownFigure(ctx,
 		"Figure 12 (consumer): effect of streaming cache and queue size", configs, 1)
 	if err != nil {
 		return nil, err

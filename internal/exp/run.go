@@ -16,8 +16,8 @@ import (
 	"hfstream/internal/lower"
 	"hfstream/internal/mem"
 	"hfstream/internal/sim"
-	"hfstream/internal/trace"
 	"hfstream/internal/workloads"
+	"hfstream/trace"
 )
 
 // RunBenchmark executes the pipelined version of b on the given design
@@ -38,6 +38,18 @@ type RunOpts struct {
 	SampleInterval uint64
 	// Trace, when non-nil, receives the structured event trace.
 	Trace *trace.Buffer
+	// Progress, when non-nil, is called from the cycle loop every
+	// ProgressEvery cycles (see sim.Config.Progress).
+	Progress      func(cycle, issued uint64)
+	ProgressEvery uint64
+}
+
+// apply copies the options onto a simulator config.
+func (o RunOpts) apply(simCfg *sim.Config) {
+	simCfg.SampleInterval = o.SampleInterval
+	simCfg.Trace = o.Trace
+	simCfg.Progress = o.Progress
+	simCfg.ProgressEvery = o.ProgressEvery
 }
 
 // RunBenchmarkSampledCtx is RunBenchmarkSampled with cancellation: the
@@ -75,8 +87,7 @@ func RunBenchmarkOpts(ctx context.Context, b *workloads.Benchmark, cfg design.Co
 	}
 	simCfg := cfg.SimConfig()
 	simCfg.Preload = b.InputRegions
-	simCfg.SampleInterval = opts.SampleInterval
-	simCfg.Trace = opts.Trace
+	opts.apply(&simCfg)
 	simCfg.Cancel = ctx.Done()
 	res, err := sim.Run(simCfg, img, ths)
 	if err != nil {
@@ -109,8 +120,7 @@ func RunSingleOpts(ctx context.Context, b *workloads.Benchmark, opts RunOpts) (*
 	b.Setup(img)
 	simCfg := design.ExistingConfig().SimConfig()
 	simCfg.Preload = b.InputRegions
-	simCfg.SampleInterval = opts.SampleInterval
-	simCfg.Trace = opts.Trace
+	opts.apply(&simCfg)
 	simCfg.Cancel = ctx.Done()
 	res, err := sim.Run(simCfg, img, []sim.Thread{{Prog: prog}})
 	if err != nil {

@@ -192,7 +192,7 @@ func newRunner() *Runner {
 // runMatrix runs every (benchmark, config) pair of the full workload set
 // on the default runner and returns results indexed [benchmark][config]
 // in workloads.All() x configs order.
-func runMatrix(configs []design.Config) ([][]*sim.Result, error) {
+func runMatrix(ctx context.Context, configs []design.Config) ([][]*sim.Result, error) {
 	benches := workloads.All()
 	jobs := make([]Job, 0, len(benches)*len(configs))
 	for _, b := range benches {
@@ -200,7 +200,7 @@ func runMatrix(configs []design.Config) ([][]*sim.Result, error) {
 			jobs = append(jobs, Job{Bench: b.Name, Config: cfg})
 		}
 	}
-	results := newRunner().Run(context.Background(), jobs)
+	results := newRunner().Run(ctx, jobs)
 	if err := FirstErr(results); err != nil {
 		return nil, err
 	}

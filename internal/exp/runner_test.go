@@ -248,7 +248,7 @@ func TestRunMatrixShape(t *testing.T) {
 		t.Skip("runs the full benchmark set")
 	}
 	configs := []design.Config{design.HeavyWTConfig(), design.SyncOptiConfig()}
-	grid, err := runMatrix(configs)
+	grid, err := runMatrix(context.Background(), configs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"hfstream/internal/design"
@@ -94,6 +95,12 @@ func runThreads(b *workloads.Benchmark, threads []sim.Thread) (uint64, error) {
 // the output against the oracle. Software-queue designs are lowered; the
 // partition's queue routes steer SYNCOPTI's memory-side streaming.
 func RunStaged(b *workloads.Benchmark, cfg design.Config, stages int) (*sim.Result, error) {
+	return RunStagedOpts(context.Background(), b, cfg, stages, RunOpts{})
+}
+
+// RunStagedOpts is RunStaged with cancellation and observability options
+// (see RunBenchmarkOpts).
+func RunStagedOpts(ctx context.Context, b *workloads.Benchmark, cfg design.Config, stages int, opts RunOpts) (*sim.Result, error) {
 	if b.Loop == nil {
 		return nil, fmt.Errorf("exp: %s is hand-partitioned; staged runs need an IR kernel", b.Name)
 	}
@@ -114,6 +121,8 @@ func RunStaged(b *workloads.Benchmark, cfg design.Config, stages int) (*sim.Resu
 	}
 	simCfg := cfg.SimConfig()
 	simCfg.Preload = b.InputRegions
+	opts.apply(&simCfg)
+	simCfg.Cancel = ctx.Done()
 	for _, rt := range pr.Routes {
 		simCfg.Mem.QueueRoutes = append(simCfg.Mem.QueueRoutes,
 			memsys.QueueRoute{Producer: rt.Producer, Consumer: rt.Consumer})

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"hfstream/internal/core"
@@ -36,7 +37,7 @@ type StallFigure struct {
 // aggregates per-core stall attribution across the suite.
 func StallBreakdown() (*StallFigure, error) {
 	configs := design.StandardConfigs()
-	grid, err := runMatrix(configs)
+	grid, err := runMatrix(context.Background(), configs)
 	if err != nil {
 		return nil, err
 	}

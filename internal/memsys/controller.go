@@ -81,6 +81,7 @@ type Controller struct {
 	l2  *cache.Cache
 
 	ozq    []*ozEntry
+	free   []*ozEntry // recycled entries (the OzQ is the kernel's hottest allocation site)
 	seq    uint64
 	events []event
 
@@ -183,6 +184,18 @@ func (c *Controller) push(e *ozEntry) *ozEntry {
 	return e
 }
 
+// alloc returns a zeroed OzQ entry, reusing a retired one when possible.
+// Entries are recycled in compact once they reach stDone; nothing holds a
+// reference past that point (tokens are separate objects the core owns).
+func (c *Controller) alloc() *ozEntry {
+	if n := len(c.free); n > 0 {
+		e := c.free[n-1]
+		c.free = c.free[:n-1]
+		return e
+	}
+	return &ozEntry{}
+}
+
 // Load implements port.Mem. L1 hits complete without an OzQ entry.
 func (c *Controller) Load(cycle, addr uint64) *port.Token {
 	tok := port.NewToken(stats.PreL2)
@@ -191,7 +204,9 @@ func (c *Controller) Load(cycle, addr uint64) *port.Token {
 		return tok
 	}
 	tok.Loc = stats.L2
-	c.push(&ozEntry{kind: opLoad, state: stWaitPort, addr: addr, tok: tok, readyAt: cycle + 1})
+	e := c.alloc()
+	*e = ozEntry{kind: opLoad, state: stWaitPort, addr: addr, tok: tok, readyAt: cycle + 1}
+	c.push(e)
 	return tok
 }
 
@@ -199,14 +214,18 @@ func (c *Controller) Load(cycle, addr uint64) *port.Token {
 // store takes an OzQ entry to the L2.
 func (c *Controller) Store(cycle, addr, val uint64) *port.Token {
 	tok := port.NewToken(stats.L2)
-	c.push(&ozEntry{kind: opStore, state: stWaitPort, addr: addr, val: val, tok: tok, readyAt: cycle + 1})
+	e := c.alloc()
+	*e = ozEntry{kind: opStore, state: stWaitPort, addr: addr, val: val, tok: tok, readyAt: cycle + 1}
+	c.push(e)
 	return tok
 }
 
 // Fence implements port.Mem.
 func (c *Controller) Fence(cycle uint64) *port.Token {
 	tok := port.NewToken(stats.L2)
-	c.push(&ozEntry{kind: opFence, state: stWaitPort, tok: tok, readyAt: cycle})
+	e := c.alloc()
+	*e = ozEntry{kind: opFence, state: stWaitPort, tok: tok, readyAt: cycle}
+	c.push(e)
 	return tok
 }
 
@@ -223,11 +242,13 @@ func (c *Controller) Produce(cycle uint64, q int, v uint64) (*port.Token, bool) 
 	slot := c.sentCum[q]
 	c.sentCum[q]++
 	tok := port.NewToken(stats.PreL2)
-	c.push(&ozEntry{
+	e := c.alloc()
+	*e = ozEntry{
 		kind: opProduce, state: stWaitPort, q: q, slot: slot, val: v, tok: tok,
 		addr:    c.p.Layout.SlotAddr(q, int(slot)%c.p.Layout.Depth),
 		readyAt: cycle + uint64(c.p.StreamAddrGenLat),
-	})
+	}
+	c.push(e)
 	return tok, true
 }
 
@@ -244,7 +265,8 @@ func (c *Controller) Consume(cycle uint64, q int) (*port.Token, bool) {
 	slot := c.consumeIssueCum[q]
 	c.consumeIssueCum[q]++
 	tok := port.NewToken(stats.L2)
-	e := &ozEntry{
+	e := c.alloc()
+	*e = ozEntry{
 		kind: opConsume, state: stWaitPort, q: q, slot: slot, tok: tok,
 		addr:    c.p.Layout.SlotAddr(q, int(slot)%c.p.Layout.Depth),
 		readyAt: cycle + uint64(c.p.StreamAddrGenLat),
@@ -389,8 +411,50 @@ func (c *Controller) compact(cycle uint64) {
 	for _, e := range c.ozq {
 		if e.state != stDone {
 			kept = append(kept, e)
+		} else {
+			*e = ozEntry{}
+			c.free = append(c.free, e)
 		}
 	}
 	c.ozq = kept
 	c.injectForwards(cycle)
+}
+
+// NextWake returns the earliest future cycle at which this controller can
+// change state on its own: the next scheduled event, an actionable OzQ
+// entry's retry/access-completion cycle, or a dormant consume's probe
+// timeout. Entries waiting on a bus fill or on queue synchronization are
+// event-driven and contribute no wake of their own. Returns ^uint64(0)
+// when the controller is fully dormant.
+func (c *Controller) NextWake(cycle uint64) uint64 {
+	w := ^uint64(0)
+	for i := range c.events {
+		if at := c.events[i].at; at < w {
+			w = at
+		}
+	}
+	for _, e := range c.ozq {
+		switch e.state {
+		case stWaitSync:
+			if e.kind == opConsume && e.timeoutAt > 0 && e.timeoutAt < w {
+				w = e.timeoutAt
+			}
+		case stWaitPort, stAccess:
+			if e.kind == opFence {
+				// Fences complete when older entries do; those entries (or
+				// the events resolving them) provide the wake.
+				continue
+			}
+			if e.readyAt <= cycle {
+				return cycle + 1
+			}
+			if e.readyAt < w {
+				w = e.readyAt
+			}
+		}
+	}
+	if w <= cycle {
+		return cycle + 1
+	}
+	return w
 }

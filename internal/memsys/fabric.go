@@ -73,6 +73,20 @@ func (f *Fabric) Tick(cycle uint64) {
 	}
 }
 
+// NextWake returns the earliest future cycle at which any part of the
+// memory subsystem can change state without a new request from a core:
+// the bus's next grant/drain cycle or any controller's next event, retry,
+// or probe timeout. Returns ^uint64(0) when the whole fabric is dormant.
+func (f *Fabric) NextWake(cycle uint64) uint64 {
+	w := f.bus.NextWake(cycle)
+	for _, c := range f.ctrls {
+		if v := c.NextWake(cycle); v < w {
+			w = v
+		}
+	}
+	return w
+}
+
 // Quiesced reports whether no transaction is in flight anywhere.
 func (f *Fabric) Quiesced(cycle uint64) bool {
 	if !f.bus.Idle(cycle) {

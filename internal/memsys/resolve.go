@@ -222,10 +222,12 @@ func (c *Controller) injectForwards(cycle uint64) {
 	for len(c.pendingForwards) > 0 && c.CanAccept() {
 		f := c.pendingForwards[0]
 		c.pendingForwards = c.pendingForwards[1:]
-		c.push(&ozEntry{
+		e := c.alloc()
+		*e = ozEntry{
 			kind: opForward, state: stWaitPort, addr: f.lineAddr,
 			tok: newDonelessToken(), readyAt: cycle + 1,
-		})
+		}
+		c.push(e)
 	}
 }
 
@@ -242,16 +244,19 @@ func (c *Controller) resolveForward(cycle uint64, e *ozEntry) {
 	}
 	e.state = stWaitFill
 	c.WrFwdsSent++
-	req := &bus.Req{Kind: bus.WriteForward, Addr: e.addr, Src: c.id, Aux: c.p.Layout.QLU}
+	// Capture the line address by value: the entry reaches stDone (and is
+	// recycled by compact) before the consumer-side delivery event runs.
+	la := e.addr
+	req := &bus.Req{Kind: bus.WriteForward, Addr: la, Src: c.id, Aux: c.p.Layout.QLU}
 	req.Done = func(done uint64) {
 		c.schedule(done, func(now uint64) { e.state = stDone })
 		var dest *Controller
-		if q, _, ok := c.p.Layout.SlotOfAddr(e.addr); ok {
+		if q, _, ok := c.p.Layout.SlotOfAddr(la); ok {
 			dest = c.fab.consumerOf(q, c.id)
 		} else {
 			dest = c.fab.other(c.id)
 		}
-		dest.schedule(done, func(now uint64) { dest.acceptForwardLine(now, e.addr) })
+		dest.schedule(done, func(now uint64) { dest.acceptForwardLine(now, la) })
 	}
 	c.fab.submit(cycle, req)
 }

@@ -180,6 +180,26 @@ func (sa *SyncArray) Tick(cycle uint64) {
 	sa.inflight = kept
 }
 
+// NextWake returns the earliest future cycle at which the array can
+// change state on its own: the next in-flight message delivery, or the
+// very next cycle when queued credits/data are waiting to drain onto the
+// link. Returns ^uint64(0) when the array is idle.
+func (sa *SyncArray) NextWake(cycle uint64) uint64 {
+	if len(sa.pendingCredits) > 0 || len(sa.pendingData) > 0 {
+		return cycle + 1
+	}
+	w := ^uint64(0)
+	for _, m := range sa.inflight {
+		if m.deliverAt < w {
+			w = m.deliverAt
+		}
+	}
+	if w <= cycle {
+		return cycle + 1
+	}
+	return w
+}
+
 // msgCostQ4 is the interconnect initiation interval per message in
 // quarter-cycles: latency/stages for a pipelined network (one slot every
 // initiation interval, LinkWidth messages per slot), the full latency for

@@ -7,7 +7,7 @@ import (
 	"hfstream/internal/design"
 	"hfstream/internal/mem"
 	"hfstream/internal/sim"
-	"hfstream/internal/trace"
+	"hfstream/trace"
 )
 
 // TestStallAttributionInvariant checks the acceptance identity on every

@@ -5,6 +5,7 @@ package sim
 
 import (
 	"fmt"
+	"os"
 
 	"hfstream/internal/bus"
 	"hfstream/internal/cache"
@@ -15,7 +16,7 @@ import (
 	"hfstream/internal/port"
 	"hfstream/internal/queue"
 	"hfstream/internal/stats"
-	"hfstream/internal/trace"
+	"hfstream/trace"
 )
 
 // Config selects the machine to simulate.
@@ -42,6 +43,16 @@ type Config struct {
 	// (0 = off); see Result.Samples, TraceReport and CSV.
 	SampleInterval uint64
 
+	// Progress, when non-nil, is called synchronously from the cycle loop
+	// every ProgressEvery cycles with the current cycle and the cumulative
+	// issued-instruction count across all cores. It must not retain its
+	// arguments past the call. Fast-forwarding stops exactly on each
+	// reporting boundary, so the cadence is identical with and without it.
+	Progress func(cycle, issued uint64)
+	// ProgressEvery is the Progress reporting period in cycles
+	// (0 = every 1M cycles when Progress is set).
+	ProgressEvery uint64
+
 	// Cancel aborts the run when closed (typically wired to a
 	// context.Done channel by the experiment runner); Run then returns a
 	// *CanceledError. The channel is polled every cancelCheckMask+1
@@ -54,6 +65,15 @@ type Config struct {
 	// is bounded (see trace.NewBuffer), so tracing a long run keeps the
 	// most recent events; the same buffer is echoed on Result.Trace.
 	Trace *trace.Buffer
+
+	// DisableFastForward turns off the idle-cycle fast-forward, forcing
+	// the kernel to tick every cycle individually. Every reported number
+	// is identical either way (CI proves it by regenerating the golden
+	// snapshots in both modes); the knob exists for that proof and for
+	// debugging. The HFSTREAM_NO_FASTFORWARD environment variable forces
+	// it on process-wide. Tracing (Trace != nil) also disables
+	// fast-forwarding so event timestamps keep per-cycle granularity.
+	DisableFastForward bool
 }
 
 // cancelCheckMask throttles Cancel polling to every 1024th cycle.
@@ -186,6 +206,10 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 	if watchdog == 0 {
 		watchdog = 100_000
 	}
+	progressEvery := cfg.ProgressEvery
+	if progressEvery == 0 {
+		progressEvery = 1_000_000
+	}
 
 	fab, err := memsys.NewFabric(cfg.Mem, image, len(threads))
 	if err != nil {
@@ -238,12 +262,19 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 		}
 	}
 
+	// Fast-forwarding is cycle-exact (golden snapshots are byte-identical
+	// either way), but tracing wants per-cycle event granularity, so the
+	// trace path keeps the classic loop.
+	fastForward := !cfg.DisableFastForward && cfg.Trace == nil &&
+		os.Getenv("HFSTREAM_NO_FASTFORWARD") == ""
+
 	var cycle uint64
 	lastIssued := uint64(0)
 	lastProgress := uint64(0)
 	var samples []Sample
 	var queueOcc stats.Hist
 	prevIssued := make([]uint64, len(cores))
+	coreDone := make([]bool, len(cores))
 	var prevGrants uint64
 	var unquiesced bool
 	var unquiescedDetail string
@@ -265,12 +296,13 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 		fab.Tick(cycle)
 		allDone := true
 		var issuedNow, prodNow, consNow uint64
-		for _, c := range cores {
+		for i, c := range cores {
 			c.Tick(cycle)
 			issuedNow += c.Issued
 			prodNow += c.Produces
 			consNow += c.Consumes
-			if !c.Done(cycle) {
+			coreDone[i] = c.Done(cycle)
+			if !coreDone[i] {
 				allDone = false
 			}
 		}
@@ -286,13 +318,18 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 			prevGrants = g
 			samples = append(samples, s)
 		}
+		if cfg.Progress != nil && cycle%progressEvery == 0 {
+			cfg.Progress(cycle, issuedNow)
+		}
 		if allDone && fab.Quiesced(cycle) && (sa == nil || sa.Drained()) {
 			break
 		}
 		if issuedNow != lastIssued {
 			lastIssued = issuedNow
 			lastProgress = cycle
-		} else if cycle-lastProgress > watchdog {
+			continue
+		}
+		if cycle-lastProgress > watchdog {
 			if allDone {
 				// Cores finished but the fabric never quiesced: in-flight
 				// junk (e.g. an unconsumed forward). The outputs are
@@ -304,6 +341,78 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 				break
 			}
 			return nil, &DeadlockError{Cycle: cycle, Detail: describe(cores, fab, "watchdog")}
+		}
+		if !fastForward {
+			continue
+		}
+		// Idle-cycle fast-forward: no instruction issued anywhere this
+		// cycle, so until the earliest next-wake event (a scheduled bus or
+		// controller completion, an operand/token ready cycle, a dormant
+		// consume's probe timeout, an interconnect delivery) every coming
+		// cycle replays this one exactly. Jump there in one step, charging
+		// each skipped cycle to the same stall buckets and counters the
+		// per-cycle loop would have. The jump is capped so the watchdog,
+		// cycle budget, and sampling boundaries fire on exactly the cycle
+		// they would without fast-forwarding.
+		wake := lastProgress + watchdog + 1
+		if m := maxCycles + 1; m < wake {
+			wake = m
+		}
+		if w := fab.NextWake(cycle); w < wake {
+			wake = w
+		}
+		if sa != nil {
+			if w := sa.NextWake(cycle); w < wake {
+				wake = w
+			}
+		}
+		for i, c := range cores {
+			if coreDone[i] {
+				continue
+			}
+			if w := c.NextWake(cycle); w < wake {
+				wake = w
+			}
+		}
+		if cfg.SampleInterval > 0 {
+			if b := cycle - cycle%cfg.SampleInterval + cfg.SampleInterval; b < wake {
+				wake = b
+			}
+		}
+		if cfg.Progress != nil {
+			if b := cycle - cycle%progressEvery + progressEvery; b < wake {
+				wake = b
+			}
+		}
+		if wake <= cycle+1 {
+			continue
+		}
+		n := wake - cycle - 1
+		for i, c := range cores {
+			if coreDone[i] {
+				continue
+			}
+			c.FastForward(n)
+			if sa != nil {
+				// The per-cycle loop would have retried the blocked queue
+				// operation each cycle, bumping the SA's stall counter on
+				// every failed attempt.
+				switch c.LastStall {
+				case core.StallQueueFull:
+					sa.FullStalls += n
+				case core.StallQueueEmpty:
+					sa.EmptyStalls += n
+				}
+			}
+		}
+		queueOcc.ObserveN(prodNow-consNow, n)
+		cycle += n
+		if cfg.Cancel != nil {
+			select {
+			case <-cfg.Cancel:
+				return nil, &CanceledError{Cycle: cycle}
+			default:
+			}
 		}
 	}
 

@@ -128,6 +128,17 @@ func (h *Hist) Observe(v uint64) {
 	h.Counts[b]++
 }
 
+// ObserveN records the same value n times, exactly as n Observe calls
+// would (the simulator's fast-forward path observes a frozen occupancy
+// once per skipped cycle).
+func (h *Hist) ObserveN(v, n uint64) {
+	b := bits.Len64(v)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.Counts[b] += n
+}
+
 // Total returns the number of observations.
 func (h *Hist) Total() uint64 {
 	var t uint64

@@ -1,0 +1,91 @@
+package hfstream
+
+import (
+	"io"
+
+	"hfstream/internal/exp"
+	"hfstream/trace"
+)
+
+// ProgressEvent is a periodic heartbeat from a running simulation,
+// delivered through the WithProgress option.
+type ProgressEvent struct {
+	// Cycle is the current simulated cycle.
+	Cycle uint64
+	// Instructions is the cumulative issued-instruction count across all
+	// cores at that cycle.
+	Instructions uint64
+}
+
+// RunOpt customizes a RunCtx, RunStagedCtx or RunSingleThreadedCtx call.
+type RunOpt func(*runOpts)
+
+type runOpts struct {
+	trace          *trace.Sink
+	metrics        io.Writer
+	progress       func(ProgressEvent)
+	progressEvery  uint64
+	sampleInterval uint64
+}
+
+func gatherOpts(opts []RunOpt) runOpts {
+	var o runOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+func (o runOpts) expOpts() exp.RunOpts {
+	e := exp.RunOpts{
+		SampleInterval: o.sampleInterval,
+		Trace:          o.trace,
+		ProgressEvery:  o.progressEvery,
+	}
+	if o.progress != nil {
+		fn := o.progress
+		e.Progress = func(cycle, issued uint64) {
+			fn(ProgressEvent{Cycle: cycle, Instructions: issued})
+		}
+	}
+	return e
+}
+
+// WithTrace directs the run's cycle-level event stream — instruction
+// issue, operand writeback, queue operations, bus grants and stall runs —
+// into the given sink. The sink is a bounded ring (see trace.NewSink), so
+// tracing an arbitrarily long run keeps the most recent events; export
+// them afterwards with trace.WriteChrome. Tracing disables the kernel's
+// idle-cycle fast-forward so event timestamps keep per-cycle granularity
+// (reported results are identical either way).
+func WithTrace(s *trace.Sink) RunOpt {
+	return func(o *runOpts) { o.trace = s }
+}
+
+// WithMetrics writes the run's machine-readable metrics snapshot — the
+// same JSON document `hfsim -metrics` emits and the golden snapshots in
+// testdata/golden/ are made of — to w once the run completes.
+func WithMetrics(w io.Writer) RunOpt {
+	return func(o *runOpts) { o.metrics = w }
+}
+
+// WithProgress registers fn to be called synchronously from the
+// simulation loop every million simulated cycles (long deadlock-prone
+// runs otherwise give no sign of life). fn must be fast and must not
+// block; it runs on the simulation goroutine.
+func WithProgress(fn func(ProgressEvent)) RunOpt {
+	return func(o *runOpts) { o.progress = fn }
+}
+
+// WithProgressInterval changes the WithProgress cadence to every n
+// simulated cycles (0 keeps the default).
+func WithProgressInterval(n uint64) RunOpt {
+	return func(o *runOpts) { o.progressEvery = n }
+}
+
+// WithSampleInterval collects a throughput sample (per-core issue counts
+// and bus grants) every n cycles; render them with Result.TimeSeriesReport
+// or Result.TimeSeriesCSV.
+func WithSampleInterval(n uint64) RunOpt {
+	return func(o *runOpts) { o.sampleInterval = n }
+}

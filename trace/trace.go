@@ -79,6 +79,14 @@ type Event struct {
 	Val uint64
 }
 
+// Sink is the event destination the top-level API's WithTrace option
+// accepts. It is the ring buffer itself; the alias exists so call sites
+// read as "where the trace goes" rather than "how it is stored".
+type Sink = Buffer
+
+// NewSink returns a Sink with the default capacity (see NewBuffer).
+func NewSink() *Sink { return NewBuffer(0) }
+
 // DefaultCap is the ring capacity used when NewBuffer is given a
 // non-positive one (64k events).
 const DefaultCap = 1 << 16
