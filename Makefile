@@ -17,6 +17,12 @@
 #                       against the checked-in goldens
 #   make golden-check-noff - the same with HFSTREAM_NO_FASTFORWARD=1, proving
 #                       the fast-forward optimization is invisible in output
+#   make chaos        - full fault-injection sweep (20 seeds, 6 plans each,
+#                       all designs); see RESILIENCE.md for the contract
+#   make chaos-smoke  - the CI corpus (seeds 1-6, 4 plans), fast-forward on
+#                       and off
+#   make fuzz-smoke   - 30s of native Go fuzzing per target (assembler parse,
+#                       software-queue lowering)
 
 GO ?= go
 
@@ -24,7 +30,7 @@ GO ?= go
 # the check stays cheap enough to run on every push.
 GOLDEN_BENCHES = bzip2,adpcmdec
 
-.PHONY: tier1 vet build test race bench bench-smoke gobench ci fmtcheck golden golden-check golden-check-noff
+.PHONY: tier1 vet build test race bench bench-smoke gobench ci fmtcheck golden golden-check golden-check-noff chaos chaos-smoke fuzz-smoke
 
 tier1: build vet test
 
@@ -51,7 +57,7 @@ bench-smoke:
 gobench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-ci: tier1 race fmtcheck golden-check golden-check-noff bench-smoke
+ci: tier1 race fmtcheck golden-check golden-check-noff bench-smoke chaos-smoke
 
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -69,3 +75,20 @@ golden-check:
 # with it off and diffing proves the optimization changes no number.
 golden-check-noff:
 	HFSTREAM_NO_FASTFORWARD=1 $(MAKE) golden-check
+
+# Full chaos sweep: 20 seeded workloads x 7 designs x (1 baseline +
+# 6 fault plans). Any failure prints a single-case replay command.
+chaos:
+	$(GO) run ./cmd/hfchaos -seed0 1 -n 20 -plans 6
+
+# CI corpus (chaos/testdata/seeds.json): 210 runs, with fast-forwarding
+# on and off — fault triggers are occurrence-based, so both must agree.
+chaos-smoke:
+	$(GO) run ./cmd/hfchaos -seeds 1,2,3,4,5,6 -plans 4
+	HFSTREAM_NO_FASTFORWARD=1 $(GO) run ./cmd/hfchaos -seeds 1,2,3,4,5,6 -plans 4
+
+# Short native-fuzz sessions over the user-reachable text pipelines. The
+# checked-in corpora under testdata/fuzz/ replay as ordinary tests.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime 30s ./internal/asm
+	$(GO) test -fuzz=FuzzLower -fuzztime 30s ./internal/lower

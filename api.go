@@ -230,9 +230,17 @@ type Result struct {
 
 	// UnquiescedExit reports that every core halted but the memory fabric
 	// never quiesced within the watchdog window; UnquiescedDetail carries
-	// the debug dump captured at exit. The outputs are still verified.
+	// the rendered Diagnosis captured at exit. The outputs are still
+	// verified.
 	UnquiescedExit   bool
 	UnquiescedDetail string
+	// Diagnosis is the structured machine snapshot behind
+	// UnquiescedDetail (nil on a clean exit).
+	Diagnosis *Diagnosis
+
+	// FaultLog lists the injected faults that fired during the run, in
+	// firing order (empty without WithFaults/WithFaultInjector).
+	FaultLog []string
 
 	res *sim.Result // full internal result, for the report helpers
 }
@@ -285,6 +293,8 @@ func fromSim(res *sim.Result) Result {
 		SAEmptyStalls:    res.SAEmptyStalls,
 		UnquiescedExit:   res.UnquiescedExit,
 		UnquiescedDetail: res.UnquiescedDetail,
+		Diagnosis:        res.Diagnosis,
+		FaultLog:         res.FaultShots,
 		res:              res,
 	}
 	for _, bd := range res.Breakdowns {

@@ -1,0 +1,322 @@
+// Package chaos is the fault-injection sweep harness: it runs seeded
+// generated workloads under seeded fault plans across every design point
+// and checks the robustness contract on each run — no panic, no hang, and
+// either an oracle-correct result (fault-free and delay-class runs) or a
+// typed detection carrying a populated diagnosis (loss-class runs).
+// Everything is derived from integer seeds, so any failure replays
+// bit-exactly from its (seed, plan, design) coordinates.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hfstream"
+	"hfstream/fault"
+)
+
+// Config parameterizes a sweep.
+type Config struct {
+	// Seeds selects the generated workloads; one workload per seed.
+	Seeds []int64
+	// PlansPerSeed is the number of fault plans run per (seed, design)
+	// on top of the fault-free baseline (default 4: alternating
+	// delay-class and loss-class plans).
+	PlansPerSeed int
+	// Designs defaults to all seven standard design points.
+	Designs []hfstream.Design
+	// Jobs is the worker-pool width (default GOMAXPROCS).
+	Jobs int
+	// Timeout bounds each individual run's wall-clock time (default 60s);
+	// a run that hits it is reported as a hang, which is always a failure.
+	Timeout time.Duration
+	// Progress, when non-nil, is called serially after every run.
+	Progress func(done, total int, o Outcome)
+}
+
+// Classification of a single chaos run.
+const (
+	ClassBaselineOK   = "baseline-ok"   // fault-free run matched the oracle
+	ClassDelayOK      = "delay-ok"      // delay plan fired; result still oracle-exact
+	ClassLossDetected = "loss-detected" // loss plan fired; typed detection with diagnosis
+	ClassLossBenign   = "loss-benign"   // loss plan found no injection site (software queues)
+	ClassFail         = "fail"          // contract violation: panic, hang, silent corruption…
+)
+
+// Outcome is the classified result of one run.
+type Outcome struct {
+	Seed   int64
+	Design string
+	// Plan renders the fault plan ("" for the baseline run); PlanIndex is
+	// its index for replay (-1 for the baseline).
+	Plan      string
+	PlanIndex int
+	Class     string
+	// Detail explains failures and names the detection for loss runs.
+	Detail string
+	// Shots lists the fault shots that fired, in firing order.
+	Shots []string
+	Wall  time.Duration
+}
+
+// Replay renders the hfchaos invocation that reruns exactly this case.
+func (o Outcome) Replay() string {
+	return fmt.Sprintf("go run ./cmd/hfchaos -seeds %d -designs %s -plans %d -v",
+		o.Seed, o.Design, o.PlanIndex+1)
+}
+
+// Report aggregates a sweep.
+type Report struct {
+	Outcomes []Outcome
+	Runs     int
+	Failures int
+}
+
+// Failed returns the failing outcomes.
+func (r *Report) Failed() []Outcome {
+	var out []Outcome
+	for _, o := range r.Outcomes {
+		if o.Class == ClassFail {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// String renders the class histogram and every failure with its replay
+// command.
+func (r *Report) String() string {
+	byClass := map[string]int{}
+	for _, o := range r.Outcomes {
+		byClass[o.Class]++
+	}
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: %d runs, %d failures\n", r.Runs, r.Failures)
+	for _, c := range classes {
+		fmt.Fprintf(&b, "  %-14s %d\n", c, byClass[c])
+	}
+	for _, o := range r.Failed() {
+		fmt.Fprintf(&b, "FAIL seed=%d design=%s plan=%q: %s\n  replay: %s\n",
+			o.Seed, o.Design, o.Plan, o.Detail, o.Replay())
+	}
+	return b.String()
+}
+
+// PlanForIndex derives the i-th fault plan for a workload seed (even
+// indices are delay-class, odd loss-class). Exposed so replays and tests
+// agree with the sweep on the derivation.
+func PlanForIndex(seed int64, i int) fault.Plan {
+	planSeed := seed*1000 + int64(i)
+	if i%2 == 0 {
+		return fault.RandomDelay(planSeed, 3)
+	}
+	return fault.RandomLoss(planSeed)
+}
+
+type job struct {
+	seed      int64
+	design    hfstream.Design
+	planIndex int // -1 = baseline
+}
+
+// Sweep runs the full (seed x design x plan) grid on a worker pool and
+// returns the classified report. The error is non-nil only for setup
+// problems (a seed whose generated program fails to compile or whose
+// fault-free oracle fails); contract violations during the sweep are
+// reported per-outcome, not as an error.
+func Sweep(ctx context.Context, cfg Config) (*Report, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, errors.New("chaos: no seeds")
+	}
+	if cfg.PlansPerSeed == 0 {
+		cfg.PlansPerSeed = 4
+	}
+	if len(cfg.Designs) == 0 {
+		cfg.Designs = hfstream.Designs()
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+
+	// Compile and interpret each seed's workload once; the oracle is
+	// timing-free, so it is shared by every design and plan.
+	workloads := make(map[int64]*workload, len(cfg.Seeds))
+	for _, seed := range cfg.Seeds {
+		w, err := prepare(seed)
+		if err != nil {
+			return nil, err
+		}
+		workloads[seed] = w
+	}
+
+	var jobs []job
+	for _, seed := range cfg.Seeds {
+		for _, d := range cfg.Designs {
+			jobs = append(jobs, job{seed, d, -1})
+			for i := 0; i < cfg.PlansPerSeed; i++ {
+				jobs = append(jobs, job{seed, d, i})
+			}
+		}
+	}
+
+	rep := &Report{Outcomes: make([]Outcome, len(jobs)), Runs: len(jobs)}
+	idx := make(chan int, len(jobs))
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	var done int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				rep.Outcomes[i] = runOne(ctx, cfg.Timeout, workloads[j.seed], j)
+				mu.Lock()
+				done++
+				if cfg.Progress != nil {
+					cfg.Progress(done, len(jobs), rep.Outcomes[i])
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, o := range rep.Outcomes {
+		if o.Class == ClassFail {
+			rep.Failures++
+		}
+	}
+	return rep, nil
+}
+
+// workload is a compiled seed: programs, memory image seed, and the
+// oracle values at the checked output words.
+type workload struct {
+	gen    genCase
+	progs  []*hfstream.Program
+	oracle map[uint64]uint64
+}
+
+func prepare(seed int64) (*workload, error) {
+	g := generate(seed)
+	prod, err := hfstream.CompileAsm(g.name+"-prod", g.producer)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: seed %d: producer: %w", seed, err)
+	}
+	cons, err := hfstream.CompileAsm(g.name+"-cons", g.consumer)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: seed %d: consumer: %w", seed, err)
+	}
+	progs := []*hfstream.Program{prod, cons}
+	read, err := hfstream.Interpret(progs, g.init)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: seed %d: oracle: %w", seed, err)
+	}
+	oracle := make(map[uint64]uint64, len(g.outAddrs))
+	for _, a := range g.outAddrs {
+		oracle[a] = read(a)
+	}
+	return &workload{gen: g, progs: progs, oracle: oracle}, nil
+}
+
+// runOne executes and classifies a single (seed, design, plan) run.
+func runOne(ctx context.Context, timeout time.Duration, w *workload, j job) (o Outcome) {
+	o = Outcome{Seed: j.seed, Design: j.design.Name(), PlanIndex: j.planIndex}
+	var plan fault.Plan
+	var inj *fault.Injector
+	var opts []hfstream.RunOpt
+	loss := false
+	if j.planIndex >= 0 {
+		plan = PlanForIndex(j.seed, j.planIndex)
+		o.Plan = plan.String()
+		loss = plan.HasLoss()
+		inj = plan.Injector()
+		opts = append(opts, hfstream.WithFaultInjector(inj))
+	}
+	start := time.Now()
+	defer func() {
+		o.Wall = time.Since(start)
+		o.Shots = inj.ShotStrings()
+		if r := recover(); r != nil {
+			o.Class = ClassFail
+			o.Detail = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	run, err := hfstream.RunProgramsCtx(rctx, j.design, w.progs, w.gen.init, opts...)
+
+	fail := func(format string, args ...interface{}) Outcome {
+		o.Class = ClassFail
+		o.Detail = fmt.Sprintf(format, args...)
+		return o
+	}
+	if err != nil {
+		var dl *hfstream.DeadlockError
+		var ce *hfstream.CanceledError
+		switch {
+		case errors.As(err, &dl):
+			if !loss {
+				return fail("deadlock on a delay-class or baseline run: %v", err)
+			}
+			if dl.Diag == nil {
+				return fail("loss detected but DeadlockError carries no Diagnosis")
+			}
+			if !inj.LossFired() {
+				return fail("deadlock without a fired loss shot: %v", err)
+			}
+			o.Class = ClassLossDetected
+			o.Detail = "deadlock: " + dl.Diag.Reason
+			return o
+		case errors.As(err, &ce):
+			return fail("hang: run exceeded %v (canceled at cycle %d)", timeout, ce.Cycle)
+		default:
+			return fail("unexpected error: %v", err)
+		}
+	}
+
+	for _, a := range w.gen.outAddrs {
+		if got, want := run.Read(a), w.oracle[a]; got != want {
+			return fail("silent corruption at %#x: got %#x want %#x", a, got, want)
+		}
+	}
+	switch {
+	case run.UnquiescedExit:
+		if !loss || !inj.LossFired() {
+			return fail("unquiesced exit without a fired loss plan: %s", run.UnquiescedDetail)
+		}
+		if run.Diagnosis == nil {
+			return fail("unquiesced exit carries no Diagnosis")
+		}
+		o.Class = ClassLossDetected
+		o.Detail = "unquiesced: " + run.Diagnosis.Reason
+	case j.planIndex < 0:
+		o.Class = ClassBaselineOK
+	case loss:
+		if inj.LossFired() {
+			return fail("loss shot fired but the run completed clean (absorbed loss): %v", inj.ShotStrings())
+		}
+		o.Class = ClassLossBenign
+	default:
+		o.Class = ClassDelayOK
+	}
+	return o
+}

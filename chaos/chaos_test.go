@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"hfstream"
+)
+
+// corpus mirrors testdata/seeds.json, the seed set CI replays.
+type corpus struct {
+	Seeds        []int64 `json:"seeds"`
+	PlansPerSeed int     `json:"plans_per_seed"`
+}
+
+func loadCorpus(t *testing.T) corpus {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/seeds.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c corpus
+	if err := json.Unmarshal(raw, &c); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Seeds) == 0 || c.PlansPerSeed == 0 {
+		t.Fatal("empty corpus")
+	}
+	return c
+}
+
+// TestGeneratorDeterministic: same seed, same workload — the property
+// every replay command relies on.
+func TestGeneratorDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		a, b := generate(seed), generate(seed)
+		if a.producer != b.producer || a.consumer != b.consumer {
+			t.Fatalf("seed %d: generator is not deterministic", seed)
+		}
+		if len(a.init) != len(b.init) {
+			t.Fatalf("seed %d: init image differs", seed)
+		}
+		for _, c := range a.counts {
+			if c < 144 {
+				t.Errorf("seed %d: count %d below the starvation floor", seed, c)
+			}
+		}
+	}
+}
+
+// TestGeneratedWorkloadsCompile: every corpus seed compiles and has a
+// working functional oracle.
+func TestGeneratedWorkloadsCompile(t *testing.T) {
+	for _, seed := range loadCorpus(t).Seeds {
+		if _, err := prepare(seed); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestPlanDerivationAlternates: even plan indices are delay-class, odd
+// ones loss-class, and all validate.
+func TestPlanDerivationAlternates(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		for i := 0; i < 6; i++ {
+			p := PlanForIndex(seed, i)
+			if err := p.Validate(); err != nil {
+				t.Errorf("seed %d plan %d: %v", seed, i, err)
+			}
+			if want := i%2 == 1; p.HasLoss() != want {
+				t.Errorf("seed %d plan %d: HasLoss = %v, want %v", seed, i, p.HasLoss(), want)
+			}
+		}
+	}
+}
+
+// TestChaosSweepCorpus runs the CI smoke corpus: every (seed, design,
+// plan) combination must uphold the robustness contract. In -short mode
+// only the first two seeds run.
+func TestChaosSweepCorpus(t *testing.T) {
+	c := loadCorpus(t)
+	seeds := c.Seeds
+	if testing.Short() && len(seeds) > 2 {
+		seeds = seeds[:2]
+	}
+	rep, err := Sweep(context.Background(), Config{
+		Seeds:        seeds,
+		PlansPerSeed: c.PlansPerSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRuns := len(seeds) * len(hfstream.Designs()) * (1 + c.PlansPerSeed)
+	if rep.Runs != wantRuns {
+		t.Errorf("runs = %d, want %d", rep.Runs, wantRuns)
+	}
+	if rep.Failures > 0 {
+		t.Fatalf("chaos contract violated:\n%s", rep.String())
+	}
+	// The sweep is only meaningful if loss plans actually sever links on
+	// the hardware-queue designs.
+	byClass := map[string]int{}
+	for _, o := range rep.Outcomes {
+		byClass[o.Class]++
+	}
+	if byClass[ClassLossDetected] == 0 {
+		t.Error("no loss plan was ever detected; the sweep exercises nothing")
+	}
+	if byClass[ClassDelayOK] == 0 {
+		t.Error("no delay plan completed; the sweep exercises nothing")
+	}
+	t.Logf("\n%s", rep.String())
+}
+
+// TestReplaySingleCase: the replay path (one seed, one design, one plan)
+// reproduces the sweep's classification for a loss case.
+func TestReplaySingleCase(t *testing.T) {
+	d, err := hfstream.DesignByName("SYNCOPTI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Sweep(context.Background(), Config{
+		Seeds:        []int64{1},
+		PlansPerSeed: 2, // plan 0 delay, plan 1 loss
+		Designs:      []hfstream.Design{d},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range rep.Outcomes {
+		if o.Class == ClassFail {
+			t.Errorf("replay run failed: %s", o.Detail)
+		}
+		if o.PlanIndex == 1 {
+			if p := PlanForIndex(1, 1); !p.HasLoss() {
+				t.Fatal("plan 1 should be loss-class")
+			}
+			if o.Class != ClassLossDetected && o.Class != ClassLossBenign {
+				t.Errorf("loss plan on SYNCOPTI classified %q, want a loss class", o.Class)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command hfchaos runs the fault-injection chaos sweep: seeded generated
+// workloads under seeded fault plans across design points, checking the
+// robustness contract on every run (no panic, no hang, oracle-correct
+// results for delay-class faults, typed detection with a diagnosis for
+// loss-class faults). Everything derives from integer seeds, so a failure
+// printed by one invocation replays bit-exactly with the command it
+// names.
+//
+// Usage:
+//
+//	hfchaos                          # default corpus: seeds 1..6, 4 plans each
+//	hfchaos -seeds 1,2,3 -plans 8
+//	hfchaos -seed0 100 -n 20         # seeds 100..119
+//	hfchaos -seeds 4 -designs SYNCOPTI -plans 2 -v   # replay one case
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"hfstream"
+	"hfstream/chaos"
+)
+
+func main() {
+	var (
+		seedList = flag.String("seeds", "1,2,3,4,5,6", "comma-separated workload seeds")
+		seed0    = flag.Int64("seed0", 0, "with -n: first seed of a contiguous range (overrides -seeds)")
+		n        = flag.Int("n", 0, "with -seed0: number of seeds")
+		plans    = flag.Int("plans", 4, "fault plans per (seed, design), on top of the fault-free baseline")
+		designs  = flag.String("designs", "", "comma-separated design points (default: all seven)")
+		jobs     = flag.Int("j", 0, "worker-pool width (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-run wall-clock limit; exceeding it is a failure")
+		verbose  = flag.Bool("v", false, "print every run as it completes")
+	)
+	flag.Parse()
+
+	cfg := chaos.Config{
+		PlansPerSeed: *plans,
+		Jobs:         *jobs,
+		Timeout:      *timeout,
+	}
+	if *n > 0 {
+		for i := 0; i < *n; i++ {
+			cfg.Seeds = append(cfg.Seeds, *seed0+int64(i))
+		}
+	} else {
+		for _, s := range strings.Split(*seedList, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hfchaos: bad seed %q: %v\n", s, err)
+				os.Exit(1)
+			}
+			cfg.Seeds = append(cfg.Seeds, v)
+		}
+	}
+	if *designs != "" {
+		for _, name := range strings.Split(*designs, ",") {
+			d, err := hfstream.DesignByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hfchaos:", err)
+				os.Exit(1)
+			}
+			cfg.Designs = append(cfg.Designs, d)
+		}
+	}
+	if *verbose {
+		cfg.Progress = func(done, total int, o chaos.Outcome) {
+			plan := o.Plan
+			if plan == "" {
+				plan = "baseline"
+			}
+			detail := ""
+			if o.Detail != "" {
+				detail = " (" + o.Detail + ")"
+			}
+			fmt.Printf("[%3d/%3d] seed=%-4d %-16s %-40s %s%s\n",
+				done, total, o.Seed, o.Design, plan, o.Class, detail)
+			for _, s := range o.Shots {
+				fmt.Printf("          shot: %s\n", s)
+			}
+		}
+	} else {
+		cfg.Progress = func(done, total int, o chaos.Outcome) {
+			if o.Class == chaos.ClassFail {
+				fmt.Fprintf(os.Stderr, "hfchaos: FAIL seed=%d design=%s plan=%q: %s\n",
+					o.Seed, o.Design, o.Plan, o.Detail)
+			}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	rep, err := chaos.Sweep(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfchaos:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s(%v)\n", rep.String(), time.Since(start).Round(time.Millisecond))
+	if rep.Failures > 0 {
+		os.Exit(1)
+	}
+}

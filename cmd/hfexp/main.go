@@ -13,6 +13,12 @@
 //	hfexp [-j N] [-progress] [-table1] [-table2] [-fig3] [-fig6] [-fig7]
 //	      [-fig8] [-fig9] [-fig10] [-fig11] [-fig12] [-stalls]
 //	hfexp -metrics dir/ [-benches bzip2,adpcmdec]
+//	hfexp -diagnose diag.json
+//
+// Exit status: 0 on success, 1 on usage or harness errors, 3 when any
+// simulation in the grid deadlocked or finished without quiescing — the
+// first machine diagnosis is printed to stderr and, with -diagnose,
+// written as JSON.
 package main
 
 import (
@@ -22,8 +28,10 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 
 	"hfstream/internal/exp"
+	"hfstream/internal/sim"
 )
 
 func main() {
@@ -46,6 +54,7 @@ func main() {
 		progress = flag.Bool("progress", false, "report each simulation's wall time and cycles to stderr")
 		metrics  = flag.String("metrics", "", "write per-(benchmark,design) metrics JSON snapshots into this directory and exit")
 		benches  = flag.String("benches", "", "comma-separated benchmark subset for -metrics (default: all)")
+		diagnose = flag.String("diagnose", "", "write the first deadlock/unquiesced diagnosis JSON to this file (\"-\" for stderr)")
 	)
 	flag.Parse()
 
@@ -56,6 +65,41 @@ func main() {
 	exp.SetWarnHook(func(msg string) {
 		fmt.Fprintln(os.Stderr, "hfexp: warning:", msg)
 	})
+	// Capture the first forensic snapshot any job produces: jobs run
+	// concurrently, and one bad machine is enough to explain a grid
+	// failure. Exit status 3 distinguishes "a simulation deadlocked or
+	// never quiesced" from usage errors.
+	var diagMu sync.Mutex
+	var firstDiag *sim.Diagnosis
+	var firstDiagJob string
+	exp.SetDiagnosisHook(func(job string, d *sim.Diagnosis) {
+		diagMu.Lock()
+		defer diagMu.Unlock()
+		if firstDiag == nil {
+			firstDiag, firstDiagJob = d, job
+		}
+	})
+	sawDiagnosis := func() bool {
+		diagMu.Lock()
+		defer diagMu.Unlock()
+		if firstDiag == nil {
+			return false
+		}
+		fmt.Fprintf(os.Stderr, "hfexp: %s produced a machine diagnosis:\n%s", firstDiagJob, firstDiag.String())
+		if *diagnose != "" {
+			buf, err := sim.DiagnosisJSON(firstDiag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hfexp:", err)
+			} else if *diagnose == "-" {
+				os.Stderr.Write(buf)
+			} else if err := os.WriteFile(*diagnose, buf, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "hfexp:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "hfexp: wrote diagnosis to %s\n", *diagnose)
+			}
+		}
+		return true
+	}
 	if *progress {
 		exp.SetProgress(func(done, total int, r exp.JobResult) {
 			if r.Err != nil {
@@ -75,7 +119,13 @@ func main() {
 		}
 		if err := exp.WriteMetricsDir(ctx, *metrics, names); err != nil {
 			fmt.Fprintln(os.Stderr, "hfexp:", err)
+			if sawDiagnosis() {
+				os.Exit(3)
+			}
 			os.Exit(1)
+		}
+		if sawDiagnosis() {
+			os.Exit(3)
 		}
 		return
 	}
@@ -120,9 +170,15 @@ func main() {
 		out, err := j.run()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hfexp:", err)
+			if sawDiagnosis() {
+				os.Exit(3)
+			}
 			os.Exit(1)
 		}
 		fmt.Println(out)
+	}
+	if sawDiagnosis() {
+		os.Exit(3)
 	}
 }
 

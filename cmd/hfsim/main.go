@@ -10,11 +10,18 @@
 //	hfsim -bench mcf -design HEAVYWT -single
 //	hfsim -bench wc -trace out.json
 //	hfsim -bench wc -metrics -
+//	hfsim -bench wc -diagnose diag.json
 //	hfsim -list
+//
+// Exit status: 0 on success, 1 on usage or harness errors, 2 when the
+// simulated machine deadlocked (the forensic diagnosis is printed and,
+// with -diagnose, written as JSON), 3 when the run finished but the
+// fabric never quiesced.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +30,28 @@ import (
 	"hfstream"
 	"hfstream/trace"
 )
+
+// writeDiagnosis serializes a forensic snapshot to path ("" = skip,
+// "-" = stderr).
+func writeDiagnosis(path string, d *hfstream.Diagnosis) {
+	if path == "" || d == nil {
+		return
+	}
+	buf, err := hfstream.DiagnosisJSON(d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfsim:", err)
+		return
+	}
+	if path == "-" {
+		os.Stderr.Write(buf)
+		return
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "hfsim:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "hfsim: wrote diagnosis to %s\n", path)
+}
 
 func main() {
 	var (
@@ -35,6 +64,7 @@ func main() {
 		metrics    = flag.String("metrics", "", "write the metrics JSON snapshot to this file (\"-\" for stdout)")
 		sample     = flag.Uint64("sample", 0, "sample throughput every N cycles and print sparklines")
 		csv        = flag.Bool("csv", false, "with -sample: emit the samples as CSV instead")
+		diagnose   = flag.String("diagnose", "", "write the structured deadlock/unquiesced diagnosis JSON to this file (\"-\" for stderr)")
 	)
 	flag.Parse()
 
@@ -95,12 +125,32 @@ func main() {
 		res, err = hfstream.RunCtx(ctx, b, d, opts...)
 	}
 	if err != nil {
+		// A deadlock carries the full forensic snapshot: render it, write
+		// the machine-readable form if asked, and exit with a dedicated
+		// status so harnesses can tell "hung machine" from "bad flags".
+		var dl *hfstream.DeadlockError
+		if errors.As(err, &dl) && dl.Diag != nil {
+			fmt.Fprintf(os.Stderr, "hfsim: deadlock detected\n%s", dl.Diag.String())
+			writeDiagnosis(*diagnose, dl.Diag)
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "hfsim:", err)
 		os.Exit(1)
 	}
+	unquiesced := false
 	if res.UnquiescedExit {
+		unquiesced = true
 		fmt.Fprintf(os.Stderr, "hfsim: warning: cores done but fabric never quiesced\n%s", res.UnquiescedDetail)
+		writeDiagnosis(*diagnose, res.Diagnosis)
 	}
+	for _, s := range res.FaultLog {
+		fmt.Fprintf(os.Stderr, "hfsim: fault fired: %s\n", s)
+	}
+	defer func() {
+		if unquiesced {
+			os.Exit(3)
+		}
+	}()
 	if buf != nil {
 		f, err := os.Create(*tracePath)
 		if err != nil {

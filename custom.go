@@ -1,6 +1,7 @@
 package hfstream
 
 import (
+	"context"
 	"fmt"
 
 	"hfstream/internal/asm"
@@ -80,6 +81,14 @@ func (e *CoreCountError) Error() string {
 // *CoreCountError when progs exceeds the machine's core count; a lowering
 // failure anywhere in the slice fails the call before anything runs.
 func RunPrograms(d Design, progs []*Program, init map[uint64]uint64) (*CustomRun, error) {
+	return RunProgramsCtx(context.Background(), d, progs, init)
+}
+
+// RunProgramsCtx is RunPrograms with cancellation and per-run options
+// (tracing, metrics, progress, fault injection). The run aborts with a
+// *CanceledError once ctx is done, so a deadlocked custom kernel cannot
+// outlive its caller's deadline.
+func RunProgramsCtx(ctx context.Context, d Design, progs []*Program, init map[uint64]uint64, opts ...RunOpt) (*CustomRun, error) {
 	if len(progs) == 0 {
 		return nil, fmt.Errorf("hfstream: no programs")
 	}
@@ -107,11 +116,19 @@ func RunPrograms(d Design, progs []*Program, init map[uint64]uint64) (*CustomRun
 	for i, ip := range lowered {
 		threads[i] = sim.Thread{Prog: ip}
 	}
-	res, err := sim.Run(d.cfg.SimConfig(), image, threads)
+	o := gatherOpts(opts)
+	simCfg := d.cfg.SimConfig()
+	o.expOpts().Apply(&simCfg)
+	simCfg.Cancel = ctx.Done()
+	res, err := sim.Run(simCfg, image, threads)
 	if err != nil {
 		return nil, err
 	}
-	return &CustomRun{Result: fromSim(res), image: image}, nil
+	out, err := finishRun(res, "custom", d.Name(), o)
+	if err != nil {
+		return nil, err
+	}
+	return &CustomRun{Result: out, image: image}, nil
 }
 
 // Interpret runs the programs on the timing-free functional interpreter

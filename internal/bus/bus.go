@@ -11,7 +11,11 @@
 // data path, modeling contention.
 package bus
 
-import "fmt"
+import (
+	"fmt"
+
+	"hfstream/fault"
+)
 
 // Kind classifies bus transactions.
 type Kind int
@@ -118,6 +122,19 @@ func DefaultParams() Params {
 	return Params{WidthBytes: 16, CPB: 1, Pipelined: true, ArbLat: 1, SnoopLat: 2}
 }
 
+// Validate reports whether the parameters describe a constructible bus.
+// Callers that accept user-supplied configuration should check this before
+// New, which treats bad parameters as an internal invariant violation.
+func (p Params) Validate() error {
+	if p.WidthBytes <= 0 {
+		return fmt.Errorf("bus: width must be positive, got %d bytes", p.WidthBytes)
+	}
+	if p.CPB <= 0 {
+		return fmt.Errorf("bus: cycles-per-bus-cycle must be positive, got %d", p.CPB)
+	}
+	return nil
+}
+
 type pending struct {
 	req *Req
 }
@@ -141,6 +158,11 @@ type Bus struct {
 	// Trace, when non-nil, observes every address-phase grant (the
 	// simulator wires it to the structured event trace).
 	Trace func(cycle uint64, k Kind, src int, addr uint64)
+
+	// Faults, when non-nil, injects deterministic faults: each grant may
+	// have its service latency stretched (fault.BusDelay). Nil means no
+	// fault injection.
+	Faults *fault.Injector
 }
 
 // New creates a bus with n requesters.
@@ -251,7 +273,7 @@ func (b *Bus) grant(cycle uint64, r *Req) {
 	}
 	b.BeatsCarried += uint64(beats)
 
-	ready := cycle + addrPhase + uint64(serviceLat)
+	ready := cycle + addrPhase + uint64(serviceLat) + b.Faults.BusDelay(cycle)
 	done := ready
 	if beats > 0 {
 		start := max64(ready, b.dataFree)
@@ -269,6 +291,34 @@ func (b *Bus) grant(cycle uint64, r *Req) {
 		r.Done(done)
 	}
 }
+
+// ReqInfo is a diagnostic snapshot of one queued (ungranted) request.
+type ReqInfo struct {
+	Kind     Kind
+	Addr     uint64
+	Src      int
+	Q        int
+	SubmitAt uint64
+}
+
+// PendingRequests snapshots every queued request in source order, for
+// deadlock forensics.
+func (b *Bus) PendingRequests() []ReqInfo {
+	var out []ReqInfo
+	for _, q := range b.queues {
+		for _, p := range q {
+			r := p.req
+			out = append(out, ReqInfo{Kind: r.Kind, Addr: r.Addr, Src: r.Src, Q: r.Q, SubmitAt: r.submitAt})
+		}
+	}
+	return out
+}
+
+// AddrFree returns the next CPU cycle the address path is free.
+func (b *Bus) AddrFree() uint64 { return b.addrFree }
+
+// DataFree returns the next CPU cycle the data path is free.
+func (b *Bus) DataFree() uint64 { return b.dataFree }
 
 // TotalGrants returns the number of granted transactions across kinds.
 func (b *Bus) TotalGrants() uint64 {

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 
+	"hfstream/fault"
 	"hfstream/internal/design"
 	"hfstream/internal/isa"
 	"hfstream/internal/lower"
@@ -42,14 +43,18 @@ type RunOpts struct {
 	// ProgressEvery cycles (see sim.Config.Progress).
 	Progress      func(cycle, issued uint64)
 	ProgressEvery uint64
+	// Faults, when non-nil, is the per-run fault injector (see
+	// sim.Config.Faults); injectors carry per-run state.
+	Faults *fault.Injector
 }
 
-// apply copies the options onto a simulator config.
-func (o RunOpts) apply(simCfg *sim.Config) {
+// Apply copies the options onto a simulator config.
+func (o RunOpts) Apply(simCfg *sim.Config) {
 	simCfg.SampleInterval = o.SampleInterval
 	simCfg.Trace = o.Trace
 	simCfg.Progress = o.Progress
 	simCfg.ProgressEvery = o.ProgressEvery
+	simCfg.Faults = o.Faults
 }
 
 // RunBenchmarkSampledCtx is RunBenchmarkSampled with cancellation: the
@@ -87,7 +92,7 @@ func RunBenchmarkOpts(ctx context.Context, b *workloads.Benchmark, cfg design.Co
 	}
 	simCfg := cfg.SimConfig()
 	simCfg.Preload = b.InputRegions
-	opts.apply(&simCfg)
+	opts.Apply(&simCfg)
 	simCfg.Cancel = ctx.Done()
 	res, err := sim.Run(simCfg, img, ths)
 	if err != nil {
@@ -120,7 +125,7 @@ func RunSingleOpts(ctx context.Context, b *workloads.Benchmark, opts RunOpts) (*
 	b.Setup(img)
 	simCfg := design.ExistingConfig().SimConfig()
 	simCfg.Preload = b.InputRegions
-	opts.apply(&simCfg)
+	opts.Apply(&simCfg)
 	simCfg.Cancel = ctx.Done()
 	res, err := sim.Run(simCfg, img, []sim.Thread{{Prog: prog}})
 	if err != nil {

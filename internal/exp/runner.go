@@ -2,6 +2,7 @@ package exp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -114,6 +115,11 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) []JobResult {
 				results[i] = JobResult{Job: j, Res: res, Err: err, Wall: time.Since(start)}
 				if res != nil && res.UnquiescedExit {
 					warnf("%s: cores done but fabric never quiesced (run with hfsim for the fabric dump)", j.Name())
+					diagnosef(j.Name(), res.Diagnosis)
+				}
+				var dl *sim.DeadlockError
+				if errors.As(err, &dl) && dl.Diag != nil {
+					diagnosef(j.Name(), dl.Diag)
 				}
 				n := int(done.Add(1))
 				if r.Progress != nil {
@@ -157,6 +163,7 @@ var (
 	defaultWorkers atomic.Int32 // 0 = GOMAXPROCS
 	progressHook   atomic.Value // func(done, total int, r JobResult)
 	warnHook       atomic.Value // func(string)
+	diagHook       atomic.Value // func(job string, d *sim.Diagnosis)
 )
 
 // SetParallelism sets the worker count used by the package-level figure
@@ -177,6 +184,21 @@ func SetWarnHook(f func(msg string)) { warnHook.Store(&f) }
 func warnf(format string, args ...interface{}) {
 	if p, _ := warnHook.Load().(*func(string)); p != nil && *p != nil {
 		(*p)(fmt.Sprintf(format, args...))
+	}
+}
+
+// SetDiagnosisHook installs the sink for structured deadlock forensics: it
+// receives the job name and the *sim.Diagnosis whenever a job deadlocks or
+// exits unquiesced (nil discards them). Calls may arrive concurrently from
+// worker goroutines.
+func SetDiagnosisHook(f func(job string, d *sim.Diagnosis)) { diagHook.Store(&f) }
+
+func diagnosef(job string, d *sim.Diagnosis) {
+	if d == nil {
+		return
+	}
+	if p, _ := diagHook.Load().(*func(string, *sim.Diagnosis)); p != nil && *p != nil {
+		(*p)(job, d)
 	}
 }
 

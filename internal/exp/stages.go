@@ -121,7 +121,7 @@ func RunStagedOpts(ctx context.Context, b *workloads.Benchmark, cfg design.Confi
 	}
 	simCfg := cfg.SimConfig()
 	simCfg.Preload = b.InputRegions
-	opts.apply(&simCfg)
+	opts.Apply(&simCfg)
 	simCfg.Cancel = ctx.Done()
 	for _, rt := range pr.Routes {
 		simCfg.Mem.QueueRoutes = append(simCfg.Mem.QueueRoutes,

@@ -1,0 +1,55 @@
+package lower
+
+import (
+	"testing"
+
+	"hfstream/internal/asm"
+	"hfstream/internal/isa"
+	"hfstream/internal/queue"
+)
+
+// FuzzLower feeds assembler output through the software-queue lowering
+// and checks the pipeline never panics: any program the assembler accepts
+// and validation passes must either lower cleanly — to a program that
+// validates and contains no residual produce/consume — or be rejected
+// with a typed error (scratch-register collision). Run a real session
+// with `go test -fuzz=FuzzLower ./internal/lower`.
+func FuzzLower(f *testing.F) {
+	seeds := []string{
+		"halt",
+		"produce q0, r1\nhalt",
+		"consume r2, q0\nhalt",
+		"movi r1, 1\nloop:\nproduce q0, r1\naddi r1, r1, 1\nbnez r1, loop\nhalt",
+		"produce q0, r1\nproduce q1, r1\nconsume r2, q0\nconsume r3, q1\nhalt",
+		"movi r49, 5\nproduce q0, r49\nhalt",  // highest legal register
+		"movi r50, 5\nproduce q0, r50\nhalt",  // collides with scratch
+		"movi r63, 5\nproduce q63, r63\nhalt", // collides, max queue
+		"ld r1, [r2+8]\nproduce q3, r1\nst [r2+16], r1\nfence\nhalt",
+		"consume r1, q0\nbeqz r1, done\nproduce q1, r1\ndone:\nhalt",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	layout := queue.Layout{NumQueues: 64, Depth: 32, QLU: 8, LineBytes: 128}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := asm.Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		if p.Validate(layout.NumQueues) != nil {
+			return
+		}
+		low, err := Lower(p, layout)
+		if err != nil {
+			return // typed rejection (e.g. scratch-register collision) is fine
+		}
+		if err := low.Validate(layout.NumQueues); err != nil {
+			t.Fatalf("lowered program fails validation: %v", err)
+		}
+		for i, in := range low.Instrs {
+			if in.Op == isa.Produce || in.Op == isa.Consume {
+				t.Fatalf("residual queue op at %d: %v", i, in)
+			}
+		}
+	})
+}

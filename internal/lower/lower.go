@@ -114,6 +114,12 @@ func Lower(prog *isa.Program, layout queue.Layout) (*isa.Program, error) {
 			emit(in)
 		}
 	}
+	// A trailing consume's skip branch lands one instruction past its
+	// expansion; when the consume ends the program that target needs a
+	// real landing pad for the lowered program to validate.
+	if n := len(prog.Instrs); n > 0 && prog.Instrs[n-1].Op == isa.Consume {
+		emit(isa.Instr{Op: isa.Halt})
+	}
 	return out, nil
 }
 

@@ -48,6 +48,23 @@ const (
 	stDone
 )
 
+func (s ozState) String() string {
+	switch s {
+	case stWaitPort:
+		return "wait-port"
+	case stAccess:
+		return "access"
+	case stWaitFill:
+		return "wait-fill"
+	case stWaitSync:
+		return "wait-sync"
+	case stDone:
+		return "done"
+	default:
+		return fmt.Sprintf("ozState(%d)", int(s))
+	}
+}
+
 // ozEntry is one slot of the L2 controller's ordered transaction queue
 // (the Itanium 2 OzQ), whose entries also serve as MSHRs.
 type ozEntry struct {
@@ -315,6 +332,65 @@ func (c *Controller) Debug() string {
 	return s
 }
 
+// OzQEntryInfo is a diagnostic snapshot of one OzQ entry.
+type OzQEntryInfo struct {
+	Kind      string
+	State     string
+	Addr      uint64
+	Q         int
+	Slot      uint64
+	ReadyAt   uint64
+	TimeoutAt uint64
+}
+
+// QueueCounters is a diagnostic snapshot of one stream queue's cumulative
+// counters at this controller.
+type QueueCounters struct {
+	Q            int
+	SentCum      uint64
+	DoneCum      uint64
+	AckedCum     uint64
+	ForwardedCum uint64
+	ConsumeCum   uint64
+	AvailCum     uint64
+	ConsumedCum  uint64
+	ProbeOut     bool
+}
+
+// Snapshot is a diagnostic snapshot of a controller's in-flight state,
+// used for deadlock forensics.
+type Snapshot struct {
+	ID           int
+	OzQ          []OzQEntryInfo
+	PendingLines int
+	Events       int
+	Queues       []QueueCounters // only queues with any traffic
+}
+
+// Snapshot captures the controller's current OzQ and stream-queue state.
+func (c *Controller) Snapshot() Snapshot {
+	s := Snapshot{ID: c.id, PendingLines: len(c.pendingLine), Events: len(c.events)}
+	for _, e := range c.ozq {
+		s.OzQ = append(s.OzQ, OzQEntryInfo{
+			Kind: e.kind.String(), State: e.state.String(),
+			Addr: e.addr, Q: e.q, Slot: e.slot,
+			ReadyAt: e.readyAt, TimeoutAt: e.timeoutAt,
+		})
+	}
+	for q := range c.sentCum {
+		if c.sentCum[q]+c.consumeIssueCum[q] == 0 {
+			continue
+		}
+		s.Queues = append(s.Queues, QueueCounters{
+			Q: q, SentCum: c.sentCum[q], DoneCum: c.doneCum[q],
+			AckedCum: c.ackedCum[q], ForwardedCum: c.forwardedCum[q],
+			ConsumeCum: c.consumeIssueCum[q], AvailCum: c.availCum[q],
+			ConsumedCum: c.consumedCum[q], ProbeOut: c.probeOut[q],
+		})
+	}
+	return s
+}
+
 // Quiesced reports whether the controller has no in-flight work.
 func (c *Controller) Quiesced() bool {
 	return len(c.ozq) == 0 && len(c.events) == 0 && len(c.pendingLine) == 0
@@ -365,6 +441,14 @@ func (c *Controller) Tick(cycle uint64) {
 			e.state = stAccess
 			e.readyAt = cycle + uint64(c.p.L2.Latency)
 		case stAccess:
+			if n := c.fab.faults.RecircStorm(cycle); n > 0 {
+				// Injected fault: the resolution loses its port and
+				// recirculates n extra times before trying again.
+				c.RecircRetries += n
+				e.state = stWaitPort
+				e.readyAt = cycle + n*uint64(c.p.RecircInterval)
+				continue
+			}
 			c.resolve(cycle, e)
 		}
 	}

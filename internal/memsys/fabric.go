@@ -3,6 +3,7 @@ package memsys
 import (
 	"fmt"
 
+	"hfstream/fault"
 	"hfstream/internal/bus"
 	"hfstream/internal/cache"
 	"hfstream/internal/mem"
@@ -19,6 +20,10 @@ type Fabric struct {
 	bus   *bus.Bus
 	l3    *cache.Cache
 	ctrls []*Controller
+
+	// faults, when non-nil, injects deterministic faults into the
+	// streaming protocol paths (see package fault).
+	faults *fault.Injector
 
 	// Stats.
 	MemAccesses uint64
@@ -40,6 +45,13 @@ func NewFabric(p Params, m *mem.Memory, n int) (*Fabric, error) {
 		f.ctrls = append(f.ctrls, newController(i, p, f))
 	}
 	return f, nil
+}
+
+// SetFaults installs a fault injector on the fabric and its bus. Call
+// before the first Tick; a nil injector disables injection.
+func (f *Fabric) SetFaults(in *fault.Injector) {
+	f.faults = in
+	f.bus.Faults = in
 }
 
 // Controller returns core i's L2 controller.

@@ -111,6 +111,9 @@ func (p Params) Validate() error {
 	if p.OzQSize <= 0 || p.L2Ports <= 0 {
 		return fmt.Errorf("memsys: OzQ size %d and ports %d must be positive", p.OzQSize, p.L2Ports)
 	}
+	if err := p.Bus.Validate(); err != nil {
+		return err
+	}
 	if err := p.Layout.Validate(); err != nil {
 		return err
 	}

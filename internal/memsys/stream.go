@@ -67,6 +67,13 @@ func (c *Controller) sendStreamForward(cycle uint64, q int, la uint64) {
 	c.WrFwdsSent++
 	req := &bus.Req{Kind: bus.WriteForward, Addr: la, Src: c.id, Aux: count, Q: q, Slot: start}
 	req.Done = func(done uint64) {
+		drop, delay := c.fab.faults.ForwardFate(done, q)
+		if drop {
+			// Injected loss: the forwarded items vanish in flight, so the
+			// consumer's availability counter never advances.
+			return
+		}
+		done += delay
 		dest := c.fab.consumerOf(q, c.id)
 		dest.schedule(done, func(now uint64) {
 			dest.acceptStreamForward(now, q, start, count)
@@ -149,6 +156,10 @@ func (c *Controller) sendBulkAck(cycle uint64, q, n int) {
 	c.BulkAcksSent++
 	req := &bus.Req{Kind: bus.BulkAck, Src: c.id, Q: q, Aux: n}
 	req.Done = func(done uint64) {
+		if c.fab.faults.AckSwallowed(done, q) {
+			// Injected loss: the producer's occupancy view goes stale.
+			return
+		}
 		dest := c.fab.producerOf(q, c.id)
 		dest.schedule(done, func(now uint64) { dest.onBulkAck(now, q, n) })
 	}
@@ -178,6 +189,18 @@ func (c *Controller) tickDormant(cycle uint64, e *ozEntry) {
 		q := e.q
 		req := &bus.Req{Kind: bus.Probe, Src: c.id, Q: q}
 		req.Done = func(done uint64) {
+			if req.Aux > 0 {
+				// Item-carrying flushes travel the forward path and share
+				// its injected fate; empty replies carry nothing to lose.
+				drop, delay := c.fab.faults.ForwardFate(done, q)
+				if drop {
+					// Still clear the probe-outstanding flag so the
+					// consumer keeps probing (and the hang is detectable).
+					c.schedule(done, func(now uint64) { c.probeOut[q] = false })
+					return
+				}
+				done += delay
+			}
 			c.schedule(done, func(now uint64) { c.onProbeReply(now, q, req.Aux, req.Slot) })
 		}
 		c.fab.submit(cycle, req)

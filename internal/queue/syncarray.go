@@ -3,6 +3,7 @@ package queue
 import (
 	"fmt"
 
+	"hfstream/fault"
 	"hfstream/internal/port"
 	"hfstream/internal/stats"
 )
@@ -54,6 +55,7 @@ type saMessage struct {
 	q         int
 	value     uint64
 	credit    bool // true: ACK back to the producer, false: data to the SA
+	fated     bool // fault injection already consulted for this message
 }
 
 type saQueue struct {
@@ -99,6 +101,11 @@ type SyncArray struct {
 	// LinkBackpressure counts produce attempts rejected by the
 	// interconnect initiation rate.
 	LinkBackpressure uint64
+
+	// Faults, when non-nil, injects deterministic faults into the
+	// interconnect delivery paths: credits may be delayed or dropped,
+	// data messages may be dropped (see package fault).
+	Faults *fault.Injector
 
 	// Stats.
 	Produces     uint64
@@ -161,6 +168,28 @@ func (sa *SyncArray) Tick(cycle uint64) {
 	for _, m := range sa.inflight {
 		if m.deliverAt > cycle {
 			kept = append(kept, m)
+			continue
+		}
+		if m.credit && !m.fated {
+			drop, delay := sa.Faults.CreditFate(cycle, m.q)
+			if drop {
+				// Injected loss: the producer's occupancy view stays
+				// elevated forever.
+				continue
+			}
+			if delay > 0 {
+				// Credits are order-irrelevant counters, so delaying one
+				// is safe; mark it fated so it is not consulted again.
+				m.fated = true
+				m.deliverAt = cycle + delay
+				kept = append(kept, m)
+				continue
+			}
+		}
+		if !m.credit && sa.Faults.DataDropped(cycle, m.q) {
+			// Injected loss: the item vanishes in flight. The producer's
+			// credit is never returned (data messages carry the value, so
+			// delaying them would reorder the FIFO — drops only).
 			continue
 		}
 		q := &sa.queues[m.q]
@@ -324,6 +353,40 @@ func (sa *SyncArray) Occupancy(q int) int { return len(sa.queues[q].fifo) }
 
 // Outstanding returns the producer-side occupancy view for queue q.
 func (sa *SyncArray) Outstanding(q int) int { return sa.queues[q].outstanding }
+
+// SAQueueInfo is a diagnostic snapshot of one queue's state.
+type SAQueueInfo struct {
+	Q           int
+	Occupancy   int // items resident in the dedicated store
+	Outstanding int // producer-side occupancy view (includes in-flight)
+}
+
+// SASnapshot is a diagnostic snapshot of the synchronization array, used
+// for deadlock forensics.
+type SASnapshot struct {
+	InFlight       int
+	PendingCredits int
+	PendingData    int
+	Queues         []SAQueueInfo // only queues with visible state
+}
+
+// Snapshot captures the array's current occupancy and in-flight state.
+func (sa *SyncArray) Snapshot() SASnapshot {
+	s := SASnapshot{
+		InFlight:       len(sa.inflight),
+		PendingCredits: len(sa.pendingCredits),
+		PendingData:    len(sa.pendingData),
+	}
+	for i := range sa.queues {
+		if len(sa.queues[i].fifo) == 0 && sa.queues[i].outstanding == 0 {
+			continue
+		}
+		s.Queues = append(s.Queues, SAQueueInfo{
+			Q: i, Occupancy: len(sa.queues[i].fifo), Outstanding: sa.queues[i].outstanding,
+		})
+	}
+	return s
+}
 
 // Drained reports whether all queues are empty with nothing in flight.
 func (sa *SyncArray) Drained() bool {

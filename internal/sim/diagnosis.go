@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"hfstream/internal/core"
+	"hfstream/internal/memsys"
+	"hfstream/internal/queue"
+	"hfstream/trace"
+)
+
+// Diagnosis is a structured snapshot of the machine at the moment a run
+// failed to make progress: the watchdog fired, the cycle budget ran out,
+// or the cores halted but the fabric never quiesced. It is attached to
+// DeadlockError (and to Result on an unquiesced exit), rendered by the
+// CLIs, and serializable to deterministic JSON via DiagnosisJSON.
+type Diagnosis struct {
+	// Reason says why the snapshot was taken ("watchdog", "cycle budget
+	// exhausted", "cores done but fabric never quiesced").
+	Reason string `json:"reason"`
+	// Cycle is the cycle the condition was detected.
+	Cycle uint64 `json:"cycle"`
+	// LastProgress is the last cycle any core issued an instruction.
+	LastProgress uint64 `json:"last_progress"`
+	// WatchdogIdle is the configured idle window.
+	WatchdogIdle uint64 `json:"watchdog_idle"`
+
+	Cores []CoreDiag `json:"cores"`
+	Bus   BusDiag    `json:"bus"`
+	// SA is the synchronization-array state (HEAVYWT designs only).
+	SA *SADiag `json:"sync_array,omitempty"`
+
+	// FaultShots lists the injected faults that fired before the failure
+	// (empty without fault injection) — the first thing to read when a
+	// chaos run deadlocks.
+	FaultShots []string `json:"fault_shots,omitempty"`
+	// Events holds the last events of the trace ring, newest last (only
+	// when the run traced).
+	Events []string `json:"recent_events,omitempty"`
+}
+
+// CoreDiag describes one core and its L2 controller.
+type CoreDiag struct {
+	Core   int    `json:"core"`
+	Halted bool   `json:"halted"`
+	PC     int    `json:"pc"`
+	Stall  string `json:"stall"`
+	Issued uint64 `json:"issued"`
+
+	// OzQ lists the controller's in-flight ordered-transaction-queue
+	// entries (also its MSHRs).
+	OzQ []OzQDiag `json:"ozq,omitempty"`
+	// PendingLines counts lines with an in-flight bus transaction.
+	PendingLines int `json:"pending_lines"`
+	// PendingEvents counts scheduled controller callbacks.
+	PendingEvents int `json:"pending_events"`
+	// Queues holds the stream-queue counters with any traffic.
+	Queues []QueueDiag `json:"queues,omitempty"`
+}
+
+// OzQDiag is one OzQ entry.
+type OzQDiag struct {
+	Kind      string `json:"kind"`
+	State     string `json:"state"`
+	Addr      string `json:"addr"`
+	Q         int    `json:"q"`
+	Slot      uint64 `json:"slot"`
+	ReadyAt   uint64 `json:"ready_at"`
+	TimeoutAt uint64 `json:"timeout_at,omitempty"`
+}
+
+// QueueDiag is one stream queue's cumulative counters at one controller.
+type QueueDiag struct {
+	Q            int    `json:"q"`
+	SentCum      uint64 `json:"sent"`
+	DoneCum      uint64 `json:"done"`
+	AckedCum     uint64 `json:"acked"`
+	ForwardedCum uint64 `json:"forwarded"`
+	ConsumeCum   uint64 `json:"consume_issued"`
+	AvailCum     uint64 `json:"avail"`
+	ConsumedCum  uint64 `json:"consumed"`
+	ProbeOut     bool   `json:"probe_out,omitempty"`
+}
+
+// BusDiag is the shared bus state.
+type BusDiag struct {
+	AddrFree uint64       `json:"addr_free"`
+	DataFree uint64       `json:"data_free"`
+	Pending  []BusReqDiag `json:"pending,omitempty"`
+}
+
+// BusReqDiag is one queued (ungranted) bus request.
+type BusReqDiag struct {
+	Kind     string `json:"kind"`
+	Addr     string `json:"addr"`
+	Src      int    `json:"src"`
+	Q        int    `json:"q"`
+	SubmitAt uint64 `json:"submit_at"`
+}
+
+// SADiag is the synchronization-array state.
+type SADiag struct {
+	InFlight       int       `json:"in_flight"`
+	PendingCredits int       `json:"pending_credits"`
+	PendingData    int       `json:"pending_data"`
+	Queues         []SAQDiag `json:"queues,omitempty"`
+}
+
+// SAQDiag is one synchronization-array queue with visible state.
+type SAQDiag struct {
+	Q           int `json:"q"`
+	Occupancy   int `json:"occupancy"`
+	Outstanding int `json:"outstanding"`
+}
+
+// diagEventCap bounds the number of trace-ring events a Diagnosis keeps.
+const diagEventCap = 32
+
+// diagnose snapshots the machine. sa and the trace buffer may be nil.
+func diagnose(reason string, cycle, lastProgress, watchdog uint64,
+	cores []*core.Core, fab *memsys.Fabric, sa *queue.SyncArray, cfg *Config) *Diagnosis {
+	d := &Diagnosis{
+		Reason:       reason,
+		Cycle:        cycle,
+		LastProgress: lastProgress,
+		WatchdogIdle: watchdog,
+	}
+	for _, c := range cores {
+		cd := CoreDiag{
+			Core:   c.ID(),
+			Halted: c.Halted(),
+			PC:     c.LastPC,
+			Stall:  c.LastStall.String(),
+			Issued: c.Issued,
+		}
+		snap := fab.Controller(c.ID()).Snapshot()
+		cd.PendingLines = snap.PendingLines
+		cd.PendingEvents = snap.Events
+		for _, e := range snap.OzQ {
+			cd.OzQ = append(cd.OzQ, OzQDiag{
+				Kind: e.Kind, State: e.State, Addr: fmt.Sprintf("%#x", e.Addr),
+				Q: e.Q, Slot: e.Slot, ReadyAt: e.ReadyAt, TimeoutAt: e.TimeoutAt,
+			})
+		}
+		for _, q := range snap.Queues {
+			cd.Queues = append(cd.Queues, QueueDiag{
+				Q: q.Q, SentCum: q.SentCum, DoneCum: q.DoneCum,
+				AckedCum: q.AckedCum, ForwardedCum: q.ForwardedCum,
+				ConsumeCum: q.ConsumeCum, AvailCum: q.AvailCum,
+				ConsumedCum: q.ConsumedCum, ProbeOut: q.ProbeOut,
+			})
+		}
+		d.Cores = append(d.Cores, cd)
+	}
+	b := fab.Bus()
+	d.Bus = BusDiag{AddrFree: b.AddrFree(), DataFree: b.DataFree()}
+	for _, r := range b.PendingRequests() {
+		d.Bus.Pending = append(d.Bus.Pending, BusReqDiag{
+			Kind: r.Kind.String(), Addr: fmt.Sprintf("%#x", r.Addr),
+			Src: r.Src, Q: r.Q, SubmitAt: r.SubmitAt,
+		})
+	}
+	if sa != nil {
+		snap := sa.Snapshot()
+		sd := &SADiag{
+			InFlight:       snap.InFlight,
+			PendingCredits: snap.PendingCredits,
+			PendingData:    snap.PendingData,
+		}
+		for _, q := range snap.Queues {
+			sd.Queues = append(sd.Queues, SAQDiag{Q: q.Q, Occupancy: q.Occupancy, Outstanding: q.Outstanding})
+		}
+		d.SA = sd
+	}
+	if cfg != nil {
+		d.FaultShots = cfg.Faults.ShotStrings()
+		if cfg.Trace != nil {
+			evs := cfg.Trace.Events()
+			if len(evs) > diagEventCap {
+				evs = evs[len(evs)-diagEventCap:]
+			}
+			for _, ev := range evs {
+				d.Events = append(d.Events, formatTraceEvent(ev))
+			}
+		}
+	}
+	return d
+}
+
+func formatTraceEvent(ev trace.Event) string {
+	s := fmt.Sprintf("cycle %d: %s core=%d", ev.Cycle, ev.Kind, ev.Core)
+	if ev.PC >= 0 {
+		s += fmt.Sprintf(" pc=%d", ev.PC)
+	}
+	if ev.Q >= 0 {
+		s += fmt.Sprintf(" q=%d", ev.Q)
+	}
+	if ev.Op != "" {
+		s += " " + ev.Op
+	}
+	if ev.Dur > 1 {
+		s += fmt.Sprintf(" dur=%d", ev.Dur)
+	}
+	return s
+}
+
+// String renders the diagnosis for humans, one indented block per core.
+func (d *Diagnosis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (cycle %d, last progress at cycle %d, watchdog window %d)\n",
+		d.Reason, d.Cycle, d.LastProgress, d.WatchdogIdle)
+	for _, c := range d.Cores {
+		fmt.Fprintf(&b, "  core %d: halted=%v pc=%d stall=%s issued=%d\n",
+			c.Core, c.Halted, c.PC, c.Stall, c.Issued)
+		fmt.Fprintf(&b, "    ctrl: ozq=%d pendingLines=%d events=%d\n",
+			len(c.OzQ), c.PendingLines, c.PendingEvents)
+		for _, e := range c.OzQ {
+			fmt.Fprintf(&b, "    ozq %s state=%s addr=%s q=%d slot=%d readyAt=%d",
+				e.Kind, e.State, e.Addr, e.Q, e.Slot, e.ReadyAt)
+			if e.TimeoutAt > 0 {
+				fmt.Fprintf(&b, " timeoutAt=%d", e.TimeoutAt)
+			}
+			b.WriteByte('\n')
+		}
+		for _, q := range c.Queues {
+			fmt.Fprintf(&b, "    q%d: sent=%d done=%d acked=%d fwd=%d | consIssue=%d avail=%d consumed=%d",
+				q.Q, q.SentCum, q.DoneCum, q.AckedCum, q.ForwardedCum,
+				q.ConsumeCum, q.AvailCum, q.ConsumedCum)
+			if q.ProbeOut {
+				b.WriteString(" probeOut")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "  bus: addrFree=%d dataFree=%d pending=%d\n",
+		d.Bus.AddrFree, d.Bus.DataFree, len(d.Bus.Pending))
+	for _, r := range d.Bus.Pending {
+		fmt.Fprintf(&b, "    %s addr=%s src=%d q=%d submitted=%d\n",
+			r.Kind, r.Addr, r.Src, r.Q, r.SubmitAt)
+	}
+	if d.SA != nil {
+		fmt.Fprintf(&b, "  sync array: inflight=%d pendingCredits=%d pendingData=%d\n",
+			d.SA.InFlight, d.SA.PendingCredits, d.SA.PendingData)
+		for _, q := range d.SA.Queues {
+			fmt.Fprintf(&b, "    q%d: occupancy=%d outstanding=%d\n", q.Q, q.Occupancy, q.Outstanding)
+		}
+	}
+	if len(d.FaultShots) > 0 {
+		fmt.Fprintf(&b, "  fault shots (%d):\n", len(d.FaultShots))
+		for _, s := range d.FaultShots {
+			fmt.Fprintf(&b, "    %s\n", s)
+		}
+	}
+	if len(d.Events) > 0 {
+		fmt.Fprintf(&b, "  recent events (%d):\n", len(d.Events))
+		for _, s := range d.Events {
+			fmt.Fprintf(&b, "    %s\n", s)
+		}
+	}
+	return b.String()
+}
+
+// DiagnosisJSON serializes a diagnosis deterministically: two-space
+// indentation, fixed field order, trailing newline (the same convention
+// as MetricsJSON, so goldens are stable byte-for-byte).
+func DiagnosisJSON(d *Diagnosis) ([]byte, error) {
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

@@ -1,0 +1,95 @@
+package sim_test
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hfstream/internal/design"
+	"hfstream/internal/mem"
+	"hfstream/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the diagnosis golden snapshot")
+
+// canonicalDeadlock runs the canonical forced deadlock — a HEAVYWT
+// consumer parked on an empty queue beside an idle peer — and returns its
+// Diagnosis.
+func canonicalDeadlock(t *testing.T, disableFF bool) *sim.Diagnosis {
+	t.Helper()
+	cfg := design.HeavyWTConfig().SimConfig()
+	cfg.WatchdogIdle = 2000
+	cfg.DisableFastForward = disableFF
+	_, err := sim.Run(cfg, mem.New(), stuckConsumer())
+	var dl *sim.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("error = %v (%T), want DeadlockError", err, err)
+	}
+	if dl.Diag == nil {
+		t.Fatal("DeadlockError carries no Diagnosis")
+	}
+	return dl.Diag
+}
+
+// TestDiagnosisGolden locks the Diagnosis JSON serialization for the
+// canonical deadlock against a checked-in snapshot, so forensic output is
+// versioned the same way the metrics goldens are. Regenerate with
+//
+//	go test ./internal/sim -run TestDiagnosisGolden -update
+func TestDiagnosisGolden(t *testing.T) {
+	d := canonicalDeadlock(t, false)
+	got, err := sim.DiagnosisJSON(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "diagnosis_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("diagnosis JSON drifted from %s; rerun with -update if intended\ngot:\n%s", path, got)
+	}
+}
+
+// TestDiagnosisFastForwardInvariant: the forensic snapshot must be
+// byte-identical whether the deadlock was reached cycle by cycle or
+// through idle-span jumps.
+func TestDiagnosisFastForwardInvariant(t *testing.T) {
+	on, err := sim.DiagnosisJSON(canonicalDeadlock(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := sim.DiagnosisJSON(canonicalDeadlock(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(on, off) {
+		t.Errorf("diagnosis differs across FF modes\nFF-on:\n%s\nFF-off:\n%s", on, off)
+	}
+}
+
+// TestDiagnosisString: the human rendering keeps the per-core stall lines
+// tooling greps for, and names the stuck core.
+func TestDiagnosisString(t *testing.T) {
+	d := canonicalDeadlock(t, false)
+	s := d.String()
+	for _, want := range []string{"watchdog", "core 0", "core 1", "stall="} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Errorf("Diagnosis.String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 
+	"hfstream/fault"
 	"hfstream/internal/bus"
 	"hfstream/internal/cache"
 	"hfstream/internal/core"
@@ -65,6 +66,14 @@ type Config struct {
 	// is bounded (see trace.NewBuffer), so tracing a long run keeps the
 	// most recent events; the same buffer is echoed on Result.Trace.
 	Trace *trace.Buffer
+
+	// Faults, when non-nil, is the per-run fault injector honoured at the
+	// machine's injection points (bus grants, stream forwards, bulk ACKs,
+	// OzQ resolutions, synchronization-array deliveries). Injectors carry
+	// per-run state: build a fresh one per Run from a fault.Plan. Delay-
+	// class faults are latency-only; loss-class faults sever a protocol
+	// path and must surface as a typed detection (see package fault).
+	Faults *fault.Injector
 
 	// DisableFastForward turns off the idle-cycle fast-forward, forcing
 	// the kernel to tick every cycle individually. Every reported number
@@ -153,10 +162,17 @@ type Result struct {
 	// fabric never quiesced within the watchdog window (in-flight junk
 	// such as an unconsumed forward). The run's outputs are still
 	// verified by the harness, but callers should surface the condition
-	// rather than swallow it; UnquiescedDetail carries the fabric debug
-	// dump captured at exit.
+	// rather than swallow it; UnquiescedDetail carries the rendered
+	// Diagnosis captured at exit.
 	UnquiescedExit   bool
 	UnquiescedDetail string
+	// Diagnosis is the structured machine snapshot behind
+	// UnquiescedDetail (nil on a clean exit).
+	Diagnosis *Diagnosis
+
+	// FaultShots lists the injected faults that fired during the run
+	// (empty without fault injection).
+	FaultShots []string
 }
 
 // CommRatio returns core i's dynamic communication-to-application
@@ -173,12 +189,24 @@ func (r *Result) CommRatio(i int) float64 {
 type DeadlockError struct {
 	Cycle  uint64
 	Detail string
+	// Diag is the structured machine snapshot taken when the condition
+	// was detected (Detail is its rendered form).
+	Diag *Diagnosis
 }
 
 // Error implements error.
 func (e *DeadlockError) Error() string {
 	return fmt.Sprintf("sim: no progress by cycle %d\n%s", e.Cycle, e.Detail)
 }
+
+// ValidationError reports a configuration or program the simulator
+// rejected before running a single cycle.
+type ValidationError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string { return "sim: " + e.Reason }
 
 // CanceledError reports a run aborted through Config.Cancel before
 // completion (per-job timeout or whole-experiment cancellation).
@@ -191,12 +219,63 @@ func (e *CanceledError) Error() string {
 	return fmt.Sprintf("sim: canceled at cycle %d", e.Cycle)
 }
 
+// validate rejects configurations and programs that would otherwise trip
+// internal invariants (nil stream backends, unroutable queues, bad bus
+// parameters) with a typed *ValidationError before any cycle runs.
+func validate(cfg *Config, threads []Thread) error {
+	if len(threads) == 0 {
+		return &ValidationError{Reason: "no threads"}
+	}
+	usedQs := make(map[int]bool)
+	for i, t := range threads {
+		if t.Prog == nil {
+			return &ValidationError{Reason: fmt.Sprintf("thread %d: nil program", i)}
+		}
+		if err := t.Prog.Validate(cfg.Mem.Layout.NumQueues); err != nil {
+			return &ValidationError{Reason: err.Error()}
+		}
+		for _, in := range t.Prog.Instrs {
+			if in.Op == isa.Produce || in.Op == isa.Consume {
+				usedQs[in.Q] = true
+			}
+		}
+	}
+	if len(usedQs) > 0 && !cfg.UseSyncArray && !cfg.Mem.HWQueues {
+		return &ValidationError{Reason: "program uses produce/consume but the design has neither " +
+			"hardware queues nor a synchronization array (lower to software queues first)"}
+	}
+	if cfg.UseSyncArray {
+		for q := range usedQs {
+			if q >= cfg.SA.NumQueues {
+				return &ValidationError{Reason: fmt.Sprintf(
+					"queue %d out of range: synchronization array has %d queues", q, cfg.SA.NumQueues)}
+			}
+		}
+	} else if cfg.Mem.HWQueues && len(threads) != 2 {
+		// Without the dual-core implicit-peer default every used queue
+		// needs an explicit, in-range route.
+		for q := range usedQs {
+			if q >= len(cfg.Mem.QueueRoutes) {
+				return &ValidationError{Reason: fmt.Sprintf(
+					"queue %d has no route: %d cores need explicit QueueRoutes", q, len(threads))}
+			}
+			r := cfg.Mem.QueueRoutes[q]
+			if r.Producer < 0 || r.Producer >= len(threads) || r.Consumer < 0 || r.Consumer >= len(threads) {
+				return &ValidationError{Reason: fmt.Sprintf(
+					"queue %d route (%d -> %d) references cores outside [0,%d)",
+					q, r.Producer, r.Consumer, len(threads))}
+			}
+		}
+	}
+	return nil
+}
+
 // Run executes the given threads on the configured machine and returns
 // the result. The memory image carries workload data and receives all
 // stores; callers own pre-population and post-run inspection.
 func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
-	if len(threads) == 0 {
-		return nil, fmt.Errorf("sim: no threads")
+	if err := validate(&cfg, threads); err != nil {
+		return nil, err
 	}
 	maxCycles := cfg.MaxCycles
 	if maxCycles == 0 {
@@ -213,8 +292,9 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 
 	fab, err := memsys.NewFabric(cfg.Mem, image, len(threads))
 	if err != nil {
-		return nil, err
+		return nil, &ValidationError{Reason: err.Error()}
 	}
+	fab.SetFaults(cfg.Faults)
 	lineBytes := uint64(cfg.Mem.L2.LineBytes)
 	for _, r := range cfg.Preload {
 		for la := r.Base &^ (lineBytes - 1); la < r.End(); la += lineBytes {
@@ -232,15 +312,13 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 	if cfg.UseSyncArray {
 		sa, err = queue.NewSyncArray(cfg.SA)
 		if err != nil {
-			return nil, err
+			return nil, &ValidationError{Reason: err.Error()}
 		}
+		sa.Faults = cfg.Faults
 	}
 
 	cores := make([]*core.Core, len(threads))
 	for i, t := range threads {
-		if err := t.Prog.Validate(cfg.Mem.Layout.NumQueues); err != nil {
-			return nil, err
-		}
 		var strm port.Stream
 		switch {
 		case cfg.UseSyncArray:
@@ -277,11 +355,12 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 	coreDone := make([]bool, len(cores))
 	var prevGrants uint64
 	var unquiesced bool
-	var unquiescedDetail string
+	var unquiescedDiag *Diagnosis
 	for {
 		cycle++
 		if cycle > maxCycles {
-			return nil, &DeadlockError{Cycle: cycle, Detail: describe(cores, fab, "cycle budget exhausted")}
+			d := diagnose("cycle budget exhausted", cycle, lastProgress, watchdog, cores, fab, sa, &cfg)
+			return nil, &DeadlockError{Cycle: cycle, Detail: d.String(), Diag: d}
 		}
 		if cfg.Cancel != nil && cycle&cancelCheckMask == 0 {
 			select {
@@ -337,10 +416,12 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 				// so callers can surface it instead of silently absorbing
 				// a fabric bug.
 				unquiesced = true
-				unquiescedDetail = describe(cores, fab, "cores done but fabric never quiesced")
+				unquiescedDiag = diagnose("cores done but fabric never quiesced",
+					cycle, lastProgress, watchdog, cores, fab, sa, &cfg)
 				break
 			}
-			return nil, &DeadlockError{Cycle: cycle, Detail: describe(cores, fab, "watchdog")}
+			d := diagnose("watchdog", cycle, lastProgress, watchdog, cores, fab, sa, &cfg)
+			return nil, &DeadlockError{Cycle: cycle, Detail: d.String(), Diag: d}
 		}
 		if !fastForward {
 			continue
@@ -417,12 +498,16 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 	}
 
 	res := &Result{
-		Cycles:           cycle,
-		Samples:          samples,
-		Trace:            cfg.Trace,
-		QueueOcc:         queueOcc,
-		UnquiescedExit:   unquiesced,
-		UnquiescedDetail: unquiescedDetail,
+		Cycles:         cycle,
+		Samples:        samples,
+		Trace:          cfg.Trace,
+		QueueOcc:       queueOcc,
+		UnquiescedExit: unquiesced,
+		Diagnosis:      unquiescedDiag,
+		FaultShots:     cfg.Faults.ShotStrings(),
+	}
+	if unquiescedDiag != nil {
+		res.UnquiescedDetail = unquiescedDiag.String()
 	}
 	for i, c := range cores {
 		c.FinishTrace(cycle + 1)
@@ -457,14 +542,4 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 		res.SAOcc = &occ
 	}
 	return res, nil
-}
-
-func describe(cores []*core.Core, fab *memsys.Fabric, why string) string {
-	s := why + "\n"
-	for _, c := range cores {
-		s += fmt.Sprintf("  core %d: halted=%v pc=%d stall=%v issued=%d\n",
-			c.ID(), c.Halted(), c.LastPC, c.LastStall, c.Issued)
-		s += fab.Controller(c.ID()).Debug()
-	}
-	return s
 }

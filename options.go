@@ -3,6 +3,7 @@ package hfstream
 import (
 	"io"
 
+	"hfstream/fault"
 	"hfstream/internal/exp"
 	"hfstream/trace"
 )
@@ -26,6 +27,7 @@ type runOpts struct {
 	progress       func(ProgressEvent)
 	progressEvery  uint64
 	sampleInterval uint64
+	faults         *fault.Injector
 }
 
 func gatherOpts(opts []RunOpt) runOpts {
@@ -41,6 +43,7 @@ func (o runOpts) expOpts() exp.RunOpts {
 		SampleInterval: o.sampleInterval,
 		Trace:          o.trace,
 		ProgressEvery:  o.progressEvery,
+		Faults:         o.faults,
 	}
 	if o.progress != nil {
 		fn := o.progress
@@ -81,6 +84,25 @@ func WithProgress(fn func(ProgressEvent)) RunOpt {
 // simulated cycles (0 keeps the default).
 func WithProgressInterval(n uint64) RunOpt {
 	return func(o *runOpts) { o.progressEvery = n }
+}
+
+// WithFaults injects the seeded fault plan into the run: a fresh
+// injector is built from the plan, so the same option value can be reused
+// across runs. Delay-class faults are latency-only (the run completes
+// with identical architectural results); loss-class faults sever a
+// protocol path and must end in a typed detection — a *DeadlockError or
+// an unquiesced exit carrying a populated Diagnosis. Use
+// WithFaultInjector to keep access to the fired-shot log.
+func WithFaults(p fault.Plan) RunOpt {
+	return func(o *runOpts) { o.faults = p.Injector() }
+}
+
+// WithFaultInjector injects through a caller-built fault.Injector. The
+// caller keeps the handle, so after the run — including error paths that
+// return no Result — it can inspect Shots() and LossFired(). An injector
+// carries per-run state and must not be reused across runs.
+func WithFaultInjector(in *fault.Injector) RunOpt {
+	return func(o *runOpts) { o.faults = in }
 }
 
 // WithSampleInterval collects a throughput sample (per-core issue counts
