@@ -2,7 +2,10 @@
 #
 #   make tier1        - the gate every PR must keep green (build + vet + tests)
 #   make race         - race-detector pass over the concurrent experiment
-#                       runner and the simulator entry points
+#                       runner, the simulator entry points, and the serve/
+#                       HTTP service
+#   make coverage     - full-module coverage profile (coverage.out); fails
+#                       if the total drops below the recorded baseline
 #   make bench        - run the kernel performance harness over the full
 #                       nine-benchmark x seven-design matrix and write
 #                       BENCH_PR3.json
@@ -10,8 +13,8 @@
 #                       subset (CI's sanity check; numbers are noise there)
 #   make gobench      - one `go test -bench` pass over the paper-reproduction
 #                       benchmarks
-#   make ci           - everything CI runs: tier1, race, formatting, goldens
-#                       (with fast-forward on and off), bench smoke
+#   make ci           - everything CI runs: tier1, race, coverage, formatting,
+#                       goldens (with fast-forward on and off), bench smoke
 #   make golden       - regenerate the metrics snapshots in testdata/golden/
 #   make golden-check - rebuild the snapshots into a temp dir and diff them
 #                       against the checked-in goldens
@@ -30,7 +33,13 @@ GO ?= go
 # the check stays cheap enough to run on every push.
 GOLDEN_BENCHES = bzip2,adpcmdec
 
-.PHONY: tier1 vet build test race bench bench-smoke gobench ci fmtcheck golden golden-check golden-check-noff chaos chaos-smoke fuzz-smoke
+# Total-statement coverage floor enforced by `make coverage`. The module
+# measured 74.4% when the baseline was recorded (PR 5); the floor sits a
+# few points under that so timing-dependent branches don't flake the job,
+# while still catching any real regression. Raise it as coverage grows.
+COVERAGE_BASELINE = 70.0
+
+.PHONY: tier1 vet build test race coverage bench bench-smoke gobench ci fmtcheck golden golden-check golden-check-noff chaos chaos-smoke fuzz-smoke
 
 tier1: build vet test
 
@@ -45,7 +54,14 @@ test:
 
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/exp/... ./internal/sim/...
+	$(GO) test -race ./internal/exp/... ./internal/sim/... ./serve/...
+
+coverage:
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (baseline $(COVERAGE_BASELINE)%)"; \
+	awk -v t="$$total" -v b="$(COVERAGE_BASELINE)" 'BEGIN { exit (t+0 >= b+0) ? 0 : 1 }' || \
+		{ echo "coverage regressed below the $(COVERAGE_BASELINE)% baseline"; exit 1; }
 
 bench:
 	$(GO) run ./bench -out BENCH_PR3.json
@@ -57,7 +73,7 @@ bench-smoke:
 gobench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-ci: tier1 race fmtcheck golden-check golden-check-noff bench-smoke chaos-smoke
+ci: tier1 race coverage fmtcheck golden-check golden-check-noff bench-smoke chaos-smoke
 
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

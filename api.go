@@ -81,13 +81,21 @@ func DesignByName(name string) (Design, error) {
 			return NetQueue(h), nil
 		}
 	}
+	return Design{}, fmt.Errorf("hfstream: unknown design %q (valid: %s)",
+		name, strings.Join(DesignNames(), ", "))
+}
+
+// DesignNames enumerates every form DesignByName accepts: the seven
+// standard points in evaluation order followed by the §3 variant forms
+// ("NETQUEUE_<h>hop" is a template — substitute the hop count). The
+// DesignByName error message lists exactly these names, and Spec
+// canonicalization resolves aliases against them.
+func DesignNames() []string {
 	names := make([]string, 0, len(Designs())+3)
 	for _, d := range Designs() {
 		names = append(names, d.Name())
 	}
-	names = append(names, "REGMAPPED", "NETQUEUE_<h>hop", "HEAVYWT_CENTRAL")
-	return Design{}, fmt.Errorf("hfstream: unknown design %q (valid: %s)",
-		name, strings.Join(names, ", "))
+	return append(names, "REGMAPPED", "NETQUEUE_<h>hop", "HEAVYWT_CENTRAL")
 }
 
 // centralConsumeToUse is DesignByName's consume-to-use latency for

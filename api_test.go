@@ -24,6 +24,99 @@ func TestDesignsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDesignByNameTable covers every enumerated name, the parametrized
+// NETQUEUE_<h>hop forms, and the rejects — the full resolution contract,
+// which TestDesignsRoundTrip only samples.
+func TestDesignByNameTable(t *testing.T) {
+	resolves := []struct {
+		name string
+		want string // resolved Name(); "" means same as name
+	}{
+		{name: "EXISTING"},
+		{name: "MEMOPTI"},
+		{name: "SYNCOPTI"},
+		{name: "SYNCOPTI_Q64"},
+		{name: "SYNCOPTI_SC"},
+		{name: "SYNCOPTI_SC+Q64"},
+		{name: "HEAVYWT"},
+		{name: "REGMAPPED"},
+		{name: "HEAVYWT_CENTRAL"},
+		{name: "NETQUEUE_1hop"},
+		{name: "NETQUEUE_2hop"},
+		{name: "NETQUEUE_16hop"},
+	}
+	for _, tc := range resolves {
+		d, err := DesignByName(tc.name)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		want := tc.want
+		if want == "" {
+			want = tc.name
+		}
+		if d.Name() != want {
+			t.Errorf("%s resolved to %q, want %q", tc.name, d.Name(), want)
+		}
+	}
+
+	rejects := []string{
+		"",
+		"existing",          // names are case-sensitive paper labels
+		" EXISTING",         // no trimming
+		"SYNCOPTI_SC+Q64 ",  // no trimming
+		"SYNCOPTI-SC",       // wrong separator
+		"NETQUEUE_0hop",     // hops start at 1
+		"NETQUEUE_-1hop",    // negative hops
+		"NETQUEUE_hop",      // missing count
+		"NETQUEUE_xhop",     // non-numeric count
+		"NETQUEUE_2",        // missing suffix
+		"NETQUEUE_2hops",    // wrong suffix
+		"HEAVYWT_CENTRAL_4", // latency is not encodable in the name
+		"SINGLE",            // a result annotation, not a design
+		"totally-made-up",   // arbitrary garbage
+	}
+	for _, name := range rejects {
+		if _, err := DesignByName(name); err == nil {
+			t.Errorf("DesignByName(%q) succeeded, want error", name)
+		}
+	}
+}
+
+// TestDesignByNameErrorEnumeratesNames pins the "enumerates all valid
+// names" promise: the error for an unknown design must list every
+// accepted form, exactly as DesignNames reports them.
+func TestDesignByNameErrorEnumeratesNames(t *testing.T) {
+	_, err := DesignByName("nope")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	names := DesignNames()
+	if len(names) != 10 {
+		t.Fatalf("DesignNames has %d entries, want 10 (7 standard + 3 variants)", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("DesignNames lists %q twice", n)
+		}
+		seen[n] = true
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error %q does not mention %q", err, n)
+		}
+	}
+	for _, want := range []string{"REGMAPPED", "NETQUEUE_<h>hop", "HEAVYWT_CENTRAL"} {
+		if !seen[want] {
+			t.Errorf("DesignNames missing variant form %q", want)
+		}
+	}
+	for _, d := range Designs() {
+		if !seen[d.Name()] {
+			t.Errorf("DesignNames missing standard point %q", d.Name())
+		}
+	}
+}
+
 func TestBenchmarksRoundTrip(t *testing.T) {
 	bs := Benchmarks()
 	if len(bs) != 9 {

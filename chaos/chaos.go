@@ -66,9 +66,38 @@ type Outcome struct {
 }
 
 // Replay renders the hfchaos invocation that reruns exactly this case.
+// The rendered string is meant to be pasted into a shell, so the design
+// name is quoted: SYNCOPTI_SC+Q64 is harmless, but a custom design label
+// with spaces or metacharacters would otherwise split or glob.
 func (o Outcome) Replay() string {
 	return fmt.Sprintf("go run ./cmd/hfchaos -seeds %d -designs %s -plans %d -v",
-		o.Seed, o.Design, o.PlanIndex+1)
+		o.Seed, shellQuote(o.Design), o.PlanIndex+1)
+}
+
+// shellQuote renders s as a single POSIX-shell word. Strings made only of
+// unambiguously safe characters pass through unchanged; anything else is
+// wrapped in single quotes, with embedded single quotes spelled '\”.
+func shellQuote(s string) string {
+	if s == "" {
+		return "''"
+	}
+	safe := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case strings.ContainsRune("_@%+=:,./-", rune(c)):
+		default:
+			safe = false
+		}
+		if !safe {
+			break
+		}
+	}
+	if safe {
+		return s
+	}
+	return "'" + strings.ReplaceAll(s, "'", `'\''`) + "'"
 }
 
 // Report aggregates a sweep.

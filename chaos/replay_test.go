@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestReplayGolden pins the exact replay command text: paper design
+// names pass through bare, shell-hostile labels come out single-quoted.
+func TestReplayGolden(t *testing.T) {
+	cases := []struct {
+		outcome Outcome
+		want    string
+	}{
+		{
+			Outcome{Seed: 7, Design: "EXISTING", PlanIndex: -1},
+			"go run ./cmd/hfchaos -seeds 7 -designs EXISTING -plans 0 -v",
+		},
+		{
+			Outcome{Seed: 42, Design: "SYNCOPTI_SC+Q64", PlanIndex: 3},
+			"go run ./cmd/hfchaos -seeds 42 -designs SYNCOPTI_SC+Q64 -plans 4 -v",
+		},
+		{
+			Outcome{Seed: 1, Design: "NETQUEUE_2hop", PlanIndex: 0},
+			"go run ./cmd/hfchaos -seeds 1 -designs NETQUEUE_2hop -plans 1 -v",
+		},
+		{
+			// A custom design label with a space must stay one shell word.
+			Outcome{Seed: 9, Design: "my design", PlanIndex: 1},
+			"go run ./cmd/hfchaos -seeds 9 -designs 'my design' -plans 2 -v",
+		},
+		{
+			// Metacharacters that would glob or substitute get quoted too.
+			Outcome{Seed: 9, Design: "x$(rm)*;&", PlanIndex: 1},
+			"go run ./cmd/hfchaos -seeds 9 -designs 'x$(rm)*;&' -plans 2 -v",
+		},
+		{
+			// An embedded single quote uses the '\'' splice.
+			Outcome{Seed: 9, Design: "it's", PlanIndex: 1},
+			`go run ./cmd/hfchaos -seeds 9 -designs 'it'\''s' -plans 2 -v`,
+		},
+		{
+			Outcome{Seed: 9, Design: "", PlanIndex: 1},
+			"go run ./cmd/hfchaos -seeds 9 -designs '' -plans 2 -v",
+		},
+	}
+	for _, tc := range cases {
+		if got := tc.outcome.Replay(); got != tc.want {
+			t.Errorf("Replay(%+v):\n got %s\nwant %s", tc.outcome, got, tc.want)
+		}
+	}
+}
+
+func TestShellQuote(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"EXISTING", "EXISTING"},
+		{"SYNCOPTI_SC+Q64", "SYNCOPTI_SC+Q64"},
+		{"a/b.c:d,e-f=g@h%i", "a/b.c:d,e-f=g@h%i"},
+		{"", "''"},
+		{"two words", "'two words'"},
+		{"tab\there", "'tab\there'"},
+		{"$(boom)", "'$(boom)'"},
+		{"a'b", `'a'\''b'`},
+		{"''", `''\'''\'''`},
+	}
+	for _, tc := range cases {
+		if got := shellQuote(tc.in); got != tc.want {
+			t.Errorf("shellQuote(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+// shellSplit tokenizes a command line the way a POSIX shell would split
+// it, honoring single-quoted segments (the only quoting Replay emits).
+func shellSplit(t *testing.T, cmd string) []string {
+	t.Helper()
+	var words []string
+	var cur strings.Builder
+	inWord, inQuote := false, false
+	for i := 0; i < len(cmd); i++ {
+		c := cmd[i]
+		switch {
+		case inQuote:
+			if c == '\'' {
+				inQuote = false
+			} else {
+				cur.WriteByte(c)
+			}
+		case c == '\'':
+			inQuote, inWord = true, true
+		case c == '\\' && i+1 < len(cmd):
+			i++
+			cur.WriteByte(cmd[i])
+			inWord = true
+		case c == ' ':
+			if inWord {
+				words = append(words, cur.String())
+				cur.Reset()
+				inWord = false
+			}
+		default:
+			cur.WriteByte(c)
+			inWord = true
+		}
+	}
+	if inQuote {
+		t.Fatalf("unterminated quote in %q", cmd)
+	}
+	if inWord {
+		words = append(words, cur.String())
+	}
+	return words
+}
+
+// TestReplayRoundTrip checks that the rendered command re-derives the
+// outcome's coordinates after shell word-splitting: the -seeds, -designs
+// and -plans values must come back as single intact arguments.
+func TestReplayRoundTrip(t *testing.T) {
+	outcomes := []Outcome{
+		{Seed: 123, Design: "HEAVYWT", PlanIndex: -1},
+		{Seed: -5, Design: "SYNCOPTI_SC+Q64", PlanIndex: 2},
+		{Seed: 0, Design: "weird name'; rm -rf", PlanIndex: 0},
+	}
+	for _, o := range outcomes {
+		cmd := o.Replay()
+		words := shellSplit(t, cmd)
+		flags := map[string]string{}
+		for i := 0; i+1 < len(words); i++ {
+			if strings.HasPrefix(words[i], "-") {
+				flags[words[i]] = words[i+1]
+			}
+		}
+		if got, err := strconv.ParseInt(flags["-seeds"], 10, 64); err != nil || got != o.Seed {
+			t.Errorf("%q: -seeds round-tripped to %q (%v), want %d", cmd, flags["-seeds"], err, o.Seed)
+		}
+		if flags["-designs"] != o.Design {
+			t.Errorf("%q: -designs round-tripped to %q, want %q", cmd, flags["-designs"], o.Design)
+		}
+		if got, err := strconv.Atoi(flags["-plans"]); err != nil || got != o.PlanIndex+1 {
+			t.Errorf("%q: -plans round-tripped to %q (%v), want %d", cmd, flags["-plans"], err, o.PlanIndex+1)
+		}
+	}
+}

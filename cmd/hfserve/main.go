@@ -1,0 +1,93 @@
+// Command hfserve runs the simulation service: an HTTP JSON frontend
+// over the deterministic simulator with content-addressed result
+// caching, request coalescing, bounded-queue load shedding and graceful
+// drain (see package serve and the README "Serving" section).
+//
+// Usage:
+//
+//	hfserve -addr :8080
+//	hfserve -addr :8080 -workers 8 -queue 128 -cache-mb 256 -timeout 2m
+//
+// Endpoints:
+//
+//	POST /run      {"bench":"wc","design":"SYNCOPTI"} -> metrics JSON
+//	GET  /metrics  service counters
+//	GET  /healthz  liveness (503 once draining)
+//
+// On SIGINT/SIGTERM the server stops accepting work (new /run requests
+// get a typed 503), finishes queued and in-flight simulations within the
+// grace period, then exits 0; if the grace period expires first the
+// remaining jobs are canceled and the exit status is 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hfstream/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", serve.DefaultQueueDepth, "max jobs queued before shedding with 429")
+		cacheMB = flag.Int64("cache-mb", serve.DefaultCacheBytes>>20, "result cache budget in MiB (negative disables)")
+		timeout = flag.Duration("timeout", serve.DefaultJobTimeout, "per-job wall-clock budget")
+		grace   = flag.Duration("grace", 30*time.Second, "drain budget after SIGTERM before in-flight jobs are canceled")
+	)
+	flag.Parse()
+
+	cacheBytes := *cacheMB << 20
+	if *cacheMB < 0 {
+		cacheBytes = -1
+	}
+	s := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheBytes: cacheBytes,
+		JobTimeout: *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "hfserve: listening on %s\n", *addr)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "hfserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: reject new work first so load balancers see the
+	// 503s, then wait out in-flight HTTP requests and queued jobs.
+	fmt.Fprintln(os.Stderr, "hfserve: draining...")
+	s.BeginDrain()
+	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	failed := false
+	if err := httpSrv.Shutdown(graceCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "hfserve: http shutdown:", err)
+		failed = true
+	}
+	if err := s.Drain(graceCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "hfserve: drain:", err)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "hfserve: drained cleanly")
+}

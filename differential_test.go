@@ -1,0 +1,250 @@
+package hfstream_test
+
+// The differential battery: one test file asserting, over a grid of
+// small workloads x all seven designs, that every way of producing a
+// metrics snapshot yields byte-identical JSON —
+//
+//	(a) serial vs parallel experiment runner,
+//	(b) fast-forwarding kernel vs per-cycle kernel,
+//	(c) direct library API vs a serve/ HTTP round trip (cold, cached,
+//	    and the single-threaded and staged modes).
+//
+// Before this file the invariants were only checked pairwise in
+// scattered places (golden-check-noff in CI, runner tests); here they
+// are all pinned against one reference matrix. The grid uses the two
+// benchmarks the golden snapshots cover — the fastest of the nine — so
+// the battery stays cheap enough for tier 1. This file is an external
+// test (package hfstream_test) because it imports serve, which itself
+// imports hfstream.
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hfstream"
+	"hfstream/internal/design"
+	"hfstream/internal/exp"
+	"hfstream/internal/sim"
+	"hfstream/serve"
+)
+
+var diffBenches = []string{"bzip2", "adpcmdec"}
+
+// diffConfigs mirrors hfstream.Designs() at the internal/design level,
+// where the runner's Job type lives; TestDifferentialGridCoversDesigns
+// pins the correspondence.
+func diffConfigs() []design.Config {
+	return []design.Config{
+		design.ExistingConfig(), design.MemOptiConfig(), design.SyncOptiConfig(),
+		design.SyncOptiQ64Config(), design.SyncOptiSCConfig(), design.SyncOptiSCQ64Config(),
+		design.HeavyWTConfig(),
+	}
+}
+
+func TestDifferentialGridCoversDesigns(t *testing.T) {
+	designs := hfstream.Designs()
+	cfgs := diffConfigs()
+	if len(designs) != len(cfgs) {
+		t.Fatalf("grid has %d configs, public API has %d designs", len(cfgs), len(designs))
+	}
+	for i, d := range designs {
+		if cfgs[i].Name() != d.Name() {
+			t.Fatalf("grid config %d is %q, public design is %q", i, cfgs[i].Name(), d.Name())
+		}
+	}
+}
+
+// annotatedJSON renders a runner result exactly as WithMetrics does for
+// the same run: the snapshot plus benchmark/design annotations.
+func annotatedJSON(t *testing.T, res *sim.Result, bench, designName string) []byte {
+	t.Helper()
+	m := res.Metrics()
+	m.Benchmark = bench
+	m.Design = designName
+	buf, err := sim.MetricsJSON(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func diffJobs() []exp.Job {
+	var jobs []exp.Job
+	for _, bench := range diffBenches {
+		jobs = append(jobs, exp.Job{Bench: bench, Single: true})
+		for _, cfg := range diffConfigs() {
+			jobs = append(jobs, exp.Job{Bench: bench, Config: cfg})
+		}
+	}
+	return jobs
+}
+
+// jobLabel mirrors the design annotation finishRun applies.
+func jobLabel(j exp.Job) string {
+	if j.Single {
+		return "SINGLE"
+	}
+	return j.Config.Name()
+}
+
+// referenceMatrix runs the full grid on a serial runner (the harness's
+// original mode) and returns annotated snapshots keyed by
+// "bench/design". The parallel, fast-forward-off and served variants are
+// all diffed against these bytes.
+func referenceMatrix(t *testing.T) map[string][]byte {
+	t.Helper()
+	jobs := diffJobs()
+	results := (&exp.Runner{Workers: 1}).Run(context.Background(), jobs)
+	if err := exp.FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[string][]byte, len(results))
+	for _, r := range results {
+		ref[r.Job.Name()] = annotatedJSON(t, r.Res, r.Job.Bench, jobLabel(r.Job))
+	}
+	return ref
+}
+
+func TestDifferentialSerialVsParallelRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	ref := referenceMatrix(t)
+	jobs := diffJobs()
+	results := (&exp.Runner{Workers: 4}).Run(context.Background(), jobs)
+	if err := exp.FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		got := annotatedJSON(t, r.Res, r.Job.Bench, jobLabel(r.Job))
+		if !bytes.Equal(got, ref[r.Job.Name()]) {
+			t.Errorf("%s: parallel runner snapshot differs from serial", r.Job.Name())
+		}
+	}
+}
+
+func TestDifferentialFastForwardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	ref := referenceMatrix(t)
+	ctx := context.Background()
+	for _, bench := range diffBenches {
+		b, err := hfstream.BenchmarkByName(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var single bytes.Buffer
+		if _, err := hfstream.RunSingleThreadedCtx(ctx, b,
+			hfstream.WithMetrics(&single), hfstream.WithoutFastForward()); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(single.Bytes(), ref[bench+"/single"]) {
+			t.Errorf("%s/single: fast-forward-off snapshot differs", bench)
+		}
+		for _, d := range hfstream.Designs() {
+			var buf bytes.Buffer
+			if _, err := hfstream.RunCtx(ctx, b, d,
+				hfstream.WithMetrics(&buf), hfstream.WithoutFastForward()); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), ref[bench+"/"+d.Name()]) {
+				t.Errorf("%s/%s: fast-forward-off snapshot differs", bench, d.Name())
+			}
+		}
+	}
+}
+
+func TestDifferentialServeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	ref := referenceMatrix(t)
+	ts := httptest.NewServer(serve.New(serve.Config{Workers: 2}).Handler())
+	defer ts.Close()
+
+	postSpec := func(body string) (int, []byte, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, buf.Bytes(), resp.Header.Get("X-Hfserve-Cache")
+	}
+
+	for _, bench := range diffBenches {
+		cases := []struct {
+			name, body string
+		}{
+			{bench + "/single", `{"bench":"` + bench + `","single":true}`},
+		}
+		for _, d := range hfstream.Designs() {
+			cases = append(cases, struct{ name, body string }{
+				bench + "/" + d.Name(),
+				`{"bench":"` + bench + `","design":"` + d.Name() + `"}`,
+			})
+		}
+		for _, c := range cases {
+			status, cold, src := postSpec(c.body)
+			if status != 200 || src != "miss" {
+				t.Fatalf("%s cold: status=%d src=%q (%s)", c.name, status, src, cold)
+			}
+			if !bytes.Equal(cold, ref[c.name]) {
+				t.Errorf("%s: served body differs from direct API snapshot", c.name)
+			}
+			status, hot, src := postSpec(c.body)
+			if status != 200 || src != "hit" {
+				t.Fatalf("%s hot: status=%d src=%q", c.name, status, src)
+			}
+			if !bytes.Equal(hot, cold) {
+				t.Errorf("%s: cached body differs from cold body", c.name)
+			}
+		}
+	}
+}
+
+func TestDifferentialServeStaged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("staged grid")
+	}
+	// adpcmdec partitions into three stages (see the multistage tests);
+	// the served staged run must match RunStagedCtx byte for byte.
+	b, err := hfstream.BenchmarkByName("adpcmdec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := hfstream.SyncOptiSCQ64
+	var direct bytes.Buffer
+	if _, err := hfstream.RunStagedCtx(context.Background(), b, d, 3,
+		hfstream.WithMetrics(&direct)); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(serve.New(serve.Config{Workers: 1}).Handler())
+	defer ts.Close()
+	body := `{"bench":"adpcmdec","design":"` + d.Name() + `","stages":3}`
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var served bytes.Buffer
+	if _, err := served.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("staged serve: status %d (%s)", resp.StatusCode, served.Bytes())
+	}
+	if !bytes.Equal(served.Bytes(), direct.Bytes()) {
+		t.Error("staged serve body differs from RunStagedCtx snapshot")
+	}
+}

@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a long-lived bounded worker pool. Unlike Runner.Run, which
+// spins workers for one job list and tears them down, a Pool outlives any
+// single submission, so a service can keep one pool for its whole
+// lifetime and shed load when the queue is full instead of queuing
+// unboundedly. Runner.Run itself executes on a throwaway Pool, so the
+// batch harness and the serving path share one worker implementation.
+var (
+	// ErrPoolFull reports a TrySubmit that found the queue at capacity;
+	// the caller decides whether to retry, block or shed.
+	ErrPoolFull = errors.New("exp: pool queue full")
+	// ErrPoolClosed reports a TrySubmit after Close.
+	ErrPoolClosed = errors.New("exp: pool closed")
+)
+
+// Pool runs submitted functions on a fixed set of worker goroutines fed
+// from a bounded queue.
+type Pool struct {
+	tasks   chan func()
+	workers sync.WaitGroup
+	pending atomic.Int64 // queued + running tasks
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool with the given worker count (<= 0 means
+// GOMAXPROCS) and queue depth (clamped to at least 1; a task occupies a
+// queue slot from TrySubmit until a worker picks it up).
+func NewPool(workers, depth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pool{tasks: make(chan func(), depth)}
+	for w := 0; w < workers; w++ {
+		p.workers.Add(1)
+		go func() {
+			defer p.workers.Done()
+			for fn := range p.tasks {
+				fn()
+				p.pending.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues fn without blocking: ErrPoolFull when the queue is
+// at capacity, ErrPoolClosed after Close. fn runs exactly once on a
+// worker goroutine on success.
+func (p *Pool) TrySubmit(fn func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	p.pending.Add(1)
+	select {
+	case p.tasks <- fn:
+		return nil
+	default:
+		p.pending.Add(-1)
+		return ErrPoolFull
+	}
+}
+
+// Close stops intake: subsequent TrySubmit calls fail with ErrPoolClosed,
+// while already-queued tasks still run. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+}
+
+// Wait blocks until every queued and running task has finished (which
+// requires Close to have been called, or the workers never exit) or ctx
+// is done, whichever comes first.
+func (p *Pool) Wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		p.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Pending returns the number of tasks accepted but not yet finished
+// (queued plus running).
+func (p *Pool) Pending() int { return int(p.pending.Load()) }
+
+// QueueLen returns the number of tasks waiting for a worker.
+func (p *Pool) QueueLen() int { return len(p.tasks) }

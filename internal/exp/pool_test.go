@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEveryTask(t *testing.T) {
+	p := NewPool(4, 32)
+	var n atomic.Int64
+	for i := 0; i < 32; i++ {
+		if err := p.TrySubmit(func() { n.Add(1) }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	p.Close()
+	if err := p.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Load(); got != 32 {
+		t.Fatalf("ran %d tasks, want 32", got)
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("pending = %d after drain, want 0", p.Pending())
+	}
+}
+
+func TestPoolShedsWhenFull(t *testing.T) {
+	// One worker parked on a gate plus a single queue slot: the third
+	// submission must shed instead of blocking or queuing unboundedly.
+	gate := make(chan struct{})
+	p := NewPool(1, 1)
+	if err := p.TrySubmit(func() { <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	// The worker may not have picked the first task up yet; wait until
+	// the queue slot is free so the occupancy below is deterministic.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.QueueLen() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the gated task")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.TrySubmit(func() {}); err != nil {
+		t.Fatalf("queue slot submit: %v", err)
+	}
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("over-capacity submit: got %v, want ErrPoolFull", err)
+	}
+	if got := p.Pending(); got != 2 {
+		t.Fatalf("pending = %d, want 2", got)
+	}
+	close(gate)
+	p.Close()
+	if err := p.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolClosedRejectsButDrains(t *testing.T) {
+	gate := make(chan struct{})
+	var ran atomic.Bool
+	p := NewPool(1, 4)
+	p.TrySubmit(func() { <-gate })
+	p.TrySubmit(func() { ran.Store(true) })
+	p.Close()
+	p.Close() // idempotent
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("submit after close: got %v, want ErrPoolClosed", err)
+	}
+
+	// Wait must respect its context while the gate is held...
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("gated wait: got %v, want DeadlineExceeded", err)
+	}
+	// ...and the queued task must still run once the gate opens.
+	close(gate)
+	if err := p.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !ran.Load() {
+		t.Fatal("task queued before Close never ran")
+	}
+}

@@ -46,6 +46,9 @@ type RunOpts struct {
 	// Faults, when non-nil, is the per-run fault injector (see
 	// sim.Config.Faults); injectors carry per-run state.
 	Faults *fault.Injector
+	// DisableFastForward forces the per-cycle kernel loop (see
+	// sim.Config.DisableFastForward); outputs are identical either way.
+	DisableFastForward bool
 }
 
 // Apply copies the options onto a simulator config.
@@ -55,6 +58,7 @@ func (o RunOpts) Apply(simCfg *sim.Config) {
 	simCfg.Progress = o.Progress
 	simCfg.ProgressEvery = o.ProgressEvery
 	simCfg.Faults = o.Faults
+	simCfg.DisableFastForward = o.DisableFastForward
 }
 
 // RunBenchmarkSampledCtx is RunBenchmarkSampled with cancellation: the

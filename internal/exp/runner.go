@@ -69,8 +69,14 @@ type Runner struct {
 // regardless of completion order. Failed jobs carry their error in the
 // corresponding slot; siblings are unaffected. Canceling ctx aborts
 // in-flight simulations and fails not-yet-started jobs with ctx.Err().
+// Execution happens on a throwaway Pool sized to the job list, so the
+// batch harness and long-lived services (serve/) share one worker
+// implementation.
 func (r *Runner) Run(ctx context.Context, jobs []Job) []JobResult {
 	results := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -83,54 +89,47 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) []JobResult {
 		exec = runJob
 	}
 
-	idx := make(chan int, len(jobs))
-	for i := range jobs {
-		idx <- i
-	}
-	close(idx)
-
 	var done atomic.Int64
 	var progressMu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				j := jobs[i]
-				start := time.Now()
-				var res *sim.Result
-				err := ctx.Err()
-				if err == nil {
-					jctx := ctx
-					var cancel context.CancelFunc
-					if r.Timeout > 0 {
-						jctx, cancel = context.WithTimeout(ctx, r.Timeout)
-					}
-					res, err = exec(jctx, j)
-					if cancel != nil {
-						cancel()
-					}
+	pool := NewPool(workers, len(jobs))
+	for i := range jobs {
+		// The pool is freshly created with room for every job, so
+		// TrySubmit cannot fail here.
+		pool.TrySubmit(func() {
+			j := jobs[i]
+			start := time.Now()
+			var res *sim.Result
+			err := ctx.Err()
+			if err == nil {
+				jctx := ctx
+				var cancel context.CancelFunc
+				if r.Timeout > 0 {
+					jctx, cancel = context.WithTimeout(ctx, r.Timeout)
 				}
-				results[i] = JobResult{Job: j, Res: res, Err: err, Wall: time.Since(start)}
-				if res != nil && res.UnquiescedExit {
-					warnf("%s: cores done but fabric never quiesced (run with hfsim for the fabric dump)", j.Name())
-					diagnosef(j.Name(), res.Diagnosis)
-				}
-				var dl *sim.DeadlockError
-				if errors.As(err, &dl) && dl.Diag != nil {
-					diagnosef(j.Name(), dl.Diag)
-				}
-				n := int(done.Add(1))
-				if r.Progress != nil {
-					progressMu.Lock()
-					r.Progress(n, len(jobs), results[i])
-					progressMu.Unlock()
+				res, err = exec(jctx, j)
+				if cancel != nil {
+					cancel()
 				}
 			}
-		}()
+			results[i] = JobResult{Job: j, Res: res, Err: err, Wall: time.Since(start)}
+			if res != nil && res.UnquiescedExit {
+				warnf("%s: cores done but fabric never quiesced (run with hfsim for the fabric dump)", j.Name())
+				diagnosef(j.Name(), res.Diagnosis)
+			}
+			var dl *sim.DeadlockError
+			if errors.As(err, &dl) && dl.Diag != nil {
+				diagnosef(j.Name(), dl.Diag)
+			}
+			n := int(done.Add(1))
+			if r.Progress != nil {
+				progressMu.Lock()
+				r.Progress(n, len(jobs), results[i])
+				progressMu.Unlock()
+			}
+		})
 	}
-	wg.Wait()
+	pool.Close()
+	pool.Wait(context.Background())
 	return results
 }
 

@@ -28,6 +28,7 @@ type runOpts struct {
 	progressEvery  uint64
 	sampleInterval uint64
 	faults         *fault.Injector
+	noFastForward  bool
 }
 
 func gatherOpts(opts []RunOpt) runOpts {
@@ -40,10 +41,11 @@ func gatherOpts(opts []RunOpt) runOpts {
 
 func (o runOpts) expOpts() exp.RunOpts {
 	e := exp.RunOpts{
-		SampleInterval: o.sampleInterval,
-		Trace:          o.trace,
-		ProgressEvery:  o.progressEvery,
-		Faults:         o.faults,
+		SampleInterval:     o.sampleInterval,
+		Trace:              o.trace,
+		ProgressEvery:      o.progressEvery,
+		Faults:             o.faults,
+		DisableFastForward: o.noFastForward,
 	}
 	if o.progress != nil {
 		fn := o.progress
@@ -103,6 +105,16 @@ func WithFaults(p fault.Plan) RunOpt {
 // carries per-run state and must not be reused across runs.
 func WithFaultInjector(in *fault.Injector) RunOpt {
 	return func(o *runOpts) { o.faults = in }
+}
+
+// WithoutFastForward disables the kernel's idle-cycle fast-forward for
+// this run, ticking every idle cycle individually. Reported results are
+// byte-identical either way — CI's golden re-check and the root
+// differential battery both prove it — so the option exists for that
+// proof and for debugging. It is the per-run form of the process-wide
+// HFSTREAM_NO_FASTFORWARD environment variable.
+func WithoutFastForward() RunOpt {
+	return func(o *runOpts) { o.noFastForward = true }
 }
 
 // WithSampleInterval collects a throughput sample (per-core issue counts

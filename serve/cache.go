@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: canonical request
+// key (hfstream.Spec.Key, a SHA-256 hex digest) to the exact response
+// body served for it. Eviction is least-recently-used under a byte
+// budget; a single value larger than the whole budget is rejected rather
+// than evicting everything else. Caching bodies is sound because the
+// simulator is deterministic (see RESILIENCE.md): a key fully determines
+// its response bytes, so a hit can never serve a stale or divergent
+// result.
+type resultCache struct {
+	mu        sync.Mutex
+	budget    int64
+	bytes     int64
+	ll        *list.List // front = most recently used
+	entries   map[string]*list.Element
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{
+		budget:  budget,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the body cached for key and refreshes its recency.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key, evicting least-recently-used entries until
+// the byte budget holds. Bodies larger than the budget are not stored.
+func (c *resultCache) Put(key string, body []byte) {
+	if c == nil || int64(len(body)) > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// The simulator is deterministic, so a re-put carries the same
+		// bytes; just refresh recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	c.bytes += int64(len(body))
+	for c.bytes > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.body))
+		c.evictions++
+	}
+}
+
+// Stats reports the current entry count, resident bytes, budget and
+// lifetime eviction count.
+func (c *resultCache) Stats() (entries int, bytes, budget int64, evictions uint64) {
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.bytes, c.budget, c.evictions
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(30)
+	put := func(key string, n int) { c.Put(key, bytes.Repeat([]byte{'x'}, n)) }
+	put("a", 10)
+	put("b", 10)
+	put("c", 10) // full: a, b, c resident
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted while under budget")
+	}
+	// a is now most recent, so the next insertion evicts b.
+	put("d", 10)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived past the budget; LRU order not honored")
+	}
+	for _, key := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(key); !ok {
+			t.Fatalf("%s missing after eviction round", key)
+		}
+	}
+	entries, resident, budget, evictions := c.Stats()
+	if entries != 3 || resident != 30 || budget != 30 || evictions != 1 {
+		t.Fatalf("stats = (%d, %d, %d, %d), want (3, 30, 30, 1)",
+			entries, resident, budget, evictions)
+	}
+}
+
+func TestCacheRejectsOversizedValue(t *testing.T) {
+	c := newResultCache(8)
+	c.Put("small", []byte("1234"))
+	c.Put("huge", bytes.Repeat([]byte{'x'}, 9))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("value larger than the whole budget was cached")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Fatal("oversized put evicted an unrelated resident entry")
+	}
+}
+
+func TestCacheRePutKeepsBytesStable(t *testing.T) {
+	c := newResultCache(100)
+	c.Put("k", []byte("body"))
+	c.Put("k", []byte("body"))
+	entries, resident, _, _ := c.Stats()
+	if entries != 1 || resident != 4 {
+		t.Fatalf("re-put accounting: entries=%d bytes=%d, want 1/4", entries, resident)
+	}
+	got, ok := c.Get("k")
+	if !ok || string(got) != "body" {
+		t.Fatalf("got %q, %v", got, ok)
+	}
+}
+
+func TestCacheNilIsDisabled(t *testing.T) {
+	var c *resultCache
+	c.Put("k", []byte("body")) // must not panic
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if entries, resident, budget, evictions := c.Stats(); entries != 0 || resident != 0 || budget != 0 || evictions != 0 {
+		t.Fatal("nil cache stats non-zero")
+	}
+}
+
+func TestCacheManyKeysStayConsistent(t *testing.T) {
+	c := newResultCache(1 << 10)
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), bytes.Repeat([]byte{byte(i)}, 64))
+	}
+	entries, resident, _, evictions := c.Stats()
+	if resident > 1<<10 {
+		t.Fatalf("resident %d bytes over the %d budget", resident, 1<<10)
+	}
+	if entries != 16 || evictions != 184 {
+		t.Fatalf("entries=%d evictions=%d, want 16/184", entries, evictions)
+	}
+	// The most recent keys are the survivors.
+	for i := 184; i < 200; i++ {
+		body, ok := c.Get(fmt.Sprintf("key-%d", i))
+		if !ok {
+			t.Fatalf("key-%d missing", i)
+		}
+		if !bytes.Equal(body, bytes.Repeat([]byte{byte(i)}, 64)) {
+			t.Fatalf("key-%d body corrupted", i)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package serve turns the deterministic simulator into a long-lived HTTP
+// JSON service. POST /run accepts an hfstream.Spec (benchmark + design +
+// run mode), executes it on a bounded worker pool shared with the
+// experiment harness (internal/exp.Pool), and responds with the run's
+// metrics snapshot — the exact bytes hfstream.WithMetrics writes, so a
+// served response is byte-identical to calling the library API directly.
+//
+// Three properties make the service safe to put in front of heavy
+// traffic:
+//
+//   - Content-addressed caching: requests are canonicalized and hashed
+//     (hfstream.Spec.Key), and successful response bodies are cached in a
+//     byte-budgeted LRU. The simulator is deterministic (RESILIENCE.md),
+//     so a cache hit is guaranteed byte-identical to a fresh run.
+//   - Request coalescing: concurrent identical requests collapse onto one
+//     in-flight simulation (singleflight); every caller gets the same
+//     bytes, and exactly one underlying run happens per unique request.
+//   - Backpressure: when the queue is full the service sheds load with a
+//     typed 429 JSON error instead of queuing unboundedly, and
+//     BeginDrain/Drain reject new work with 503 while letting in-flight
+//     jobs finish — the SIGTERM path of cmd/hfserve.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"hfstream"
+	"hfstream/internal/exp"
+)
+
+// Defaults for the zero Config.
+const (
+	DefaultQueueDepth = 64
+	DefaultCacheBytes = 64 << 20
+	DefaultJobTimeout = 2 * time.Minute
+
+	// maxRequestBytes bounds a /run request body; specs are tiny and an
+	// unbounded read is a trivial memory DoS.
+	maxRequestBytes = 1 << 20
+)
+
+// Config parameterizes a Server. The zero value picks the defaults
+// above; CacheBytes < 0 disables caching (coalescing still applies).
+type Config struct {
+	// Workers is the simulation pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running; a submission
+	// past the bound is shed with 429 rather than queued.
+	QueueDepth int
+	// CacheBytes is the result cache budget (0 = default, < 0 = off).
+	CacheBytes int64
+	// JobTimeout caps each simulation's wall-clock time through the
+	// ctx-first run API; an expired job fails with a typed 504.
+	JobTimeout time.Duration
+}
+
+// Server is one service instance. Create it with New, mount Handler on
+// an http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg     Config
+	pool    *exp.Pool
+	cache   *resultCache // nil when disabled
+	flights flightGroup
+
+	draining atomic.Bool
+	start    time.Time
+	baseCtx  context.Context // job lifetime: server-scoped, not request-scoped
+	cancel   context.CancelFunc
+
+	requests    atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	coalesced   atomic.Uint64
+	runs        atomic.Uint64
+	failures    atomic.Uint64
+	shed        atomic.Uint64
+	rejected    atomic.Uint64
+	simCycles   atomic.Uint64
+	simInstrs   atomic.Uint64
+	simStalls   atomic.Uint64
+
+	// run executes one spec; overridable by tests to model slow or
+	// failing jobs without real simulations (same seam as exp.Runner.run).
+	run func(ctx context.Context, spec hfstream.Spec) *outcome
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.JobTimeout == 0 {
+		cfg.JobTimeout = DefaultJobTimeout
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		pool:    exp.NewPool(cfg.Workers, cfg.QueueDepth),
+		start:   time.Now(),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+	if cfg.CacheBytes > 0 {
+		s.cache = newResultCache(cfg.CacheBytes)
+	}
+	s.run = s.execSpec
+	return s
+}
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /run      run a spec (or serve it from cache), body = metrics JSON
+//	GET  /metrics  service counters (cache, queue, simulated work)
+//	GET  /healthz  liveness; 503 once draining so balancers stop routing
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// BeginDrain flips the server into draining mode: new /run work is
+// rejected with a typed 503 and /healthz reports draining, while queued
+// and in-flight jobs keep running. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain is the graceful-shutdown path: it begins draining, closes the
+// pool's intake, and waits for every queued and in-flight job to finish.
+// If ctx expires first, in-flight simulations are canceled through the
+// ctx-first run API and the ctx error is returned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	s.pool.Close()
+	err := s.pool.Wait(ctx)
+	if err != nil {
+		s.cancel()
+	}
+	return err
+}
+
+// Error codes carried in the typed JSON error envelope.
+const (
+	codeBadRequest = "bad_request"
+	codeQueueFull  = "queue_full"
+	codeDraining   = "draining"
+	codeTimeout    = "timeout"
+	codeDeadlock   = "deadlock"
+	codeRunFailed  = "run_failed"
+	codeInternal   = "internal"
+)
+
+// errorBody is the JSON envelope of every non-200 response.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Diagnosis carries the structured machine snapshot for deadlock
+	// detections (hfstream.DiagnosisJSON form).
+	Diagnosis json.RawMessage `json:"diagnosis,omitempty"`
+}
+
+// outcome is one request's terminal state: either the cacheable metrics
+// body or a rendered error envelope.
+type outcome struct {
+	status int
+	body   []byte
+	source string // "miss" (fresh run) or "hit" (leader found cache)
+	ok     bool
+}
+
+func errorOutcome(status int, code, msg string, diag json.RawMessage) *outcome {
+	body, err := json.Marshal(errorBody{Error: errorDetail{Code: code, Message: msg, Diagnosis: diag}})
+	if err != nil {
+		status, body = http.StatusInternalServerError,
+			[]byte(`{"error":{"code":"internal","message":"error marshal failed"}}`)
+	}
+	return &outcome{status: status, body: append(body, '\n')}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeOutcome(w, "", "", errorOutcome(http.StatusMethodNotAllowed, codeBadRequest, "POST required", nil))
+		return
+	}
+	s.requests.Add(1)
+	var spec hfstream.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeOutcome(w, "", "", errorOutcome(http.StatusBadRequest, codeBadRequest, "request body: "+err.Error(), nil))
+		return
+	}
+	key, err := spec.Key()
+	if err != nil {
+		writeOutcome(w, "", "", errorOutcome(http.StatusBadRequest, codeBadRequest, err.Error(), nil))
+		return
+	}
+
+	// Fast path: previously served and still resident.
+	if body, ok := s.cache.Get(key); ok {
+		s.cacheHits.Add(1)
+		writeOutcome(w, key, "hit", &outcome{status: http.StatusOK, body: body, ok: true})
+		return
+	}
+
+	out, joined := s.flights.do(key, func() *outcome { return s.runOne(key, spec) })
+	src := out.source
+	if joined {
+		s.coalesced.Add(1)
+		src = "coalesced"
+	}
+	writeOutcome(w, key, src, out)
+}
+
+// runOne is the flight leader's path: admission control, pool submit,
+// and cache publication. It never runs concurrently for the same key.
+func (s *Server) runOne(key string, spec hfstream.Spec) *outcome {
+	if s.draining.Load() {
+		s.rejected.Add(1)
+		return errorOutcome(http.StatusServiceUnavailable, codeDraining,
+			"server is draining; retry against another instance", nil)
+	}
+	// A flight for this key may have completed between the handler's
+	// cache check and this one; the leader publishes to the cache before
+	// the flight deregisters, so this re-check closes the gap.
+	if body, ok := s.cache.Get(key); ok {
+		s.cacheHits.Add(1)
+		return &outcome{status: http.StatusOK, body: body, source: "hit", ok: true}
+	}
+	s.cacheMisses.Add(1)
+
+	ch := make(chan *outcome, 1)
+	err := s.pool.TrySubmit(func() { ch <- runProtected(func() *outcome { return s.run(s.baseCtx, spec) }) })
+	switch {
+	case errors.Is(err, exp.ErrPoolFull):
+		s.shed.Add(1)
+		return errorOutcome(http.StatusTooManyRequests, codeQueueFull,
+			fmt.Sprintf("queue full (%d jobs pending, depth %d); load shed rather than queued unboundedly",
+				s.pool.Pending(), s.cfg.QueueDepth), nil)
+	case err != nil: // pool closed: drain won the race
+		s.rejected.Add(1)
+		return errorOutcome(http.StatusServiceUnavailable, codeDraining, "server is draining", nil)
+	}
+	out := <-ch
+	if out.ok {
+		s.cache.Put(key, out.body)
+	}
+	return out
+}
+
+// execSpec runs one simulation and classifies its outcome. The response
+// body is exactly what hfstream.WithMetrics writes, which is what makes
+// direct-API and served results byte-comparable.
+func (s *Server) execSpec(ctx context.Context, spec hfstream.Spec) *outcome {
+	s.runs.Add(1)
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	var buf bytes.Buffer
+	res, err := spec.RunCtx(ctx, hfstream.WithMetrics(&buf))
+	if err != nil {
+		s.failures.Add(1)
+		var dl *hfstream.DeadlockError
+		var ce *hfstream.CanceledError
+		var ve *hfstream.ValidationError
+		switch {
+		case errors.As(err, &dl):
+			var diag json.RawMessage
+			if dl.Diag != nil {
+				diag, _ = hfstream.DiagnosisJSON(dl.Diag)
+			}
+			return errorOutcome(http.StatusUnprocessableEntity, codeDeadlock, err.Error(), diag)
+		case errors.As(err, &ce):
+			return errorOutcome(http.StatusGatewayTimeout, codeTimeout,
+				fmt.Sprintf("job exceeded its budget (%v): %v", s.cfg.JobTimeout, err), nil)
+		case errors.As(err, &ve):
+			return errorOutcome(http.StatusBadRequest, codeBadRequest, err.Error(), nil)
+		default:
+			return errorOutcome(http.StatusUnprocessableEntity, codeRunFailed, err.Error(), nil)
+		}
+	}
+	s.simCycles.Add(res.Cycles)
+	var instrs, stalls uint64
+	for i := range res.Instructions {
+		instrs += res.Instructions[i]
+	}
+	for i := range res.CoreCycles {
+		stalls += res.CoreCycles[i] - res.IssueCycles[i]
+	}
+	s.simInstrs.Add(instrs)
+	s.simStalls.Add(stalls)
+	return &outcome{status: http.StatusOK, body: buf.Bytes(), source: "miss", ok: true}
+}
+
+// writeOutcome writes one terminal response. Cache provenance rides in
+// headers, never the body, so hit/miss/coalesced bodies stay
+// byte-identical.
+func writeOutcome(w http.ResponseWriter, key, source string, out *outcome) {
+	w.Header().Set("Content-Type", "application/json")
+	if key != "" {
+		w.Header().Set("X-Hfserve-Key", key)
+	}
+	if source != "" {
+		w.Header().Set("X-Hfserve-Cache", source)
+	}
+	w.WriteHeader(out.status)
+	w.Write(out.body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"status\":%q,\"in_flight\":%d}\n", status, s.inFlight())
+}
+
+func (s *Server) inFlight() int {
+	n := s.pool.Pending() - s.pool.QueueLen()
+	if n < 0 {
+		n = 0
+	}
+	return n
+}

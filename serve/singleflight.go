@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup coalesces concurrent requests for the same content key
+// onto one in-flight execution: the first caller (the leader) runs fn,
+// every concurrent duplicate blocks until the leader finishes and then
+// shares its outcome — including the exact response bytes, so a
+// coalesced response is byte-identical to the leader's.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	out  *outcome
+}
+
+// do runs fn for key, or joins an already-running fn for the same key.
+// The second return reports whether this caller coalesced onto another
+// caller's run. The flight is deregistered before done is signalled, and
+// leaders publish successful results to the cache inside fn, so a
+// request arriving after completion finds the cache populated rather
+// than triggering a second run.
+func (g *flightGroup) do(key string, fn func() *outcome) (*outcome, bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.out, true
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.out = runProtected(fn)
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.out, false
+}
+
+// runProtected converts a panicking fn into an internal-error outcome so
+// a leader crash can never strand its joiners on a never-closed channel.
+func runProtected(fn func() *outcome) (out *outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = errorOutcome(500, codeInternal, fmt.Sprintf("panic during run: %v", r), nil)
+		}
+	}()
+	return fn()
+}

@@ -1,0 +1,114 @@
+package hfstream
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestSpecCanonicalAliases(t *testing.T) {
+	// Every member of an alias class must canonicalize to the same bytes
+	// and therefore the same key.
+	classes := [][]Spec{
+		{
+			{Bench: "wc", Design: "SYNCOPTI"},
+			{Bench: "wc", Design: "SYNCOPTI", Stages: 0},
+		},
+		{
+			{Bench: "wc", Single: true},
+		},
+		{
+			{Bench: "fir", Design: "NETQUEUE_2hop"},
+		},
+	}
+	keys := map[string]string{}
+	for _, class := range classes {
+		var first []byte
+		for i, s := range class {
+			c, err := s.Canonical()
+			if err != nil {
+				t.Fatalf("%+v: %v", s, err)
+			}
+			if i == 0 {
+				first = c
+			} else if string(c) != string(first) {
+				t.Errorf("alias %+v canonicalized to %s, class canonical is %s", s, c, first)
+			}
+		}
+		k, err := class[0].Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := keys[k]; dup {
+			t.Errorf("key collision between classes %s and %s", prev, first)
+		}
+		keys[k] = string(first)
+	}
+}
+
+func TestSpecCanonicalIsCompactAndOrdered(t *testing.T) {
+	c, err := Spec{Bench: "wc", Design: "HEAVYWT", Stages: 3}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"bench":"wc","design":"HEAVYWT","stages":3}`; string(c) != want {
+		t.Fatalf("canonical form %s, want %s", c, want)
+	}
+	// JSON field order must survive a decode/encode cycle through Spec.
+	var s Spec
+	if err := json.Unmarshal([]byte(`{"stages":3,"design":"HEAVYWT","bench":"wc"}`), &s); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c2) != string(c) {
+		t.Fatalf("field-order alias canonicalized differently: %s vs %s", c2, c)
+	}
+}
+
+func TestSpecKeyShape(t *testing.T) {
+	k, err := Spec{Bench: "wc", Design: "EXISTING"}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(k) {
+		t.Fatalf("key %q is not lowercase hex SHA-256", k)
+	}
+	k2, _ := Spec{Bench: "wc", Design: "MEMOPTI"}.Key()
+	if k == k2 {
+		t.Fatal("different specs share a key")
+	}
+}
+
+func TestSpecRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		frag string // required error fragment
+	}{
+		{"empty", Spec{}, "unknown benchmark"},
+		{"unknown bench", Spec{Bench: "nope", Design: "EXISTING"}, "unknown benchmark"},
+		{"unknown design", Spec{Bench: "wc", Design: "nope"}, "unknown design"},
+		{"missing design", Spec{Bench: "wc"}, "unknown design"},
+		{"one stage", Spec{Bench: "wc", Design: "EXISTING", Stages: 1}, "stages"},
+		{"negative stages", Spec{Bench: "wc", Design: "EXISTING", Stages: -1}, "stages"},
+		{"single with design", Spec{Bench: "wc", Design: "EXISTING", Single: true}, "must not name a design"},
+		{"single with stages", Spec{Bench: "wc", Single: true, Stages: 2}, "cannot be staged"},
+	}
+	for _, tc := range cases {
+		if _, err := tc.spec.Normalize(); err == nil {
+			t.Errorf("%s: Normalize succeeded, want error", tc.name)
+		} else if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: error %q missing fragment %q", tc.name, err, tc.frag)
+		}
+		if _, err := tc.spec.Canonical(); err == nil {
+			t.Errorf("%s: Canonical succeeded, want error", tc.name)
+		}
+		if _, err := tc.spec.Key(); err == nil {
+			t.Errorf("%s: Key succeeded, want error", tc.name)
+		}
+	}
+}
