@@ -8,13 +8,17 @@
 #                       if the total drops below the recorded baseline
 #   make bench        - run the kernel performance harness over the full
 #                       nine-benchmark x seven-design matrix and write
-#                       BENCH_PR3.json
+#                       BENCH_PR6.json (with speedups vs BENCH_PR3.json)
 #   make bench-smoke  - one-rep bench harness pass over the golden benchmark
 #                       subset (CI's sanity check; numbers are noise there)
+#   make bench-compare - re-measure the golden benchmark subset and fail if
+#                       wall time regressed >25% geomean against the
+#                       checked-in BENCH_PR6.json baseline
 #   make gobench      - one `go test -bench` pass over the paper-reproduction
 #                       benchmarks
 #   make ci           - everything CI runs: tier1, race, coverage, formatting,
-#                       goldens (with fast-forward on and off), bench smoke
+#                       goldens (with fast-forward on and off), bench
+#                       regression gate
 #   make golden       - regenerate the metrics snapshots in testdata/golden/
 #   make golden-check - rebuild the snapshots into a temp dir and diff them
 #                       against the checked-in goldens
@@ -39,7 +43,7 @@ GOLDEN_BENCHES = bzip2,adpcmdec
 # while still catching any real regression. Raise it as coverage grows.
 COVERAGE_BASELINE = 70.0
 
-.PHONY: tier1 vet build test race coverage bench bench-smoke gobench ci fmtcheck golden golden-check golden-check-noff chaos chaos-smoke fuzz-smoke
+.PHONY: tier1 vet build test race coverage bench bench-smoke bench-compare gobench ci fmtcheck golden golden-check golden-check-noff chaos chaos-smoke fuzz-smoke
 
 tier1: build vet test
 
@@ -64,16 +68,27 @@ coverage:
 		{ echo "coverage regressed below the $(COVERAGE_BASELINE)% baseline"; exit 1; }
 
 bench:
-	$(GO) run ./bench -out BENCH_PR3.json
+	$(GO) run ./bench -out BENCH_PR6.json -baseline BENCH_PR3.json -label pr6
 
 # Quick harness exercise for CI: one rep over the two fastest benchmarks.
 bench-smoke:
 	$(GO) run ./bench -benches $(GOLDEN_BENCHES) -reps 1 -out -
 
+# CI regression gate: re-measure a benchmark subset and fail if wall
+# time regressed more than 25% (geomean over matched pairs) against the
+# checked-in BENCH_PR6.json. The subset is the two *slowest* benchmarks
+# (unlike the golden pair, their multi-millisecond runs don't drown in
+# timer noise) and the 25% headroom absorbs the rest; a real scheduling
+# or allocation regression blows well past it.
+BENCH_COMPARE_BENCHES = equake,mcf
+bench-compare:
+	$(GO) run ./bench -benches $(BENCH_COMPARE_BENCHES) -reps 5 -out - \
+		-label compare -baseline BENCH_PR6.json -maxregress 25
+
 gobench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-ci: tier1 race coverage fmtcheck golden-check golden-check-noff bench-smoke chaos-smoke
+ci: tier1 race coverage fmtcheck golden-check golden-check-noff bench-compare chaos-smoke
 
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

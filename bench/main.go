@@ -1,7 +1,7 @@
 // Command bench measures the simulation kernel's raw performance over the
 // paper's nine-benchmark × seven-design matrix and writes a JSON report
 // (wall time, simulated cycles per second, allocations per run). It is the
-// harness behind `make bench` and the BENCH_PR3.json trajectory file.
+// harness behind `make bench` and the BENCH_PR*.json trajectory files.
 //
 // Every run goes through the same exp.RunBenchmark path the figures use,
 // including oracle output verification, so the numbers reflect the real
@@ -10,9 +10,10 @@
 //
 // Usage:
 //
-//	go run ./bench                         # full matrix -> BENCH_PR3.json
+//	go run ./bench                         # full matrix -> BENCH_PR6.json
 //	go run ./bench -benches bzip2,adpcmdec -reps 1 -out -
 //	go run ./bench -baseline old.json      # adds speedup-vs-baseline fields
+//	go run ./bench -baseline old.json -maxregress 25   # CI regression gate
 package main
 
 import (
@@ -50,7 +51,7 @@ type Totals struct {
 	AllocsPerOp  uint64  `json:"allocs_per_op"`
 }
 
-// Report is the BENCH_PR3.json schema.
+// Report is the BENCH_PR*.json schema.
 type Report struct {
 	Label       string `json:"label"`
 	GoVersion   string `json:"go_version"`
@@ -69,11 +70,12 @@ type Report struct {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_PR3.json", "output file (\"-\" for stdout)")
-		benches  = flag.String("benches", "", "comma-separated benchmark subset (default: all nine)")
-		reps     = flag.Int("reps", 3, "repetitions per (benchmark, design) pair; best wall time wins")
-		label    = flag.String("label", "current", "label recorded in the report")
-		baseline = flag.String("baseline", "", "previous report to compute speedups against")
+		out        = flag.String("out", "BENCH_PR6.json", "output file (\"-\" for stdout)")
+		benches    = flag.String("benches", "", "comma-separated benchmark subset (default: all nine)")
+		reps       = flag.Int("reps", 3, "repetitions per (benchmark, design) pair; best wall time wins")
+		label      = flag.String("label", "current", "label recorded in the report")
+		baseline   = flag.String("baseline", "", "previous report to compute speedups against")
+		maxregress = flag.Float64("maxregress", 0, "with -baseline: exit nonzero if geomean wall time regressed by more than this percentage")
 	)
 	flag.Parse()
 
@@ -114,6 +116,19 @@ func main() {
 	if rep.SpeedupWallGeomean > 0 {
 		fmt.Fprintf(os.Stderr, "bench: speedup vs %q: %.2fx geomean, %.2fx total wall, %.2fx allocs\n",
 			rep.Baseline.Label, rep.SpeedupWallGeomean, rep.SpeedupWallTotal, rep.AllocsRatio)
+	}
+	if *maxregress > 0 && rep.Baseline != nil {
+		// A speedup of 1/(1+x/100) means wall time grew by x percent.
+		floor := 1 / (1 + *maxregress/100)
+		if rep.SpeedupWallGeomean < floor {
+			fmt.Fprintf(os.Stderr,
+				"bench: FAIL: geomean wall time regressed %.0f%% vs %q (speedup %.2fx, floor %.2fx at -maxregress %.0f)\n",
+				(1/rep.SpeedupWallGeomean-1)*100, rep.Baseline.Label,
+				rep.SpeedupWallGeomean, floor, *maxregress)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: regression gate ok (speedup %.2fx >= floor %.2fx)\n",
+			rep.SpeedupWallGeomean, floor)
 	}
 }
 
@@ -201,18 +216,26 @@ func compare(rep, base *Report) {
 		baseBy[p.Benchmark+"/"+p.Design] = p
 	}
 	var ratios []float64
+	var baseWall, curWall int64
+	var baseAllocs, curAllocs uint64
 	for _, p := range rep.Pairs {
 		if bp, ok := baseBy[p.Benchmark+"/"+p.Design]; ok && p.WallNs > 0 {
 			ratios = append(ratios, float64(bp.WallNs)/float64(p.WallNs))
+			baseWall += bp.WallNs
+			curWall += p.WallNs
+			baseAllocs += bp.AllocsPerOp
+			curAllocs += p.AllocsPerOp
 		}
 	}
 	base.Baseline = nil // never nest more than one level
 	rep.Baseline = base
 	rep.SpeedupWallGeomean = stats.Geomean(ratios)
-	if rep.Totals.WallNs > 0 {
-		rep.SpeedupWallTotal = float64(base.Totals.WallNs) / float64(rep.Totals.WallNs)
+	// Totals over matched pairs only, so a subset run (-benches) compares
+	// like against like instead of a subset against the full matrix.
+	if curWall > 0 {
+		rep.SpeedupWallTotal = float64(baseWall) / float64(curWall)
 	}
-	if rep.Totals.AllocsPerOp > 0 {
-		rep.AllocsRatio = float64(base.Totals.AllocsPerOp) / float64(rep.Totals.AllocsPerOp)
+	if curAllocs > 0 {
+		rep.AllocsRatio = float64(baseAllocs) / float64(curAllocs)
 	}
 }

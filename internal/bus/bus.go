@@ -78,6 +78,22 @@ const (
 	SupplierMem
 )
 
+// Owner receives a request's grant callbacks without per-request
+// closures: the bus (and the fabric's snoop broker) dispatch back to the
+// submitting component, which recovers its context from the request's
+// fields. Implementations may recycle the request once ReqDone returns —
+// the bus holds no reference past that call.
+type Owner interface {
+	// ReqNote is invoked at grant time with the Supplier constant
+	// describing who services the request.
+	ReqNote(r *Req, supplier int)
+	// ReqDone is invoked during grant processing with the future CPU
+	// cycle at which the transaction completes (data delivered /
+	// invalidation globally visible). The receiver must not act on the
+	// result before that cycle.
+	ReqDone(r *Req, done uint64)
+}
+
 // Req is one bus transaction request.
 type Req struct {
 	Kind Kind
@@ -87,14 +103,18 @@ type Req struct {
 	Q    int    // stream queue number for streaming transactions
 	Slot uint64 // cumulative starting slot for streaming transactions
 
-	// Note, if non-nil, is invoked at grant time with the Supplier
-	// constant describing who services the request.
+	// Owner, if non-nil, receives the grant callbacks (preferred: no
+	// per-request closures). Ref is an opaque cookie the owner may use to
+	// carry extra context (e.g. the OzQ entry behind a forward).
+	Owner Owner
+	Ref   any
+
+	// Note, if non-nil and Owner is nil, is invoked at grant time with
+	// the Supplier constant describing who services the request.
 	Note func(supplier int)
 
-	// Done is invoked during grant processing and receives the future
-	// CPU cycle at which the transaction completes (data delivered /
-	// invalidation globally visible). The receiver must not act on the
-	// result before that cycle. May be nil.
+	// Done, if non-nil and Owner is nil, is invoked during grant
+	// processing with the future completion cycle (see Owner.ReqDone).
 	Done func(cycle uint64)
 
 	granted  bool
@@ -135,8 +155,27 @@ func (p Params) Validate() error {
 	return nil
 }
 
-type pending struct {
-	req *Req
+// srcQueue is one source's FIFO of ungranted requests. Popping advances
+// head instead of re-slicing, so the backing array is reused across the
+// whole run instead of creeping forward and reallocating.
+type srcQueue struct {
+	reqs []*Req
+	head int
+}
+
+func (q *srcQueue) len() int { return len(q.reqs) - q.head }
+
+func (q *srcQueue) push(r *Req) { q.reqs = append(q.reqs, r) }
+
+func (q *srcQueue) pop() *Req {
+	r := q.reqs[q.head]
+	q.reqs[q.head] = nil
+	q.head++
+	if q.head == len(q.reqs) {
+		q.reqs = q.reqs[:0]
+		q.head = 0
+	}
+	return r
 }
 
 // Bus is the shared split-transaction bus.
@@ -144,10 +183,14 @@ type Bus struct {
 	p       Params
 	handler Handler
 
-	queues   [][]pending // per-source request queues
-	rrNext   int         // round-robin pointer
-	addrFree uint64      // next CPU cycle the address path is free
-	dataFree uint64      // next CPU cycle the data path is free
+	queues   []srcQueue // per-source request queues
+	rrNext   int        // round-robin pointer
+	addrFree uint64     // next CPU cycle the address path is free
+	dataFree uint64     // next CPU cycle the data path is free
+
+	// wakeAt caches the earliest cycle Tick can do anything (see WakeAt);
+	// Submit lowers it, Tick recomputes it.
+	wakeAt uint64
 
 	// Stats.
 	Grants       [numKinds]uint64
@@ -179,7 +222,8 @@ func New(p Params, n int, h Handler) *Bus {
 	return &Bus{
 		p:       p,
 		handler: h,
-		queues:  make([][]pending, n),
+		queues:  make([]srcQueue, n),
+		wakeAt:  ^uint64(0),
 	}
 }
 
@@ -196,30 +240,42 @@ func (b *Bus) Submit(cycle uint64, r *Req) {
 	if r.Src < 0 || r.Src >= len(b.queues) {
 		panic(fmt.Sprintf("bus: bad source %d", r.Src))
 	}
-	b.queues[r.Src] = append(b.queues[r.Src], pending{req: r})
+	b.queues[r.Src].push(r)
 	r.submitAt = cycle
+	// The earliest possible grant is the next tick (components submit
+	// after the bus has ticked this cycle); Tick tightens the wake to the
+	// real address-path availability.
+	if cycle+1 < b.wakeAt {
+		b.wakeAt = cycle + 1
+	}
 }
 
 // PendingFor returns the number of queued (ungranted) requests from src.
-func (b *Bus) PendingFor(src int) int { return len(b.queues[src]) }
+func (b *Bus) PendingFor(src int) int { return b.queues[src].len() }
 
 // Idle reports whether the bus has no queued requests and both paths free.
 func (b *Bus) Idle(cycle uint64) bool {
-	for _, q := range b.queues {
-		if len(q) > 0 {
+	for i := range b.queues {
+		if b.queues[i].len() > 0 {
 			return false
 		}
 	}
 	return b.addrFree <= cycle && b.dataFree <= cycle
 }
 
+// WakeAt returns the cached earliest cycle at which ticking the bus can
+// have any effect (grant a request or drain a path and flip Idle). The
+// wake-gated kernel skips Tick calls before it; ticking earlier is
+// harmless, just wasted work.
+func (b *Bus) WakeAt() uint64 { return b.wakeAt }
+
 // NextWake returns the earliest future cycle at which the bus can change
 // state on its own: the next grant opportunity when requests are queued,
 // or the cycle its address/data paths drain (which can flip Idle and so
 // let the machine quiesce). Returns ^uint64(0) when nothing is pending.
 func (b *Bus) NextWake(cycle uint64) uint64 {
-	for _, q := range b.queues {
-		if len(q) > 0 {
+	for i := range b.queues {
+		if b.queues[i].len() > 0 {
 			if b.addrFree > cycle {
 				return b.addrFree
 			}
@@ -239,6 +295,11 @@ func (b *Bus) NextWake(cycle uint64) uint64 {
 // Tick advances the bus one CPU cycle, granting at most one address phase
 // when the address path is free.
 func (b *Bus) Tick(cycle uint64) {
+	b.tick(cycle)
+	b.wakeAt = b.NextWake(cycle)
+}
+
+func (b *Bus) tick(cycle uint64) {
 	if cycle < b.addrFree {
 		return
 	}
@@ -246,11 +307,10 @@ func (b *Bus) Tick(cycle uint64) {
 	n := len(b.queues)
 	for i := 0; i < n; i++ {
 		src := (b.rrNext + i) % n
-		if len(b.queues[src]) == 0 {
+		if b.queues[src].len() == 0 {
 			continue
 		}
-		r := b.queues[src][0].req
-		b.queues[src] = b.queues[src][1:]
+		r := b.queues[src].pop()
 		b.rrNext = (src + 1) % n
 		b.grant(cycle, r)
 		return
@@ -287,7 +347,9 @@ func (b *Bus) grant(cycle uint64, r *Req) {
 		// A non-pipelined bus is occupied for the whole transaction.
 		b.addrFree = done
 	}
-	if r.Done != nil {
+	if r.Owner != nil {
+		r.Owner.ReqDone(r, done)
+	} else if r.Done != nil {
 		r.Done(done)
 	}
 }
@@ -305,9 +367,9 @@ type ReqInfo struct {
 // deadlock forensics.
 func (b *Bus) PendingRequests() []ReqInfo {
 	var out []ReqInfo
-	for _, q := range b.queues {
-		for _, p := range q {
-			r := p.req
+	for i := range b.queues {
+		q := &b.queues[i]
+		for _, r := range q.reqs[q.head:] {
 			out = append(out, ReqInfo{Kind: r.Kind, Addr: r.Addr, Src: r.Src, Q: r.Q, SubmitAt: r.submitAt})
 		}
 	}

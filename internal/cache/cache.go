@@ -3,7 +3,10 @@
 // and the shared L3 (paper Table 2).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // State is a line's MSI coherence state.
 type State uint8
@@ -76,9 +79,14 @@ func (p Params) Validate() error {
 
 // Cache is a set-associative array with LRU replacement.
 type Cache struct {
-	p     Params
-	sets  [][]Line
-	clock uint64
+	p Params
+	// lines is the whole array in one backing slice (sets are consecutive
+	// runs of p.Ways lines), so building a cache costs one allocation
+	// instead of one per set.
+	lines     []Line
+	setMask   uint64
+	lineShift uint // log2(LineBytes): set indexing shifts instead of dividing
+	clock     uint64
 
 	// Stats.
 	Hits, Misses, Evictions uint64
@@ -89,11 +97,9 @@ func New(p Params) *Cache {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	sets := make([][]Line, p.Sets())
-	for i := range sets {
-		sets[i] = make([]Line, p.Ways)
-	}
-	return &Cache{p: p, sets: sets}
+	sets := p.Sets()
+	return &Cache{p: p, lines: make([]Line, sets*p.Ways), setMask: uint64(sets - 1),
+		lineShift: uint(bits.TrailingZeros(uint(p.LineBytes)))}
 }
 
 // Params returns the cache geometry.
@@ -103,8 +109,9 @@ func (c *Cache) Params() Params { return c.p }
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ (uint64(c.p.LineBytes) - 1) }
 
 func (c *Cache) setOf(lineAddr uint64) []Line {
-	idx := (lineAddr / uint64(c.p.LineBytes)) & uint64(len(c.sets)-1)
-	return c.sets[idx]
+	idx := (lineAddr >> c.lineShift) & c.setMask
+	w := uint64(c.p.Ways)
+	return c.lines[idx*w : idx*w+w]
 }
 
 // Lookup returns the line containing addr if present (state != Invalid),
@@ -154,28 +161,32 @@ func (c *Cache) Insert(addr uint64, st State) (victim Victim, evicted bool) {
 	la := c.LineAddr(addr)
 	set := c.setOf(la)
 	c.clock++
-	// Already present: update in place.
+	// One pass finds the line if present, the first free way, and the LRU
+	// victim among valid ways (only consulted when no way is free, i.e.
+	// when every way is valid, so the valid-only LRU tracking is exact).
+	freeIdx, lruIdx := -1, 0
 	for i := range set {
-		if set[i].State != Invalid && set[i].Addr == la {
+		if set[i].State == Invalid {
+			if freeIdx < 0 {
+				freeIdx = i
+			}
+			continue
+		}
+		if set[i].Addr == la {
+			// Already present: update in place.
 			set[i].State = st
 			set[i].lru = c.clock
 			return Victim{}, false
 		}
-	}
-	// Free way.
-	for i := range set {
-		if set[i].State == Invalid {
-			set[i] = Line{Addr: la, State: st, lru: c.clock}
-			return Victim{}, false
-		}
-	}
-	// Evict LRU.
-	lruIdx := 0
-	for i := 1; i < len(set); i++ {
 		if set[i].lru < set[lruIdx].lru {
 			lruIdx = i
 		}
 	}
+	if freeIdx >= 0 {
+		set[freeIdx] = Line{Addr: la, State: st, lru: c.clock}
+		return Victim{}, false
+	}
+	// Evict LRU.
 	v := Victim{
 		Addr:           set[lruIdx].Addr,
 		State:          set[lruIdx].State,
@@ -185,6 +196,52 @@ func (c *Cache) Insert(addr uint64, st State) (victim Victim, evicted bool) {
 	c.Evictions++
 	set[lruIdx] = Line{Addr: la, State: st, lru: c.clock}
 	return v, true
+}
+
+// InsertRange installs n consecutive lines starting at base's line in the
+// given state, exactly as n sequential Insert calls would — same final
+// lines, LRU stamps, clock, and eviction count — but without replaying
+// inserts that cannot survive. Consecutive lines fill sets round-robin, so
+// the last sets*ways inserts alone overwrite every set completely; earlier
+// inserts only advance the clock and evict. The addresses must not already
+// be present (preload feeds it distinct, never-inserted lines).
+func (c *Cache) InsertRange(base uint64, n int, st State) {
+	ways := c.p.Ways
+	sets := int(c.setMask) + 1
+	capLines := sets * ways
+	if n > capLines {
+		skip := n - capLines
+		// Account the skipped prefix: every insert beyond a set's capacity
+		// evicts. Set s receives k_s inserts in total; with its e_s already
+		// valid ways that is max(0, e_s+k_s-ways) evictions, of which the
+		// replayed suffix (exactly `ways` inserts per set, landing in a set
+		// it fully overwrites) observes max(0, e_s+min(k_s,ways)-ways) = e_s.
+		// Charge the rest here, before the clock advances past the prefix.
+		firstSet := int((base >> c.lineShift) & c.setMask)
+		for s := 0; s < sets; s++ {
+			// Inserts landing in set s across the whole range.
+			k := n / sets
+			if (s-firstSet+sets)%sets < n%sets {
+				k++
+			}
+			e := 0
+			for _, ln := range c.lines[s*ways : s*ways+ways] {
+				if ln.State != Invalid {
+					e++
+				}
+			}
+			if over := e + k - ways; over > 0 {
+				c.Evictions += uint64(over - e)
+			}
+		}
+		c.clock += uint64(skip)
+		base += uint64(skip) << c.lineShift
+		n = capLines
+	}
+	for la, i := base, 0; i < n; i++ {
+		c.Insert(la, st)
+		la += uint64(c.p.LineBytes)
+	}
 }
 
 // Invalidate removes addr's line, returning its previous state.
@@ -217,11 +274,9 @@ func (c *Cache) InvalidateRange(base, size uint64) int {
 // CountValid returns the number of valid lines (for tests).
 func (c *Cache) CountValid() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].State != Invalid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			n++
 		}
 	}
 	return n

@@ -127,10 +127,12 @@ func (s *StallCycles) Summary() string {
 	return fmt.Sprintf("%s total=%d", strings.Join(parts, " "), s.Total())
 }
 
-// imeta is the predecoded form of one instruction: the per-issue opcode
-// property lookups (FU class, operand roles, latency, reg-mapped queue
-// exemption) resolved once at core construction instead of per attempt.
+// imeta is the predecoded form of one instruction: the instruction itself
+// plus the per-issue opcode property lookups (FU class, operand roles,
+// latency, reg-mapped queue exemption) resolved once at core construction
+// instead of per attempt, in one cache-friendly slot per PC.
 type imeta struct {
+	in       isa.Instr
 	fu       isa.FU
 	free     bool // reg-mapped queue op: no issue slot, no FU
 	readsRa  bool
@@ -190,6 +192,10 @@ type Core struct {
 	// Tracer, when non-nil, receives issue/retire/queue-op/stall events.
 	Tracer *trace.Buffer
 
+	// Tokens, when non-nil, is the run-scoped token arena; the core owns
+	// the tokens it tracks and returns each one as it collects it.
+	Tokens *port.TokenPool
+
 	// Stall-run coalescing for the tracer: consecutive zero-issue cycles
 	// with one reason emit a single KindStall event with a duration.
 	stallSince uint64
@@ -200,6 +206,13 @@ type Core struct {
 	// becomes ready. See FastForward and NextWake.
 	lastStallBucket stats.Bucket
 	stallWake       uint64
+
+	// nextDue is the exact earliest DoneAt over every tracked token:
+	// issue updates it when a token is recorded, Token.Complete lowers it
+	// through the token's Due pointer, and collect recomputes it. Cycles
+	// before nextDue cannot collect anything, so the per-cycle token scans
+	// are skipped entirely.
+	nextDue uint64
 }
 
 // New builds a core running prog. strm may be nil for programs without
@@ -211,6 +224,7 @@ func New(id int, p Params, prog *isa.Program, memp port.Mem, strm port.Stream) *
 	meta := make([]imeta, len(prog.Instrs))
 	for i, in := range prog.Instrs {
 		meta[i] = imeta{
+			in:       in,
 			fu:       in.Op.FU(),
 			free:     p.RegMappedQueues && (in.Op == isa.Produce || in.Op == isa.Consume),
 			readsRa:  in.Op.ReadsRa(),
@@ -219,7 +233,8 @@ func New(id int, p Params, prog *isa.Program, memp port.Mem, strm port.Stream) *
 			lat:      uint64(in.Op.Latency()),
 		}
 	}
-	return &Core{id: id, p: p, prog: prog, meta: meta, pc: 0, memp: memp, strm: strm}
+	return &Core{id: id, p: p, prog: prog, meta: meta, pc: 0, memp: memp, strm: strm,
+		nextDue: port.Pending}
 }
 
 // ID returns the core index.
@@ -237,6 +252,11 @@ func (c *Core) Halted() bool { return c.halted }
 // Done reports whether the core halted and all its operations drained.
 func (c *Core) Done(cycle uint64) bool {
 	if !c.halted {
+		return false
+	}
+	// nextDue is the exact earliest completion over tracked tokens, so an
+	// earlier cycle with anything still tracked cannot have drained.
+	if cycle < c.nextDue && (c.pendMask != 0 || len(c.inflight) != 0) {
 		return false
 	}
 	m := c.pendMask
@@ -259,13 +279,33 @@ func (c *Core) Done(cycle uint64) bool {
 // count.
 func (c *Core) AppIssued() uint64 { return c.Issued - c.IssuedComm }
 
+// track records a freshly issued token in the earliest-completion cache:
+// the token notifies nextDue when it completes, and a token that already
+// carries a completion cycle lowers it immediately.
+func (c *Core) track(t *port.Token) {
+	t.Due = &c.nextDue
+	if t.DoneAt < c.nextDue {
+		c.nextDue = t.DoneAt
+	}
+}
+
 func (c *Core) collect(cycle uint64) {
+	// nextDue is the exact earliest completion over every tracked token,
+	// so an earlier cycle cannot collect anything and the scans below
+	// would be no-ops.
+	if cycle < c.nextDue {
+		return
+	}
+	due := uint64(port.Pending)
 	m := c.pendMask
 	for m != 0 {
 		r := bits.TrailingZeros64(m)
 		m &= m - 1
 		t := c.pend[r]
 		if !t.Done(cycle) {
+			if t.DoneAt < due {
+				due = t.DoneAt
+			}
 			continue
 		}
 		c.regs[r] = t.Value
@@ -276,24 +316,49 @@ func (c *Core) collect(cycle uint64) {
 			c.Tracer.Add(trace.Event{Cycle: cycle, Kind: trace.KindRetire,
 				Core: c.id, PC: -1, Q: -1, Op: "writeback", Val: t.Value})
 		}
+		c.Tokens.Put(t)
 	}
-	if len(c.inflight) == 0 {
+	// Rebuild inflight only when something actually completed, so the
+	// common nothing-due tick performs no pointer writes.
+	i, n := 0, len(c.inflight)
+	for i < n {
+		t := c.inflight[i]
+		if t.Done(cycle) {
+			break
+		}
+		if t.DoneAt < due {
+			due = t.DoneAt
+		}
+		i++
+	}
+	if i == n {
+		c.nextDue = due
 		return
 	}
-	kept := c.inflight[:0]
-	for _, t := range c.inflight {
+	kept := c.inflight[:i]
+	for ; i < n; i++ {
+		t := c.inflight[i]
 		if !t.Done(cycle) {
+			if t.DoneAt < due {
+				due = t.DoneAt
+			}
 			kept = append(kept, t)
+		} else {
+			c.Tokens.Put(t)
 		}
 	}
 	c.inflight = kept
+	c.nextDue = due
 }
 
 // Tick advances the core one cycle. Call after the memory subsystem has
 // ticked.
 func (c *Core) Tick(cycle uint64) {
 	c.collect(cycle)
-	c.countLoads(cycle)
+	// Every pend token left is outstanding; that count is the core's
+	// in-flight load/consume limit check, recomputed each tick exactly as
+	// the old per-tick collect scan did.
+	c.loads = bits.OnesCount64(c.pendMask)
 	if c.Done(cycle) {
 		return
 	}
@@ -319,8 +384,8 @@ func (c *Core) Tick(cycle uint64) {
 
 issueLoop:
 	for issued < c.p.IssueWidth {
-		in := c.prog.Instrs[c.pc]
 		m := &c.meta[c.pc]
+		in := &m.in
 		fu := m.fu
 		// Register-mapped queue operations ride on the instructions that
 		// produce or use the value: no issue slot, no FU.
@@ -389,6 +454,7 @@ issueLoop:
 			}
 			addr := c.regs[in.Ra] + uint64(in.Imm)
 			tok := c.memp.Load(cycle, addr)
+			c.track(tok)
 			c.pend[in.Rd] = tok
 			c.pendMask |= 1 << uint(in.Rd)
 			c.loads++
@@ -408,6 +474,7 @@ issueLoop:
 			}
 			addr := c.regs[in.Ra] + uint64(in.Imm)
 			tok := c.memp.Store(cycle, addr, c.regs[in.Rb])
+			c.track(tok)
 			c.inflight = append(c.inflight, tok)
 			fuUsed[fu]++
 			issued++
@@ -423,6 +490,7 @@ issueLoop:
 				break issueLoop
 			}
 			tok := c.memp.Fence(cycle)
+			c.track(tok)
 			c.inflight = append(c.inflight, tok)
 			fuUsed[fu]++
 			issued++
@@ -435,6 +503,7 @@ issueLoop:
 				stall = StallQueueFull
 				break issueLoop
 			}
+			c.track(tok)
 			c.inflight = append(c.inflight, tok)
 			if !free {
 				fuUsed[fu]++
@@ -449,6 +518,7 @@ issueLoop:
 				stall = StallQueueEmpty
 				break issueLoop
 			}
+			c.track(tok)
 			c.pend[in.Rd] = tok
 			c.pendMask |= 1 << uint(in.Rd)
 			if !free {
@@ -544,22 +614,11 @@ func (c *Core) FastForward(n uint64) {
 // them reports one instead. Returns ^uint64(0) when only outside activity
 // can wake the core.
 func (c *Core) NextWake(cycle uint64) uint64 {
-	w := uint64(port.Pending)
-	if c.LastStall == StallOperand && c.stallWake > cycle {
+	// nextDue caches the exact earliest completion over every tracked
+	// token, so the old pend/inflight scans reduce to one comparison.
+	w := c.nextDue
+	if c.LastStall == StallOperand && c.stallWake > cycle && c.stallWake < w {
 		w = c.stallWake
-	}
-	m := c.pendMask
-	for m != 0 {
-		r := bits.TrailingZeros64(m)
-		m &= m - 1
-		if t := c.pend[r]; t.DoneAt < w {
-			w = t.DoneAt
-		}
-	}
-	for _, t := range c.inflight {
-		if t.DoneAt < w {
-			w = t.DoneAt
-		}
 	}
 	if w <= cycle {
 		return cycle + 1
@@ -567,9 +626,58 @@ func (c *Core) NextWake(cycle uint64) uint64 {
 	return w
 }
 
+// ParkWake reports whether the kernel may park this core — skip its Tick
+// entirely — until the returned cycle, charging the skipped cycles via
+// FastForward. Parking is exact only when every skipped Tick is provably
+// identical to the one just executed:
+//
+//   - an operand-latency stall: the stalled instruction and its register
+//     checks cannot change until the blocking operand's ready cycle, and
+//     tokens collected mid-span write the same regs/ready values whenever
+//     collect runs;
+//   - a halted drain in which every outstanding token already has a known
+//     completion cycle: the drain bucket is then frozen until the earliest
+//     completion (a Pending token's DoneAt and Loc can still change, so
+//     any Pending token forbids parking).
+//
+// The caller must additionally ensure the core issued nothing this tick.
+func (c *Core) ParkWake(cycle uint64) (uint64, bool) {
+	if !c.halted {
+		if c.LastStall != StallOperand || c.stallWake <= cycle+1 {
+			return 0, false
+		}
+		return c.stallWake, true
+	}
+	w := uint64(port.Pending)
+	m := c.pendMask
+	for m != 0 {
+		r := bits.TrailingZeros64(m)
+		m &= m - 1
+		t := c.pend[r]
+		if t.DoneAt == port.Pending {
+			return 0, false
+		}
+		if t.DoneAt > cycle && t.DoneAt < w {
+			w = t.DoneAt
+		}
+	}
+	for _, t := range c.inflight {
+		if t.DoneAt == port.Pending {
+			return 0, false
+		}
+		if t.DoneAt > cycle && t.DoneAt < w {
+			w = t.DoneAt
+		}
+	}
+	if w <= cycle+1 || w == port.Pending {
+		return 0, false
+	}
+	return w, true
+}
+
 // note records one issued instruction. It runs before c.pc advances, so
 // c.pc still names the issuing instruction.
-func (c *Core) note(cycle uint64, in isa.Instr) {
+func (c *Core) note(cycle uint64, in *isa.Instr) {
 	c.Issued++
 	if in.Comm {
 		c.IssuedComm++
@@ -591,19 +699,6 @@ func (c *Core) note(cycle uint64, in isa.Instr) {
 	}
 }
 
-func (c *Core) countLoads(cycle uint64) {
-	n := 0
-	m := c.pendMask
-	for m != 0 {
-		r := bits.TrailingZeros64(m)
-		m &= m - 1
-		if !c.pend[r].Done(cycle) {
-			n++
-		}
-	}
-	c.loads = n
-}
-
 func (c *Core) drainBucket(cycle uint64) stats.Bucket {
 	m := c.pendMask
 	for m != 0 {
@@ -623,7 +718,7 @@ func (c *Core) drainBucket(cycle uint64) stats.Bucket {
 
 // exec evaluates a register-register instruction functionally and sets the
 // destination's ready cycle from the opcode latency.
-func (c *Core) exec(in isa.Instr, cycle, lat uint64) {
+func (c *Core) exec(in *isa.Instr, cycle, lat uint64) {
 	if in.Op == isa.Nop {
 		return
 	}

@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
+	"hfstream/fault"
 	"hfstream/internal/design"
 	"hfstream/internal/dswp"
 	"hfstream/internal/interp"
@@ -138,6 +140,105 @@ func TestRandomLoopsSimMatchesOracle(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomLoopsFastForwardDifferential is the event-driven scheduler's
+// randomized referee: for random loops (with and without random delay
+// faults layered on top), the fast-forwarding kernel must produce a
+// Result identical field-for-field to the brute-force per-cycle scan
+// (DisableFastForward), not just matching outputs. The fixed golden
+// snapshots prove this for the paper benchmarks; this extends the proof
+// to chaos workloads the goldens never see.
+func TestRandomLoopsFastForwardDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many simulations")
+	}
+	configs := []design.Config{
+		design.ExistingConfig(),
+		design.SyncOptiSCQ64Config(),
+		design.HeavyWTConfig(),
+	}
+	f := func(seed uint32) bool {
+		const n = 30
+		l, in, out := genLoop(seed, n)
+		if err := l.Validate(); err != nil {
+			return false
+		}
+		res, err := dswp.Partition(l)
+		if err != nil {
+			return true // single-SCC loops are legitimately unpartitionable
+		}
+		for _, cfg := range configs {
+			progs := res.Threads
+			if cfg.SoftwareQueues() {
+				var lowered []*isa.Program
+				for _, p := range progs {
+					lp, err := lower.Lower(p, cfg.Layout())
+					if err != nil {
+						t.Logf("seed %d/%s: lower: %v", seed, cfg.Name(), err)
+						return false
+					}
+					lowered = append(lowered, lp)
+				}
+				progs = lowered
+			}
+			// withFaults=true layers a seeded random-delay plan on top, so
+			// the differential also covers the injector's wake scheduling.
+			for _, withFaults := range []bool{false, true} {
+				run := func(noFF bool) (*sim.Result, *mem.Memory, error) {
+					img := mem.New()
+					fillInput(img, in, n)
+					simCfg := cfg.SimConfig()
+					simCfg.Preload = []mem.Region{in}
+					simCfg.DisableFastForward = noFF
+					if withFaults {
+						// Injectors carry per-run state: fresh one per run,
+						// same plan, so both modes see identical faults.
+						simCfg.Faults = fault.RandomDelay(int64(seed), 3).Injector()
+					}
+					var threads []sim.Thread
+					for _, p := range progs {
+						threads = append(threads, sim.Thread{Prog: p})
+					}
+					r, err := sim.Run(simCfg, img, threads)
+					return r, img, err
+				}
+				ff, ffImg, errFF := run(false)
+				scan, scanImg, errScan := run(true)
+				if (errFF == nil) != (errScan == nil) {
+					t.Logf("seed %d/%s faults=%v: error mismatch: ff=%v scan=%v",
+						seed, cfg.Name(), withFaults, errFF, errScan)
+					return false
+				}
+				if errFF != nil {
+					if errFF.Error() != errScan.Error() {
+						t.Logf("seed %d/%s faults=%v: errors differ:\nff:   %v\nscan: %v",
+							seed, cfg.Name(), withFaults, errFF, errScan)
+						return false
+					}
+					continue
+				}
+				if !reflect.DeepEqual(ff, scan) {
+					t.Logf("seed %d/%s faults=%v: results differ: ff cycles=%d scan cycles=%d",
+						seed, cfg.Name(), withFaults, ff.Cycles, scan.Cycles)
+					return false
+				}
+				for o := uint64(0); o < 16; o += 8 {
+					a := ffImg.Read8(out.Base + o)
+					b := scanImg.Read8(out.Base + o)
+					if a != b {
+						t.Logf("seed %d/%s faults=%v: out+%d ff %#x scan %#x",
+							seed, cfg.Name(), withFaults, o, a, b)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
 		t.Error(err)
 	}
 }

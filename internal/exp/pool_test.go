@@ -3,6 +3,7 @@ package exp
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -86,5 +87,42 @@ func TestPoolClosedRejectsButDrains(t *testing.T) {
 	}
 	if !ran.Load() {
 		t.Fatal("task queued before Close never ran")
+	}
+}
+
+// TestPoolWaitLeaksNothing exercises the bug where every Wait whose ctx
+// was canceled before Close parked a goroutine on workers.Wait() forever:
+// after many canceled Waits plus a full close+drain, the process must be
+// back to its starting goroutine count.
+func TestPoolWaitLeaksNothing(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(4, 8)
+	for i := 0; i < 25; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := p.Wait(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled wait %d: got %v, want context.Canceled", i, err)
+		}
+	}
+	var n atomic.Int64
+	for i := 0; i < 8; i++ {
+		if err := p.TrySubmit(func() { n.Add(1) }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	p.Close()
+	if err := p.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 8 {
+		t.Fatalf("ran %d tasks, want 8", n.Load())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after close+drain",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

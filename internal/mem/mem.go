@@ -6,24 +6,136 @@ package mem
 
 import "fmt"
 
+// pageShift sizes a memory page at 4096 words (32 KiB), and
+// maxDirectPages caps the paged radix at 256 MiB of address space.
+// Workload images are laid out contiguously from a low base, so a paged
+// array keeps the functional memory sparse without putting a hash map on
+// the simulator's hottest path (every load/store resolution reads or
+// writes it); addresses beyond the cap fall back to a map so arbitrary
+// 64-bit addresses stay usable.
+const (
+	pageShift      = 12
+	pageMask       = 1<<pageShift - 1
+	maxDirectPages = 1 << 13
+)
+
 // Memory is a sparse 64-bit-word-addressable functional memory. Addresses
 // are byte addresses; accesses are 8-byte aligned words (the simulator's
 // ISA moves 64-bit values only).
+//
+// Two paged windows cover the simulator's real traffic: the low window
+// starts at address zero (program/workload images), and the high window
+// anchors itself at the first out-of-window page written (the software
+// queue region sits at a fixed high base, far from the data image).
+// Anything outside both windows falls back to the far map.
 type Memory struct {
-	words map[uint64]uint64
+	pages   [][]uint64 // low window: pages [0, maxDirectPages)
+	hiBase  uint64     // first page of the high window (valid when hiPages != nil)
+	hiPages [][]uint64 // high window: pages [hiBase, hiBase+maxDirectPages)
+	far     map[uint64]uint64
+	written int
+
+	// arena carves new pages out of geometrically grown blocks, so building
+	// a multi-megabyte workload image costs a handful of large allocations
+	// instead of one 32 KiB allocation (and GC object) per page.
+	arena      []uint64
+	arenaPages int // pages in the next block (doubles up to arenaMaxPages)
+}
+
+const (
+	pageWords     = 1 << pageShift
+	arenaMinPages = 4
+	arenaMaxPages = 64
+)
+
+// newPage returns a zeroed page carved from the arena.
+func (m *Memory) newPage() []uint64 {
+	if len(m.arena) < pageWords {
+		if m.arenaPages < arenaMinPages {
+			m.arenaPages = arenaMinPages
+		}
+		m.arena = make([]uint64, m.arenaPages*pageWords)
+		if m.arenaPages < arenaMaxPages {
+			m.arenaPages *= 2
+		}
+	}
+	p := m.arena[:pageWords:pageWords]
+	m.arena = m.arena[pageWords:]
+	return p
 }
 
 // New returns an empty memory image.
-func New() *Memory { return &Memory{words: make(map[uint64]uint64)} }
+func New() *Memory { return &Memory{} }
 
 // Read8 returns the 8-byte word at addr (0 if never written).
-func (m *Memory) Read8(addr uint64) uint64 { return m.words[addr&^7] }
+func (m *Memory) Read8(addr uint64) uint64 {
+	w := addr >> 3
+	pn := w >> pageShift
+	if pn < uint64(len(m.pages)) {
+		if p := m.pages[pn]; p != nil {
+			return p[w&pageMask]
+		}
+		return 0
+	}
+	if pn < maxDirectPages {
+		return 0
+	}
+	if hi := pn - m.hiBase; hi < uint64(len(m.hiPages)) {
+		if p := m.hiPages[hi]; p != nil {
+			return p[w&pageMask]
+		}
+		return 0
+	}
+	return m.far[w]
+}
 
 // Write8 stores an 8-byte word at addr.
-func (m *Memory) Write8(addr, val uint64) { m.words[addr&^7] = val }
+func (m *Memory) Write8(addr, val uint64) {
+	w := addr >> 3
+	pn := w >> pageShift
+	m.written++
+	if pn < maxDirectPages {
+		if pn >= uint64(len(m.pages)) {
+			grown := make([][]uint64, pn+1)
+			copy(grown, m.pages)
+			m.pages = grown
+		}
+		p := m.pages[pn]
+		if p == nil {
+			p = m.newPage()
+			m.pages[pn] = p
+		}
+		p[w&pageMask] = val
+		return
+	}
+	if m.hiPages == nil {
+		// Anchor the high window at the first high page touched.
+		m.hiBase = pn
+		m.hiPages = make([][]uint64, 0, 16)
+	}
+	if hi := pn - m.hiBase; hi < maxDirectPages {
+		if hi >= uint64(len(m.hiPages)) {
+			grown := make([][]uint64, hi+1)
+			copy(grown, m.hiPages)
+			m.hiPages = grown
+		}
+		p := m.hiPages[hi]
+		if p == nil {
+			p = m.newPage()
+			m.hiPages[hi] = p
+		}
+		p[w&pageMask] = val
+		return
+	}
+	if m.far == nil {
+		m.far = make(map[uint64]uint64)
+	}
+	m.far[w] = val
+}
 
-// Len returns the number of distinct words ever written.
-func (m *Memory) Len() int { return len(m.words) }
+// Len returns the number of stores ever performed (a rough occupancy
+// signal for diagnostics and tests).
+func (m *Memory) Len() int { return m.written }
 
 // Region is a contiguous chunk of the address space.
 type Region struct {

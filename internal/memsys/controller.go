@@ -3,7 +3,9 @@ package memsys
 import (
 	"fmt"
 
+	"hfstream/internal/bus"
 	"hfstream/internal/cache"
+	"hfstream/internal/evq"
 	"hfstream/internal/port"
 	"hfstream/internal/stats"
 )
@@ -82,9 +84,31 @@ type ozEntry struct {
 	scHit     bool   // consume serviced by the stream cache
 }
 
+// evKind discriminates the controller's scheduled events. Events used to
+// be closures; the typed form costs no allocation per event and makes the
+// schedule inspectable.
+type evKind uint8
+
+const (
+	evFill          evKind = iota // a bus transaction delivered addr's line
+	evForwardDone                 // a MEMOPTI forward's OzQ slot may retire
+	evAcceptLine                  // install a forwarded MEMOPTI line
+	evAcceptForward               // install forwarded SYNCOPTI queue items
+	evBulkAck                     // the consumer bulk-acked n items
+	evProbeReply                  // a probe reply (possibly empty) arrived
+	evProbeClear                  // clear the probe-outstanding flag only
+)
+
+// event is one scheduled controller action; the meaning of the payload
+// fields depends on kind. Queue indexes and item counts are small, so
+// 32-bit fields keep the event (copied on every heap sift) compact.
 type event struct {
-	at uint64
-	fn func(cycle uint64)
+	addr uint64   // line address (fills, MEMOPTI forwards)
+	slot uint64   // cumulative starting slot (stream forwards)
+	e    *ozEntry // the OzQ slot behind a MEMOPTI forward
+	q    int32
+	n    int32 // item count (forwards, acks, probe replies)
+	kind evKind
 }
 
 // Controller is one core's private memory-side machinery: L1D, L2 array,
@@ -97,19 +121,37 @@ type Controller struct {
 	l1  *cache.Cache
 	l2  *cache.Cache
 
-	ozq    []*ozEntry
-	free   []*ozEntry // recycled entries (the OzQ is the kernel's hottest allocation site)
-	seq    uint64
-	events []event
+	ozq     []*ozEntry
+	free    []*ozEntry // recycled entries (the OzQ is the kernel's hottest allocation site)
+	seq     uint64
+	events  evq.Queue[event]
+	reqFree []*bus.Req // recycled bus requests (recyclable once ReqDone returns)
 
-	// pendingLine tracks lines with an in-flight bus transaction (MSHR
-	// merge): entries that need such a line wait in stWaitFill.
-	pendingLine map[uint64]bool
-	// deferredSnoop holds snoop actions (invalidate/downgrade) against
-	// lines with a pending fill; they apply after the fill commits its
-	// waiting accesses, guaranteeing forward progress under write-write
-	// contention (false sharing ping-pong instead of livelock).
-	deferredSnoop map[uint64]cache.State
+	// wakeAt caches the earliest cycle at which ticking this controller
+	// can do anything: the next scheduled event, retry, access completion,
+	// or probe timeout. Mutations that create work lower it (noteWake);
+	// Tick recomputes it from live state. The wake-gated kernel skips
+	// Tick calls before it.
+	wakeAt uint64
+	// scanWake accumulates the OzQ entries' wake contributions during the
+	// tick's compact pass (see entryWake); Tick combines it with the event
+	// queue's minimum to recompute wakeAt without a dedicated scan.
+	scanWake uint64
+
+	// stores lists the OzQ's incomplete store entries in seq order, so the
+	// store-to-load ordering check on every load walks only the (few)
+	// stores in flight instead of the whole OzQ. Entries join at issue and
+	// leave when their store commits.
+	stores []*ozEntry
+
+	// mshrs tracks lines with an in-flight bus transaction (MSHR merge):
+	// entries that need such a line wait in stWaitFill. Each slot also
+	// carries any snoop action (invalidate/downgrade) deferred against the
+	// pending fill; deferrals apply after the fill commits its waiting
+	// accesses, guaranteeing forward progress under write-write contention
+	// (false sharing ping-pong instead of livelock). Outstanding misses
+	// are few, so a linear table beats a hash map on the snoop/fill path.
+	mshrs []mshr
 
 	// Producer-side per-queue stream state (cumulative item counts).
 	sentCum      []uint64 // produce slots assigned at issue
@@ -132,6 +174,11 @@ type Controller struct {
 	portUsed  int
 	portCycle uint64
 
+	// depthMask is Layout.Depth-1 when the depth is a power of two (the
+	// standard configurations), letting the hot slot-index reduction mask
+	// instead of divide; -1 selects the modulo fallback.
+	depthMask int
+
 	// Stats.
 	WrFwdsSent     uint64
 	BulkAcksSent   uint64
@@ -147,13 +194,11 @@ type Controller struct {
 func newController(id int, p Params, fab *Fabric) *Controller {
 	nq := p.Layout.NumQueues
 	c := &Controller{
-		id:            id,
-		p:             p,
-		fab:           fab,
-		l1:            cache.New(p.L1),
-		l2:            cache.New(p.L2),
-		pendingLine:   make(map[uint64]bool),
-		deferredSnoop: make(map[uint64]cache.State),
+		id:  id,
+		p:   p,
+		fab: fab,
+		l1:  cache.New(p.L1),
+		l2:  cache.New(p.L2),
 
 		sentCum:         make([]uint64, nq),
 		doneCum:         make([]uint64, nq),
@@ -163,6 +208,11 @@ func newController(id int, p Params, fab *Fabric) *Controller {
 		availCum:        make([]uint64, nq),
 		consumedCum:     make([]uint64, nq),
 		probeOut:        make([]bool, nq),
+		wakeAt:          ^uint64(0),
+		depthMask:       -1,
+	}
+	if d := p.Layout.Depth; d&(d-1) == 0 {
+		c.depthMask = d - 1
 	}
 	if p.StreamCacheEntries > 0 {
 		c.sc = newStreamCache(p.StreamCacheEntries)
@@ -187,17 +237,71 @@ func (c *Controller) StreamCacheHits() uint64 {
 	return c.sc.Hits
 }
 
-func (c *Controller) schedule(at uint64, fn func(cycle uint64)) {
-	c.events = append(c.events, event{at: at, fn: fn})
+// noteWake lowers the controller's cached wake; call whenever new work
+// appears that the next Tick must look at.
+func (c *Controller) noteWake(at uint64) {
+	if at < c.wakeAt {
+		c.wakeAt = at
+	}
+}
+
+// WakeAt returns the cached earliest cycle at which ticking this
+// controller can have any effect. Ticking earlier is a harmless no-op.
+func (c *Controller) WakeAt() uint64 { return c.wakeAt }
+
+func (c *Controller) schedule(at uint64, ev event) {
+	c.events.Push(at, ev)
+	c.noteWake(at)
+}
+
+// runEvent executes one due scheduled event.
+func (c *Controller) runEvent(cycle uint64, ev event) {
+	switch ev.kind {
+	case evFill:
+		c.fill(cycle, ev.addr)
+	case evForwardDone:
+		ev.e.state = stDone
+	case evAcceptLine:
+		c.acceptForwardLine(cycle, ev.addr)
+	case evAcceptForward:
+		c.acceptStreamForward(cycle, int(ev.q), ev.slot, int(ev.n))
+	case evBulkAck:
+		c.onBulkAck(cycle, int(ev.q), int(ev.n))
+	case evProbeReply:
+		c.onProbeReply(cycle, int(ev.q), int(ev.n), ev.slot)
+	case evProbeClear:
+		c.probeOut[ev.q] = false
+	}
+}
+
+// newReq returns a zeroed bus request, recycling a retired one when
+// possible (requests are recyclable once their ReqDone dispatch returns).
+func (c *Controller) newReq() *bus.Req {
+	if n := len(c.reqFree); n > 0 {
+		r := c.reqFree[n-1]
+		c.reqFree = c.reqFree[:n-1]
+		*r = bus.Req{}
+		return r
+	}
+	return &bus.Req{}
 }
 
 // CanAccept implements port.Mem.
 func (c *Controller) CanAccept() bool { return len(c.ozq) < c.p.OzQSize }
 
+// slotIdx reduces a cumulative slot index modulo the queue depth.
+func (c *Controller) slotIdx(slot uint64) int {
+	if c.depthMask >= 0 {
+		return int(slot) & c.depthMask
+	}
+	return int(slot) % c.p.Layout.Depth
+}
+
 func (c *Controller) push(e *ozEntry) *ozEntry {
 	c.seq++
 	e.seq = c.seq
 	c.ozq = append(c.ozq, e)
+	c.noteWake(e.readyAt)
 	return e
 }
 
@@ -215,7 +319,7 @@ func (c *Controller) alloc() *ozEntry {
 
 // Load implements port.Mem. L1 hits complete without an OzQ entry.
 func (c *Controller) Load(cycle, addr uint64) *port.Token {
-	tok := port.NewToken(stats.PreL2)
+	tok := c.fab.tokens.Get(stats.PreL2)
 	if c.l1.Lookup(addr) != nil && !c.olderStoreTo(addr, c.seq+1) {
 		tok.Complete(cycle+uint64(c.p.L1.Latency), c.fab.mem.Read8(addr))
 		return tok
@@ -230,16 +334,17 @@ func (c *Controller) Load(cycle, addr uint64) *port.Token {
 // Store implements port.Mem. The L1 is write-through no-allocate; every
 // store takes an OzQ entry to the L2.
 func (c *Controller) Store(cycle, addr, val uint64) *port.Token {
-	tok := port.NewToken(stats.L2)
+	tok := c.fab.tokens.Get(stats.L2)
 	e := c.alloc()
 	*e = ozEntry{kind: opStore, state: stWaitPort, addr: addr, val: val, tok: tok, readyAt: cycle + 1}
 	c.push(e)
+	c.stores = append(c.stores, e)
 	return tok
 }
 
 // Fence implements port.Mem.
 func (c *Controller) Fence(cycle uint64) *port.Token {
-	tok := port.NewToken(stats.L2)
+	tok := c.fab.tokens.Get(stats.L2)
 	e := c.alloc()
 	*e = ozEntry{kind: opFence, state: stWaitPort, tok: tok, readyAt: cycle}
 	c.push(e)
@@ -258,11 +363,11 @@ func (c *Controller) Produce(cycle uint64, q int, v uint64) (*port.Token, bool) 
 	}
 	slot := c.sentCum[q]
 	c.sentCum[q]++
-	tok := port.NewToken(stats.PreL2)
+	tok := c.fab.tokens.Get(stats.PreL2)
 	e := c.alloc()
 	*e = ozEntry{
 		kind: opProduce, state: stWaitPort, q: q, slot: slot, val: v, tok: tok,
-		addr:    c.p.Layout.SlotAddr(q, int(slot)%c.p.Layout.Depth),
+		addr:    c.p.Layout.SlotAddr(q, c.slotIdx(slot)),
 		readyAt: cycle + uint64(c.p.StreamAddrGenLat),
 	}
 	c.push(e)
@@ -281,11 +386,11 @@ func (c *Controller) Consume(cycle uint64, q int) (*port.Token, bool) {
 	}
 	slot := c.consumeIssueCum[q]
 	c.consumeIssueCum[q]++
-	tok := port.NewToken(stats.L2)
+	tok := c.fab.tokens.Get(stats.L2)
 	e := c.alloc()
 	*e = ozEntry{
 		kind: opConsume, state: stWaitPort, q: q, slot: slot, tok: tok,
-		addr:    c.p.Layout.SlotAddr(q, int(slot)%c.p.Layout.Depth),
+		addr:    c.p.Layout.SlotAddr(q, c.slotIdx(slot)),
 		readyAt: cycle + uint64(c.p.StreamAddrGenLat),
 	}
 	if c.sc != nil {
@@ -301,24 +406,36 @@ func (c *Controller) Consume(cycle uint64, q int) (*port.Token, bool) {
 }
 
 // olderStoreTo reports whether an incomplete store to addr's word precedes
-// seq in the OzQ (store-to-load ordering).
+// seq in the OzQ (store-to-load ordering). Only the in-flight store list is
+// walked; it holds exactly the OzQ's incomplete stores in seq order.
 func (c *Controller) olderStoreTo(addr, seq uint64) bool {
 	w := addr &^ 7
-	for _, e := range c.ozq {
+	for _, e := range c.stores {
 		if e.seq >= seq {
 			break
 		}
-		if e.kind == opStore && e.state != stDone && e.addr&^7 == w {
+		if e.addr&^7 == w {
 			return true
 		}
 	}
 	return false
 }
 
+// storeDone removes a committed store from the in-flight store list,
+// preserving seq order.
+func (c *Controller) storeDone(e *ozEntry) {
+	for i, s := range c.stores {
+		if s == e {
+			c.stores = append(c.stores[:i], c.stores[i+1:]...)
+			return
+		}
+	}
+}
+
 // Debug returns a human-readable dump of the OzQ and stream state, used
 // in deadlock reports.
 func (c *Controller) Debug() string {
-	s := fmt.Sprintf("ctrl %d: ozq=%d pendingLines=%d events=%d\n", c.id, len(c.ozq), len(c.pendingLine), len(c.events))
+	s := fmt.Sprintf("ctrl %d: ozq=%d pendingLines=%d events=%d\n", c.id, len(c.ozq), len(c.mshrs), c.events.Len())
 	for _, e := range c.ozq {
 		s += fmt.Sprintf("  %s state=%d addr=%#x q=%d slot=%d readyAt=%d\n", e.kind, e.state, e.addr, e.q, e.slot, e.readyAt)
 	}
@@ -369,7 +486,7 @@ type Snapshot struct {
 
 // Snapshot captures the controller's current OzQ and stream-queue state.
 func (c *Controller) Snapshot() Snapshot {
-	s := Snapshot{ID: c.id, PendingLines: len(c.pendingLine), Events: len(c.events)}
+	s := Snapshot{ID: c.id, PendingLines: len(c.mshrs), Events: c.events.Len()}
 	for _, e := range c.ozq {
 		s.OzQ = append(s.OzQ, OzQEntryInfo{
 			Kind: e.kind.String(), State: e.state.String(),
@@ -393,11 +510,27 @@ func (c *Controller) Snapshot() Snapshot {
 
 // Quiesced reports whether the controller has no in-flight work.
 func (c *Controller) Quiesced() bool {
-	return len(c.ozq) == 0 && len(c.events) == 0 && len(c.pendingLine) == 0
+	return len(c.ozq) == 0 && c.events.Len() == 0 && len(c.mshrs) == 0
 }
 
 // Tick advances the controller one cycle. Call after the bus has ticked.
 func (c *Controller) Tick(cycle uint64) {
+	c.scanWake = ^uint64(0)
+	c.tick(cycle)
+	// compact (the last full pass of the tick) folded the surviving OzQ
+	// entries' wake contributions into scanWake, so recomputing the cached
+	// wake needs no extra scan.
+	w := c.events.Min()
+	if c.scanWake < w {
+		w = c.scanWake
+	}
+	if w <= cycle {
+		w = cycle + 1
+	}
+	c.wakeAt = w
+}
+
+func (c *Controller) tick(cycle uint64) {
 	c.runEvents(cycle)
 	c.portCycle = cycle
 	c.portUsed = 0
@@ -456,18 +589,13 @@ func (c *Controller) Tick(cycle uint64) {
 }
 
 func (c *Controller) runEvents(cycle uint64) {
-	if len(c.events) == 0 {
-		return
-	}
-	kept := c.events[:0]
-	for _, ev := range c.events {
-		if ev.at <= cycle {
-			ev.fn(cycle)
-		} else {
-			kept = append(kept, ev)
+	for {
+		ev, ok := c.events.PopDue(cycle)
+		if !ok {
+			return
 		}
+		c.runEvent(cycle, ev)
 	}
-	c.events = kept
 }
 
 func (c *Controller) takePort() bool {
@@ -490,55 +618,64 @@ func (c *Controller) olderIncomplete(seq uint64) bool {
 	return false
 }
 
+// entryWake returns the cycle at which e can make progress on its own:
+// its retry/access-completion cycle, or a dormant consume's probe timeout.
+// Entries waiting on a bus fill or on queue synchronization are event-
+// driven and contribute no wake (fences wake with the entries they order
+// behind).
+func entryWake(e *ozEntry) uint64 {
+	switch e.state {
+	case stWaitSync:
+		if e.kind == opConsume && e.timeoutAt > 0 {
+			return e.timeoutAt
+		}
+	case stWaitPort, stAccess:
+		if e.kind != opFence {
+			return e.readyAt
+		}
+	}
+	return ^uint64(0)
+}
+
 func (c *Controller) compact(cycle uint64) {
-	kept := c.ozq[:0]
-	for _, e := range c.ozq {
+	w := c.scanWake
+	// Read-only prescan: most ticks retire nothing, and rewriting the
+	// whole queue of pointers costs a write barrier per entry.
+	i, n := 0, len(c.ozq)
+	for i < n {
+		e := c.ozq[i]
+		if e.state == stDone {
+			break
+		}
+		if v := entryWake(e); v < w {
+			w = v
+		}
+		i++
+	}
+	if i == n {
+		c.scanWake = w
+		c.injectForwards(cycle)
+		return
+	}
+	kept := c.ozq[:i]
+	for ; i < n; i++ {
+		e := c.ozq[i]
 		if e.state != stDone {
+			if v := entryWake(e); v < w {
+				w = v
+			}
 			kept = append(kept, e)
 		} else {
+			if e.kind == opForward {
+				// Hardware-generated work items own their doneless token;
+				// recycle it with the slot (cores recycle all the others).
+				c.fab.tokens.Put(e.tok)
+			}
 			*e = ozEntry{}
 			c.free = append(c.free, e)
 		}
 	}
 	c.ozq = kept
+	c.scanWake = w
 	c.injectForwards(cycle)
-}
-
-// NextWake returns the earliest future cycle at which this controller can
-// change state on its own: the next scheduled event, an actionable OzQ
-// entry's retry/access-completion cycle, or a dormant consume's probe
-// timeout. Entries waiting on a bus fill or on queue synchronization are
-// event-driven and contribute no wake of their own. Returns ^uint64(0)
-// when the controller is fully dormant.
-func (c *Controller) NextWake(cycle uint64) uint64 {
-	w := ^uint64(0)
-	for i := range c.events {
-		if at := c.events[i].at; at < w {
-			w = at
-		}
-	}
-	for _, e := range c.ozq {
-		switch e.state {
-		case stWaitSync:
-			if e.kind == opConsume && e.timeoutAt > 0 && e.timeoutAt < w {
-				w = e.timeoutAt
-			}
-		case stWaitPort, stAccess:
-			if e.kind == opFence {
-				// Fences complete when older entries do; those entries (or
-				// the events resolving them) provide the wake.
-				continue
-			}
-			if e.readyAt <= cycle {
-				return cycle + 1
-			}
-			if e.readyAt < w {
-				w = e.readyAt
-			}
-		}
-	}
-	if w <= cycle {
-		return cycle + 1
-	}
-	return w
 }

@@ -7,6 +7,7 @@ import (
 	"hfstream/internal/bus"
 	"hfstream/internal/cache"
 	"hfstream/internal/mem"
+	"hfstream/internal/port"
 )
 
 // Fabric owns the shared part of the memory subsystem: the split-
@@ -25,6 +26,10 @@ type Fabric struct {
 	// streaming protocol paths (see package fault).
 	faults *fault.Injector
 
+	// tokens is the run-scoped token arena shared by the controllers (and,
+	// when the sim kernel wires it through, the cores and sync array).
+	tokens *port.TokenPool
+
 	// Stats.
 	MemAccesses uint64
 	L3Hits      uint64
@@ -39,7 +44,7 @@ func NewFabric(p Params, m *mem.Memory, n int) (*Fabric, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("memsys: need at least one core, got %d", n)
 	}
-	f := &Fabric{p: p, mem: m, l3: cache.New(p.L3)}
+	f := &Fabric{p: p, mem: m, l3: cache.New(p.L3), tokens: port.NewTokenPool()}
 	f.bus = bus.New(p.Bus, n, f.handle)
 	for i := 0; i < n; i++ {
 		f.ctrls = append(f.ctrls, newController(i, p, f))
@@ -66,6 +71,10 @@ func (f *Fabric) L3() *cache.Cache { return f.l3 }
 // Mem returns the functional memory image.
 func (f *Fabric) Mem() *mem.Memory { return f.mem }
 
+// Tokens returns the run-scoped token arena so the sim kernel can share
+// it with the cores and the sync array.
+func (f *Fabric) Tokens() *port.TokenPool { return f.tokens }
+
 // Preload installs a line into the shared L3 and, in shared state, into
 // every private L2. It warms the hierarchy before measurement so results
 // reflect the paper's steady-state hot loops; regions larger than a cache
@@ -77,6 +86,18 @@ func (f *Fabric) Preload(lineAddr uint64) {
 	}
 }
 
+// PreloadRange preloads n consecutive lines starting at base, exactly as n
+// Preload calls would (each cache keeps its own LRU clock, so the per-line
+// interleaving across caches is immaterial) but in bulk: ranges larger than
+// a cache skip straight to the tail that survives. The lines must not
+// already be present anywhere (preload runs before the first access).
+func (f *Fabric) PreloadRange(base uint64, n int) {
+	f.l3.InsertRange(base, n, cache.Shared)
+	for _, c := range f.ctrls {
+		c.l2.InsertRange(base, n, cache.Shared)
+	}
+}
+
 // Tick advances the whole memory subsystem one cycle.
 func (f *Fabric) Tick(cycle uint64) {
 	f.bus.Tick(cycle)
@@ -85,15 +106,32 @@ func (f *Fabric) Tick(cycle uint64) {
 	}
 }
 
+// TickDue advances only the components whose cached wake time says they
+// can do work this cycle. With force set, everything ticks (the referee
+// mode the fast-forward goldens are checked against).
+func (f *Fabric) TickDue(cycle uint64, force bool) {
+	if force || f.bus.WakeAt() <= cycle {
+		f.bus.Tick(cycle)
+	}
+	for _, c := range f.ctrls {
+		if force || c.WakeAt() <= cycle {
+			c.Tick(cycle)
+		}
+	}
+}
+
 // NextWake returns the earliest future cycle at which any part of the
 // memory subsystem can change state without a new request from a core:
 // the bus's next grant/drain cycle or any controller's next event, retry,
 // or probe timeout. Returns ^uint64(0) when the whole fabric is dormant.
 func (f *Fabric) NextWake(cycle uint64) uint64 {
+	// The cached per-controller wakes are exact after this cycle's TickDue
+	// (a ticked controller just recomputed; an unticked one had nothing to
+	// do and every work-creating mutation lowers the cache), so no rescans.
 	w := f.bus.NextWake(cycle)
 	for _, c := range f.ctrls {
-		if v := c.NextWake(cycle); v < w {
-			w = v
+		if c.wakeAt < w {
+			w = c.wakeAt
 		}
 	}
 	return w
@@ -142,11 +180,16 @@ func (f *Fabric) producerOf(q, fromID int) *Controller {
 
 // writeback pushes an evicted dirty line to the L3 over the bus.
 func (f *Fabric) writeback(cycle uint64, src int, addr uint64) {
-	f.submit(cycle, &bus.Req{Kind: bus.Writeback, Addr: addr, Src: src})
+	c := f.ctrls[src]
+	req := c.newReq()
+	req.Kind, req.Addr, req.Src, req.Owner = bus.Writeback, addr, src, c
+	f.submit(cycle, req)
 }
 
 func (f *Fabric) note(r *bus.Req, supplier int) {
-	if r.Note != nil {
+	if r.Owner != nil {
+		r.Owner.ReqNote(r, supplier)
+	} else if r.Note != nil {
 		r.Note(supplier)
 	}
 }

@@ -12,6 +12,24 @@ type pendingFwd struct {
 	count    int
 }
 
+// mshr is one outstanding-miss slot: a line with a bus transaction in
+// flight, plus any snoop action deferred until the fill commits.
+type mshr struct {
+	addr     uint64
+	deferred bool
+	snoop    cache.State
+}
+
+// mshrFor returns the outstanding-miss slot for la, if any.
+func (c *Controller) mshrFor(la uint64) *mshr {
+	for i := range c.mshrs {
+		if c.mshrs[i].addr == la {
+			return &c.mshrs[i]
+		}
+	}
+	return nil
+}
+
 // resolve handles an entry whose L2 array access just finished.
 func (c *Controller) resolve(cycle uint64, e *ozEntry) {
 	switch e.kind {
@@ -68,6 +86,7 @@ func (c *Controller) resolveStore(cycle uint64, e *ozEntry) {
 		c.fab.mem.Write8(e.addr, e.val)
 		e.tok.Complete(cycle, e.val)
 		e.state = stDone
+		c.storeDone(e)
 		c.StoresServiced++
 		c.afterStreamStore(cycle, e, line)
 	}
@@ -79,16 +98,58 @@ func (c *Controller) needLine(cycle uint64, e *ozEntry, kind bus.Kind) {
 	la := c.l2.LineAddr(e.addr)
 	e.state = stWaitFill
 	e.tok.Loc = stats.Bus
-	if c.pendingLine[la] {
+	if c.mshrFor(la) != nil {
 		return
 	}
-	c.pendingLine[la] = true
-	req := &bus.Req{Kind: kind, Addr: la, Src: c.id}
-	req.Note = func(supplier int) { c.noteSupplier(la, supplier) }
-	req.Done = func(done uint64) {
-		c.schedule(done, func(now uint64) { c.fill(now, la, kind) })
-	}
+	c.mshrs = append(c.mshrs, mshr{addr: la})
+	req := c.newReq()
+	req.Kind, req.Addr, req.Src, req.Owner = kind, la, c.id, c
 	c.fab.submit(cycle, req)
+}
+
+// ReqNote implements bus.Owner: line-granting transactions re-attribute
+// the tokens waiting on the line to whoever services the miss.
+func (c *Controller) ReqNote(r *bus.Req, supplier int) {
+	switch r.Kind {
+	case bus.Read, bus.ReadX, bus.Upgrade:
+		c.noteSupplier(r.Addr, supplier)
+	}
+}
+
+// ReqDone implements bus.Owner: it schedules the completion-side work of
+// a granted transaction from the request's fields (the context the old
+// per-request closures captured) and recycles the request.
+func (c *Controller) ReqDone(r *bus.Req, done uint64) {
+	switch r.Kind {
+	case bus.Read, bus.ReadX, bus.Upgrade:
+		c.schedule(done, event{kind: evFill, addr: r.Addr})
+	case bus.WriteForward:
+		if c.p.HWQueues {
+			c.streamForwardDone(r, done)
+		} else {
+			c.memoptiForwardDone(r, done)
+		}
+	case bus.BulkAck:
+		c.bulkAckDone(r, done)
+	case bus.Probe:
+		c.probeDone(r, done)
+	}
+	c.reqFree = append(c.reqFree, r)
+}
+
+// memoptiForwardDone finishes a granted MEMOPTI write-forward: the OzQ
+// slot retires when the transfer completes and the consumer installs the
+// line at the same cycle.
+func (c *Controller) memoptiForwardDone(r *bus.Req, done uint64) {
+	c.schedule(done, event{kind: evForwardDone, e: r.Ref.(*ozEntry)})
+	la := r.Addr
+	var dest *Controller
+	if q, _, ok := c.p.Layout.SlotOfAddr(la); ok {
+		dest = c.fab.consumerOf(q, c.id)
+	} else {
+		dest = c.fab.other(c.id)
+	}
+	dest.schedule(done, event{kind: evAcceptLine, addr: la})
 }
 
 // noteSupplier updates the attribution bucket of every token waiting on
@@ -117,8 +178,18 @@ func (c *Controller) noteSupplier(la uint64, supplier int) {
 // steal the line again (avoiding the classic write-write livelock; the
 // losing core simply re-requests, which is the false-sharing ping-pong
 // the paper's software queues exhibit).
-func (c *Controller) fill(cycle, la uint64, kind bus.Kind) {
-	delete(c.pendingLine, la)
+func (c *Controller) fill(cycle, la uint64) {
+	deferred := false
+	var snoop cache.State
+	for i := range c.mshrs {
+		if c.mshrs[i].addr == la {
+			deferred, snoop = c.mshrs[i].deferred, c.mshrs[i].snoop
+			last := len(c.mshrs) - 1
+			c.mshrs[i] = c.mshrs[last]
+			c.mshrs = c.mshrs[:last]
+			break
+		}
+	}
 	for _, e := range c.ozq {
 		if e.state == stWaitFill && e.kind != opForward && c.l2.LineAddr(e.addr) == la {
 			e.state = stAccess
@@ -128,9 +199,8 @@ func (c *Controller) fill(cycle, la uint64, kind bus.Kind) {
 		}
 	}
 	// Apply snoops that arrived while the fill was in flight.
-	if st, ok := c.deferredSnoop[la]; ok {
-		delete(c.deferredSnoop, la)
-		if st == cache.Invalid {
+	if deferred {
+		if snoop == cache.Invalid {
 			c.applyInvalidate(la)
 		} else {
 			c.applyDowngrade(la)
@@ -158,8 +228,8 @@ func (c *Controller) installL1(addr uint64) {
 // this controller's lines. If this controller has its own fill in flight
 // for the line, the invalidation defers until the fill commits.
 func (c *Controller) invalidateLine(la uint64) {
-	if c.pendingLine[la] {
-		c.deferredSnoop[la] = cache.Invalid
+	if m := c.mshrFor(la); m != nil {
+		m.deferred, m.snoop = true, cache.Invalid
 		return
 	}
 	c.applyInvalidate(la)
@@ -175,9 +245,9 @@ func (c *Controller) applyInvalidate(la uint64) {
 // downgradeLine is called by the fabric when a snoop hit forces M -> S,
 // with the same deferral rule as invalidateLine.
 func (c *Controller) downgradeLine(la uint64) {
-	if c.pendingLine[la] {
-		if st, ok := c.deferredSnoop[la]; !ok || st != cache.Invalid {
-			c.deferredSnoop[la] = cache.Shared
+	if m := c.mshrFor(la); m != nil {
+		if !m.deferred || m.snoop != cache.Invalid {
+			m.deferred, m.snoop = true, cache.Shared
 		}
 		return
 	}
@@ -225,9 +295,14 @@ func (c *Controller) injectForwards(cycle uint64) {
 		e := c.alloc()
 		*e = ozEntry{
 			kind: opForward, state: stWaitPort, addr: f.lineAddr,
-			tok: newDonelessToken(), readyAt: cycle + 1,
+			tok: c.newDonelessToken(), readyAt: cycle + 1,
 		}
 		c.push(e)
+		if e.readyAt < c.scanWake {
+			// Forwards injected after compact's pass still count toward
+			// the tick's recomputed wake.
+			c.scanWake = e.readyAt
+		}
 	}
 }
 
@@ -244,20 +319,11 @@ func (c *Controller) resolveForward(cycle uint64, e *ozEntry) {
 	}
 	e.state = stWaitFill
 	c.WrFwdsSent++
-	// Capture the line address by value: the entry reaches stDone (and is
-	// recycled by compact) before the consumer-side delivery event runs.
-	la := e.addr
-	req := &bus.Req{Kind: bus.WriteForward, Addr: la, Src: c.id, Aux: c.p.Layout.QLU}
-	req.Done = func(done uint64) {
-		c.schedule(done, func(now uint64) { e.state = stDone })
-		var dest *Controller
-		if q, _, ok := c.p.Layout.SlotOfAddr(la); ok {
-			dest = c.fab.consumerOf(q, c.id)
-		} else {
-			dest = c.fab.other(c.id)
-		}
-		dest.schedule(done, func(now uint64) { dest.acceptForwardLine(now, la) })
-	}
+	// The entry rides along as Ref: it stays in stWaitFill (so compact
+	// cannot recycle it) until the scheduled evForwardDone retires it.
+	req := c.newReq()
+	req.Kind, req.Addr, req.Src, req.Aux = bus.WriteForward, e.addr, c.id, c.p.Layout.QLU
+	req.Owner, req.Ref = c, e
 	c.fab.submit(cycle, req)
 }
 

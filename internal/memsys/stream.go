@@ -8,8 +8,9 @@ import (
 )
 
 // newDonelessToken returns a token nobody waits on (hardware-generated
-// OzQ work items still carry one so shared code paths stay uniform).
-func newDonelessToken() *port.Token { return port.NewToken(stats.L2) }
+// OzQ work items still carry one so shared code paths stay uniform); it
+// is recycled by compact when the work item's slot retires.
+func (c *Controller) newDonelessToken() *port.Token { return c.fab.tokens.Get(stats.L2) }
 
 // ---- SYNCOPTI produce path ----
 
@@ -65,21 +66,25 @@ func (c *Controller) sendStreamForward(cycle uint64, q int, la uint64) {
 	start := c.forwardedCum[q]
 	c.forwardedCum[q] = c.doneCum[q]
 	c.WrFwdsSent++
-	req := &bus.Req{Kind: bus.WriteForward, Addr: la, Src: c.id, Aux: count, Q: q, Slot: start}
-	req.Done = func(done uint64) {
-		drop, delay := c.fab.faults.ForwardFate(done, q)
-		if drop {
-			// Injected loss: the forwarded items vanish in flight, so the
-			// consumer's availability counter never advances.
-			return
-		}
-		done += delay
-		dest := c.fab.consumerOf(q, c.id)
-		dest.schedule(done, func(now uint64) {
-			dest.acceptStreamForward(now, q, start, count)
-		})
-	}
+	req := c.newReq()
+	req.Kind, req.Addr, req.Src = bus.WriteForward, la, c.id
+	req.Aux, req.Q, req.Slot = count, q, start
+	req.Owner = c
 	c.fab.submit(cycle, req)
+}
+
+// streamForwardDone finishes a granted SYNCOPTI write-forward: the
+// consumer installs the items when the transfer completes.
+func (c *Controller) streamForwardDone(r *bus.Req, done uint64) {
+	drop, delay := c.fab.faults.ForwardFate(done, r.Q)
+	if drop {
+		// Injected loss: the forwarded items vanish in flight, so the
+		// consumer's availability counter never advances.
+		return
+	}
+	done += delay
+	dest := c.fab.consumerOf(r.Q, c.id)
+	dest.schedule(done, event{kind: evAcceptForward, q: int32(r.Q), slot: r.Slot, n: int32(r.Aux)})
 }
 
 // acceptStreamForward installs forwarded queue items at the consumer:
@@ -89,7 +94,7 @@ func (c *Controller) sendStreamForward(cycle uint64, q int, la uint64) {
 func (c *Controller) acceptStreamForward(cycle uint64, q int, start uint64, count int) {
 	for i := 0; i < count; i++ {
 		slotCum := start + uint64(i)
-		addr := c.p.Layout.SlotAddr(q, int(slotCum)%c.p.Layout.Depth)
+		addr := c.p.Layout.SlotAddr(q, c.slotIdx(slotCum))
 		c.install(cycle, c.l2.LineAddr(addr), cache.Shared)
 		if c.sc != nil {
 			c.sc.fill(q, slotCum, c.fab.mem.Read8(addr))
@@ -154,16 +159,21 @@ func (c *Controller) finishConsume(cycle uint64, e *ozEntry, scHit bool) {
 // line's worth of items has been consumed.
 func (c *Controller) sendBulkAck(cycle uint64, q, n int) {
 	c.BulkAcksSent++
-	req := &bus.Req{Kind: bus.BulkAck, Src: c.id, Q: q, Aux: n}
-	req.Done = func(done uint64) {
-		if c.fab.faults.AckSwallowed(done, q) {
-			// Injected loss: the producer's occupancy view goes stale.
-			return
-		}
-		dest := c.fab.producerOf(q, c.id)
-		dest.schedule(done, func(now uint64) { dest.onBulkAck(now, q, n) })
-	}
+	req := c.newReq()
+	req.Kind, req.Src, req.Q, req.Aux = bus.BulkAck, c.id, q, n
+	req.Owner = c
 	c.fab.submit(cycle, req)
+}
+
+// bulkAckDone finishes a granted bulk ACK at the consumer side: the
+// producer's occupancy tracker advances when the message lands.
+func (c *Controller) bulkAckDone(r *bus.Req, done uint64) {
+	if c.fab.faults.AckSwallowed(done, r.Q) {
+		// Injected loss: the producer's occupancy view goes stale.
+		return
+	}
+	dest := c.fab.producerOf(r.Q, c.id)
+	dest.schedule(done, event{kind: evBulkAck, q: int32(r.Q), n: int32(r.Aux)})
 }
 
 func (c *Controller) onBulkAck(cycle uint64, q, n int) {
@@ -186,26 +196,31 @@ func (c *Controller) tickDormant(cycle uint64, e *ozEntry) {
 	if !c.probeOut[e.q] {
 		c.probeOut[e.q] = true
 		c.ProbesSent++
-		q := e.q
-		req := &bus.Req{Kind: bus.Probe, Src: c.id, Q: q}
-		req.Done = func(done uint64) {
-			if req.Aux > 0 {
-				// Item-carrying flushes travel the forward path and share
-				// its injected fate; empty replies carry nothing to lose.
-				drop, delay := c.fab.faults.ForwardFate(done, q)
-				if drop {
-					// Still clear the probe-outstanding flag so the
-					// consumer keeps probing (and the hang is detectable).
-					c.schedule(done, func(now uint64) { c.probeOut[q] = false })
-					return
-				}
-				done += delay
-			}
-			c.schedule(done, func(now uint64) { c.onProbeReply(now, q, req.Aux, req.Slot) })
-		}
+		req := c.newReq()
+		req.Kind, req.Src, req.Q = bus.Probe, c.id, e.q
+		req.Owner = c
 		c.fab.submit(cycle, req)
 	}
 	e.timeoutAt = cycle + uint64(c.p.ConsumeTimeout)
+}
+
+// probeDone finishes a granted probe. The grant handler stowed the flush
+// payload in r.Aux (count) and r.Slot (start).
+func (c *Controller) probeDone(r *bus.Req, done uint64) {
+	q := r.Q
+	if r.Aux > 0 {
+		// Item-carrying flushes travel the forward path and share its
+		// injected fate; empty replies carry nothing to lose.
+		drop, delay := c.fab.faults.ForwardFate(done, q)
+		if drop {
+			// Still clear the probe-outstanding flag so the consumer keeps
+			// probing (and the hang is detectable).
+			c.schedule(done, event{kind: evProbeClear, q: int32(q)})
+			return
+		}
+		done += delay
+	}
+	c.schedule(done, event{kind: evProbeReply, q: int32(q), n: int32(r.Aux), slot: r.Slot})
 }
 
 // onProbeReply installs the partial-line flush elicited by a probe.
@@ -226,7 +241,7 @@ func (c *Controller) flushForProbe(q int) (start uint64, count int) {
 		c.forwardedCum[q] = c.doneCum[q]
 		// The flushed line(s) leave this cache in shared state.
 		for i := 0; i < count; i++ {
-			addr := c.p.Layout.SlotAddr(q, int(start+uint64(i))%c.p.Layout.Depth)
+			addr := c.p.Layout.SlotAddr(q, c.slotIdx(start+uint64(i)))
 			c.downgradeLine(c.l2.LineAddr(addr))
 		}
 	}

@@ -26,6 +26,10 @@ type Token struct {
 	// Loc is the breakdown bucket describing where the operation currently
 	// waits.
 	Loc stats.Bucket
+	// Due, when non-nil, points at the tracking core's earliest-completion
+	// cache; Complete lowers it so the core can skip its per-cycle token
+	// scans until something is actually due.
+	Due *uint64
 }
 
 // NewToken returns a pending token located in the given bucket.
@@ -36,10 +40,15 @@ func NewToken(loc stats.Bucket) *Token {
 // Done reports whether the token completed at or before cycle.
 func (t *Token) Done(cycle uint64) bool { return t.DoneAt != Pending && t.DoneAt <= cycle }
 
-// Complete marks the token done at the given cycle with the given value.
+// Complete marks the token done at the given cycle with the given value,
+// notifying the tracking core's earliest-completion cache when one is
+// attached.
 func (t *Token) Complete(cycle, value uint64) {
 	t.DoneAt = cycle
 	t.Value = value
+	if t.Due != nil && cycle < *t.Due {
+		*t.Due = cycle
+	}
 }
 
 // Mem is the load/store/fence interface offered by a core's memory

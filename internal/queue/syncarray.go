@@ -62,8 +62,36 @@ type saQueue struct {
 	// Producer-side view: items sent minus credits received. Conservative
 	// (an item in flight counts as occupying the queue).
 	outstanding int
-	// Consumer-side FIFO resident in the dedicated store.
+	// Consumer-side FIFO resident in the dedicated store. head indexes the
+	// front so pops reuse the backing array instead of sliding the slice
+	// (fifo = fifo[1:] reallocates on nearly every push).
 	fifo []uint64
+	head int
+}
+
+// occ returns the queue's resident occupancy.
+func (q *saQueue) occ() int { return len(q.fifo) - q.head }
+
+// push appends to the FIFO, compacting consumed headroom first so the
+// backing array is reused.
+func (q *saQueue) push(v uint64) {
+	if q.head > 0 && len(q.fifo) == cap(q.fifo) {
+		n := copy(q.fifo, q.fifo[q.head:])
+		q.fifo = q.fifo[:n]
+		q.head = 0
+	}
+	q.fifo = append(q.fifo, v)
+}
+
+// pop removes and returns the front item (the caller checks occupancy).
+func (q *saQueue) pop() uint64 {
+	v := q.fifo[q.head]
+	q.head++
+	if q.head == len(q.fifo) {
+		q.fifo = q.fifo[:0]
+		q.head = 0
+	}
+	return v
 }
 
 // interconnect directions: data (producer to SA) and credits (back).
@@ -88,15 +116,28 @@ type SyncArray struct {
 	linkFree [numDirs]uint64
 	// pendingCredits holds credits the link could not accept yet; they
 	// drain in Tick so consumes never block on credit-path contention.
+	// pcHead indexes the front (same capacity-reuse scheme as saQueue).
 	pendingCredits []int
+	pcHead         int
 	// pendingData is the small network-interface egress buffer on the
 	// data path: short produce bursts absorb here; once it fills, produce
-	// operations back up in the processor pipeline (paper §3.2).
+	// operations back up in the processor pipeline (paper §3.2). pdHead
+	// indexes the front.
 	pendingData []saMessage
+	pdHead      int
 
 	// consumeBudget tracks dedicated-store port usage in the current cycle.
 	budgetCycle uint64
 	budgetUsed  int
+
+	// wakeAt caches the earliest cycle at which Tick can do anything
+	// (^uint64(0) when dormant). Produce/Consume lower it when they queue
+	// work; Tick recomputes it. The sim kernel skips dormant arrays.
+	wakeAt uint64
+
+	// Tokens, when non-nil, recycles completion tokens from a run-scoped
+	// arena instead of allocating each one.
+	Tokens *port.TokenPool
 
 	// LinkBackpressure counts produce attempts rejected by the
 	// interconnect initiation rate.
@@ -132,7 +173,7 @@ func NewSyncArray(p SAParams) (*SyncArray, error) {
 	if p.InterconnectLatency <= 0 {
 		p.InterconnectLatency = 1
 	}
-	return &SyncArray{p: p, queues: make([]saQueue, p.NumQueues)}, nil
+	return &SyncArray{p: p, queues: make([]saQueue, p.NumQueues), wakeAt: ^uint64(0)}, nil
 }
 
 // capacity returns the effective producer-visible capacity: the dedicated
@@ -145,24 +186,50 @@ func (sa *SyncArray) capacity() int {
 	return sa.p.Depth
 }
 
+// noteWake lowers the cached wake time; every mutation that queues future
+// work for Tick must call it.
+func (sa *SyncArray) noteWake(at uint64) {
+	if at < sa.wakeAt {
+		sa.wakeAt = at
+	}
+}
+
+// WakeAt returns the earliest cycle at which Tick can do anything
+// (^uint64(0) when the array is dormant).
+func (sa *SyncArray) WakeAt() uint64 { return sa.wakeAt }
+
 // Tick delivers interconnect messages due at the given cycle and drains
 // queued credits as link bandwidth allows. It must be called once per
-// cycle before the cores tick.
+// cycle before the cores tick (the kernel may skip cycles where WakeAt
+// says nothing can happen).
 func (sa *SyncArray) Tick(cycle uint64) {
-	for len(sa.pendingCredits) > 0 && sa.tryInject(cycle, dirCredit) {
-		q := sa.pendingCredits[0]
-		sa.pendingCredits = sa.pendingCredits[1:]
+	sa.tick(cycle)
+	sa.wakeAt = sa.NextWake(cycle)
+}
+
+func (sa *SyncArray) tick(cycle uint64) {
+	for sa.pcHead < len(sa.pendingCredits) && sa.tryInject(cycle, dirCredit) {
+		q := sa.pendingCredits[sa.pcHead]
+		sa.pcHead++
 		sa.inflight = append(sa.inflight, saMessage{
 			deliverAt: cycle + uint64(sa.p.InterconnectLatency),
 			q:         q,
 			credit:    true,
 		})
 	}
-	for len(sa.pendingData) > 0 && sa.tryInject(cycle, dirData) {
-		m := sa.pendingData[0]
-		sa.pendingData = sa.pendingData[1:]
+	if sa.pcHead == len(sa.pendingCredits) {
+		sa.pendingCredits = sa.pendingCredits[:0]
+		sa.pcHead = 0
+	}
+	for sa.pdHead < len(sa.pendingData) && sa.tryInject(cycle, dirData) {
+		m := sa.pendingData[sa.pdHead]
+		sa.pdHead++
 		m.deliverAt = cycle + uint64(sa.p.InterconnectLatency)
 		sa.inflight = append(sa.inflight, m)
+	}
+	if sa.pdHead == len(sa.pendingData) {
+		sa.pendingData = sa.pendingData[:0]
+		sa.pdHead = 0
 	}
 	kept := sa.inflight[:0]
 	for _, m := range sa.inflight {
@@ -199,11 +266,11 @@ func (sa *SyncArray) Tick(cycle uint64) {
 				panic(fmt.Sprintf("queue: SA credit underflow on q%d", m.q))
 			}
 		} else {
-			q.fifo = append(q.fifo, m.value)
-			if len(q.fifo) > sa.MaxOccupancy {
-				sa.MaxOccupancy = len(q.fifo)
+			q.push(m.value)
+			if q.occ() > sa.MaxOccupancy {
+				sa.MaxOccupancy = q.occ()
 			}
-			sa.OccHist.Observe(uint64(len(q.fifo)))
+			sa.OccHist.Observe(uint64(q.occ()))
 		}
 	}
 	sa.inflight = kept
@@ -214,7 +281,7 @@ func (sa *SyncArray) Tick(cycle uint64) {
 // very next cycle when queued credits/data are waiting to drain onto the
 // link. Returns ^uint64(0) when the array is idle.
 func (sa *SyncArray) NextWake(cycle uint64) uint64 {
-	if len(sa.pendingCredits) > 0 || len(sa.pendingData) > 0 {
+	if sa.pcHead < len(sa.pendingCredits) || sa.pdHead < len(sa.pendingData) {
 		return cycle + 1
 	}
 	w := ^uint64(0)
@@ -296,18 +363,25 @@ func (sa *SyncArray) Produce(cycle uint64, q int, v uint64) (*port.Token, bool) 
 	}
 	msg := saMessage{q: q, value: v}
 	switch {
-	case len(sa.pendingData) == 0 && sa.tryInject(cycle, dirData):
+	case sa.pdHead == len(sa.pendingData) && sa.tryInject(cycle, dirData):
 		msg.deliverAt = cycle + uint64(sa.p.InterconnectLatency)
 		sa.inflight = append(sa.inflight, msg)
-	case len(sa.pendingData) < egressEntries:
+		sa.noteWake(msg.deliverAt)
+	case len(sa.pendingData)-sa.pdHead < egressEntries:
+		if sa.pdHead > 0 && len(sa.pendingData) == cap(sa.pendingData) {
+			n := copy(sa.pendingData, sa.pendingData[sa.pdHead:])
+			sa.pendingData = sa.pendingData[:n]
+			sa.pdHead = 0
+		}
 		sa.pendingData = append(sa.pendingData, msg)
+		sa.noteWake(cycle + 1)
 	default:
 		sa.LinkBackpressure++
 		return nil, false
 	}
 	qu.outstanding++
 	sa.Produces++
-	tok := port.NewToken(stats.PreL2)
+	tok := sa.Tokens.Get(stats.PreL2)
 	tok.Complete(cycle+1, v)
 	return tok, true
 }
@@ -319,17 +393,16 @@ const egressEntries = 4
 // dedicated store yet.
 func (sa *SyncArray) Consume(cycle uint64, q int) (*port.Token, bool) {
 	qu := &sa.queues[q]
-	if len(qu.fifo) == 0 {
+	if qu.occ() == 0 {
 		sa.EmptyStalls++
 		return nil, false
 	}
 	if !sa.takeBudget(cycle) {
 		return nil, false
 	}
-	v := qu.fifo[0]
-	qu.fifo = qu.fifo[1:]
+	v := qu.pop()
 	sa.Consumes++
-	sa.OccHist.Observe(uint64(len(qu.fifo)))
+	sa.OccHist.Observe(uint64(qu.occ()))
 	// Return the credit to the producer over the interconnect; if the
 	// credit path is saturated the credit queues without blocking the
 	// consume itself.
@@ -339,17 +412,24 @@ func (sa *SyncArray) Consume(cycle uint64, q int) (*port.Token, bool) {
 			q:         q,
 			credit:    true,
 		})
+		sa.noteWake(cycle + uint64(sa.p.InterconnectLatency))
 	} else {
+		if sa.pcHead > 0 && len(sa.pendingCredits) == cap(sa.pendingCredits) {
+			n := copy(sa.pendingCredits, sa.pendingCredits[sa.pcHead:])
+			sa.pendingCredits = sa.pendingCredits[:n]
+			sa.pcHead = 0
+		}
 		sa.pendingCredits = append(sa.pendingCredits, q)
+		sa.noteWake(cycle + 1)
 	}
-	tok := port.NewToken(stats.PreL2)
+	tok := sa.Tokens.Get(stats.PreL2)
 	tok.Complete(cycle+uint64(sa.p.ConsumeToUse), v)
 	return tok, true
 }
 
 // Occupancy returns the number of items resident in queue q's dedicated
 // store (excludes in-flight items).
-func (sa *SyncArray) Occupancy(q int) int { return len(sa.queues[q].fifo) }
+func (sa *SyncArray) Occupancy(q int) int { return sa.queues[q].occ() }
 
 // Outstanding returns the producer-side occupancy view for queue q.
 func (sa *SyncArray) Outstanding(q int) int { return sa.queues[q].outstanding }
@@ -374,15 +454,15 @@ type SASnapshot struct {
 func (sa *SyncArray) Snapshot() SASnapshot {
 	s := SASnapshot{
 		InFlight:       len(sa.inflight),
-		PendingCredits: len(sa.pendingCredits),
-		PendingData:    len(sa.pendingData),
+		PendingCredits: len(sa.pendingCredits) - sa.pcHead,
+		PendingData:    len(sa.pendingData) - sa.pdHead,
 	}
 	for i := range sa.queues {
-		if len(sa.queues[i].fifo) == 0 && sa.queues[i].outstanding == 0 {
+		if sa.queues[i].occ() == 0 && sa.queues[i].outstanding == 0 {
 			continue
 		}
 		s.Queues = append(s.Queues, SAQueueInfo{
-			Q: i, Occupancy: len(sa.queues[i].fifo), Outstanding: sa.queues[i].outstanding,
+			Q: i, Occupancy: sa.queues[i].occ(), Outstanding: sa.queues[i].outstanding,
 		})
 	}
 	return s
@@ -390,11 +470,11 @@ func (sa *SyncArray) Snapshot() SASnapshot {
 
 // Drained reports whether all queues are empty with nothing in flight.
 func (sa *SyncArray) Drained() bool {
-	if len(sa.inflight) > 0 || len(sa.pendingCredits) > 0 || len(sa.pendingData) > 0 {
+	if len(sa.inflight) > 0 || sa.pcHead < len(sa.pendingCredits) || sa.pdHead < len(sa.pendingData) {
 		return false
 	}
 	for i := range sa.queues {
-		if len(sa.queues[i].fifo) > 0 || sa.queues[i].outstanding > 0 {
+		if sa.queues[i].occ() > 0 || sa.queues[i].outstanding > 0 {
 			return false
 		}
 	}

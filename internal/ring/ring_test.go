@@ -1,0 +1,115 @@
+package ring
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024},
+	} {
+		if got := New[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestFIFOAndBounds(t *testing.T) {
+	r := New[int](4)
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	if r.TryPush(99) {
+		t.Fatal("push into full ring succeeded")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("pop from drained ring succeeded")
+	}
+}
+
+// TestWraparoundAgainstModel drives random push/pop sequences through many
+// wraparounds and checks the ring against a plain slice model.
+func TestWraparoundAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := New[int](8)
+	var model []int
+	next := 0
+	for step := 0; step < 100000; step++ {
+		if rng.Intn(2) == 0 {
+			ok := r.TryPush(next)
+			if wantOK := len(model) < r.Cap(); ok != wantOK {
+				t.Fatalf("step %d: push ok=%v, model says %v", step, ok, wantOK)
+			}
+			if ok {
+				model = append(model, next)
+				next++
+			}
+		} else {
+			v, ok := r.TryPop()
+			if wantOK := len(model) > 0; ok != wantOK {
+				t.Fatalf("step %d: pop ok=%v, model says %v", step, ok, wantOK)
+			}
+			if ok {
+				if v != model[0] {
+					t.Fatalf("step %d: popped %d, want %d", step, v, model[0])
+				}
+				model = model[1:]
+			}
+		}
+		if r.Len() != len(model) {
+			t.Fatalf("step %d: Len=%d, model=%d", step, r.Len(), len(model))
+		}
+	}
+}
+
+// TestConcurrentTransfer checks the actual SPSC contract under the race
+// detector: every value pushed arrives exactly once, in order. Both sides
+// yield when the ring blocks them so the test also runs on GOMAXPROCS=1.
+func TestConcurrentTransfer(t *testing.T) {
+	const n = 50000
+	r := New[uint64](64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; {
+			if r.TryPush(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	for want := uint64(0); want < n; {
+		v, ok := r.TryPop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if v != want {
+			t.Fatalf("received %d, want %d", v, want)
+		}
+		want++
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Fatalf("ring not drained: Len=%d", r.Len())
+	}
+}

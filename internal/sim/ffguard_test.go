@@ -196,3 +196,67 @@ func TestFastForwardFaultEquivalence(t *testing.T) {
 		t.Errorf("sum = %d, want %d", onSum, want)
 	}
 }
+
+// TestWatchdogWindowSweepExact sweeps watchdog windows of different
+// magnitudes (including ones far off any power-of-two or sampling
+// boundary) and requires the firing cycle to be identical with and
+// without fast-forwarding for every window — no ±1 slop.
+func TestWatchdogWindowSweepExact(t *testing.T) {
+	fire := func(watchdog uint64, disableFF bool) uint64 {
+		cfg := design.HeavyWTConfig().SimConfig()
+		cfg.WatchdogIdle = watchdog
+		cfg.DisableFastForward = disableFF
+		_, err := sim.Run(cfg, mem.New(), stuckConsumer())
+		var dl *sim.DeadlockError
+		if !errors.As(err, &dl) {
+			t.Fatalf("window %d: error = %v (%T), want DeadlockError", watchdog, err, err)
+		}
+		return dl.Cycle
+	}
+	for _, w := range []uint64{97, 501, 1024, 2500, 4097} {
+		on, off := fire(w, false), fire(w, true)
+		if on != off {
+			t.Errorf("window %d: watchdog fired at cycle %d with FF, %d without", w, on, off)
+		}
+	}
+}
+
+// TestUnquiescedExitCycleExact: the cores-done-but-fabric-stuck exit path
+// also rides the watchdog window; its Result.Cycles and diagnosis cycle
+// must be identical in both FF modes.
+func TestUnquiescedExitCycleExact(t *testing.T) {
+	run := func(disableFF bool) (uint64, uint64) {
+		p := asm.NewBuilder("p1")
+		p.MovI(1, 7)
+		for i := 0; i < 4; i++ {
+			p.Produce(0, 1)
+		}
+		p.Halt()
+		c := asm.NewBuilder("c1")
+		for i := 0; i < 4; i++ {
+			c.Consume(2, 0)
+		}
+		c.Halt()
+		in := fault.Plan{Seed: 1, Events: []fault.Event{{Kind: fault.SACreditDrop, Nth: 1}}}.Injector()
+		cfg := design.HeavyWTConfig().SimConfig()
+		cfg.WatchdogIdle = 3000
+		cfg.DisableFastForward = disableFF
+		cfg.Faults = in
+		res, err := sim.Run(cfg, mem.New(), []sim.Thread{{Prog: p.MustProgram()}, {Prog: c.MustProgram()}})
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		if !res.UnquiescedExit || res.Diagnosis == nil {
+			t.Fatal("expected an unquiesced exit with a diagnosis")
+		}
+		return res.Cycles, res.Diagnosis.Cycle
+	}
+	onCycles, onDiag := run(false)
+	offCycles, offDiag := run(true)
+	if onCycles != offCycles {
+		t.Errorf("unquiesced exit at cycle %d with FF, %d without", onCycles, offCycles)
+	}
+	if onDiag != offDiag {
+		t.Errorf("diagnosis cycle %d with FF, %d without", onDiag, offDiag)
+	}
+}

@@ -297,15 +297,17 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 	fab.SetFaults(cfg.Faults)
 	lineBytes := uint64(cfg.Mem.L2.LineBytes)
 	for _, r := range cfg.Preload {
-		for la := r.Base &^ (lineBytes - 1); la < r.End(); la += lineBytes {
-			fab.Preload(la)
+		base := r.Base &^ (lineBytes - 1)
+		if n := int((r.End() - base + lineBytes - 1) / lineBytes); n > 0 {
+			fab.PreloadRange(base, n)
 		}
 	}
 	// Warm the queue region into the L3 so the first pass over each queue
 	// line is not a compulsory memory miss.
 	layout := cfg.Mem.Layout
-	for la := layout.SlotAddr(0, 0); la < layout.RegionEnd(); la += lineBytes {
-		fab.L3().Insert(la, cache.Shared)
+	if base := layout.SlotAddr(0, 0); layout.RegionEnd() > base {
+		n := int((layout.RegionEnd() - base + lineBytes - 1) / lineBytes)
+		fab.L3().InsertRange(base, n, cache.Shared)
 	}
 
 	var sa *queue.SyncArray
@@ -328,10 +330,14 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 		}
 		c := core.New(i, cfg.Core, t.Prog, fab.Controller(i), strm)
 		c.Tracer = cfg.Trace
+		c.Tokens = fab.Tokens()
 		for r, v := range t.Regs {
 			c.SetReg(r, v)
 		}
 		cores[i] = c
+	}
+	if sa != nil {
+		sa.Tokens = fab.Tokens()
 	}
 	if cfg.Trace != nil {
 		fab.Bus().Trace = func(cycle uint64, k bus.Kind, src int, addr uint64) {
@@ -353,6 +359,10 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 	var queueOcc stats.Hist
 	prevIssued := make([]uint64, len(cores))
 	coreDone := make([]bool, len(cores))
+	// parkUntil[i], when in the future, means core i is parked: its Tick is
+	// provably a no-op until that cycle (see core.ParkWake) and the skipped
+	// cycles were already charged through FastForward when it parked.
+	parkUntil := make([]uint64, len(cores))
 	var prevGrants uint64
 	var unquiesced bool
 	var unquiescedDiag *Diagnosis
@@ -369,13 +379,26 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 			default:
 			}
 		}
-		if sa != nil {
+		// Event-driven scheduling: with fast-forward on, components whose
+		// cached wake time says they cannot do anything this cycle are not
+		// ticked at all. With it off, everything ticks every cycle — the
+		// brute-force referee mode the goldens are regenerated under.
+		if sa != nil && (!fastForward || sa.WakeAt() <= cycle) {
 			sa.Tick(cycle)
 		}
-		fab.Tick(cycle)
+		fab.TickDue(cycle, !fastForward)
 		allDone := true
 		var issuedNow, prodNow, consNow uint64
 		for i, c := range cores {
+			if fastForward && parkUntil[i] > cycle {
+				// Parked: the skipped Ticks were pre-charged at park time.
+				issuedNow += c.Issued
+				prodNow += c.Produces
+				consNow += c.Consumes
+				allDone = false
+				continue
+			}
+			before := c.Issued
 			c.Tick(cycle)
 			issuedNow += c.Issued
 			prodNow += c.Produces
@@ -383,6 +406,12 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 			coreDone[i] = c.Done(cycle)
 			if !coreDone[i] {
 				allDone = false
+				if fastForward && c.Issued == before {
+					if w, ok := c.ParkWake(cycle); ok {
+						c.FastForward(w - cycle - 1)
+						parkUntil[i] = w
+					}
+				}
 			}
 		}
 		queueOcc.Observe(prodNow - consNow)
@@ -451,6 +480,15 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 			if coreDone[i] {
 				continue
 			}
+			if parkUntil[i] > cycle {
+				// A parked core sleeps until its park deadline by
+				// construction; anything earlier its NextWake reports
+				// cannot change what it does.
+				if parkUntil[i] < wake {
+					wake = parkUntil[i]
+				}
+				continue
+			}
 			if w := c.NextWake(cycle); w < wake {
 				wake = w
 			}
@@ -470,7 +508,8 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 		}
 		n := wake - cycle - 1
 		for i, c := range cores {
-			if coreDone[i] {
+			if coreDone[i] || parkUntil[i] > cycle {
+				// Parked cores were already charged through their deadline.
 				continue
 			}
 			c.FastForward(n)

@@ -64,7 +64,12 @@ func (c *resultCache) Put(key string, body []byte) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	// Copy the body: the caller may reuse or mutate its slice after Put
+	// returns (response buffers are recycled), and a cache hit must serve
+	// the bytes as they were stored.
+	stored := make([]byte, len(body))
+	copy(stored, body)
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, body: stored})
 	c.bytes += int64(len(body))
 	for c.bytes > c.budget {
 		back := c.ll.Back()

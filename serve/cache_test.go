@@ -92,3 +92,21 @@ func TestCacheManyKeysStayConsistent(t *testing.T) {
 		}
 	}
 }
+
+func TestCachePutCopiesBody(t *testing.T) {
+	c := newResultCache(1 << 10)
+	body := []byte(`{"cycles":42}`)
+	c.Put("k", body)
+	// The caller reuses its buffer after Put returns; the cached bytes
+	// must not follow.
+	for i := range body {
+		body[i] = 'X'
+	}
+	got, ok := c.Get("k")
+	if !ok {
+		t.Fatal("key missing")
+	}
+	if want := `{"cycles":42}`; string(got) != want {
+		t.Fatalf("cached body mutated through the caller's slice: got %q, want %q", got, want)
+	}
+}
