@@ -16,9 +16,16 @@
 #                       checked-in BENCH_PR6.json baseline
 #   make gobench      - one `go test -bench` pass over the paper-reproduction
 #                       benchmarks
+#   make serve-diff   - the serve differential battery: streamed and
+#                       non-streamed /run plus /sweep must produce
+#                       byte-identical metrics across cold, cached, and
+#                       coalesced paths
+#   make serve-diff-noff - the same with HFSTREAM_NO_FASTFORWARD=1, proving
+#                       progress/streaming delivery is invariant to the
+#                       fast-forward optimization
 #   make ci           - everything CI runs: tier1, race, coverage, formatting,
-#                       goldens (with fast-forward on and off), bench
-#                       regression gate
+#                       goldens (with fast-forward on and off), serve
+#                       differentials, bench regression gate
 #   make golden       - regenerate the metrics snapshots in testdata/golden/
 #   make golden-check - rebuild the snapshots into a temp dir and diff them
 #                       against the checked-in goldens
@@ -38,12 +45,13 @@ GO ?= go
 GOLDEN_BENCHES = bzip2,adpcmdec
 
 # Total-statement coverage floor enforced by `make coverage`. The module
-# measured 74.4% when the baseline was recorded (PR 5); the floor sits a
-# few points under that so timing-dependent branches don't flake the job,
-# while still catching any real regression. Raise it as coverage grows.
-COVERAGE_BASELINE = 70.0
+# measured 74.6% when the baseline was recorded (PR 7, with the streaming
+# and sweep endpoints); the floor sits a couple of points under that so
+# timing-dependent branches don't flake the job, while still catching any
+# real regression. Raise it as coverage grows.
+COVERAGE_BASELINE = 72.0
 
-.PHONY: tier1 vet build test race coverage bench bench-smoke bench-compare gobench ci fmtcheck golden golden-check golden-check-noff chaos chaos-smoke fuzz-smoke
+.PHONY: tier1 vet build test race coverage bench bench-smoke bench-compare gobench ci fmtcheck golden golden-check golden-check-noff serve-diff serve-diff-noff chaos chaos-smoke fuzz-smoke
 
 tier1: build vet test
 
@@ -60,6 +68,8 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/exp/... ./internal/sim/... ./serve/...
 
+# The profile lands in coverage.out, which is git-ignored (see
+# .gitignore) — inspect it with `go tool cover -html=coverage.out`.
 coverage:
 	$(GO) test -count=1 -coverprofile=coverage.out ./...
 	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
@@ -88,7 +98,7 @@ bench-compare:
 gobench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-ci: tier1 race coverage fmtcheck golden-check golden-check-noff bench-compare chaos-smoke
+ci: tier1 race coverage fmtcheck golden-check golden-check-noff serve-diff serve-diff-noff bench-compare chaos-smoke
 
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -106,6 +116,19 @@ golden-check:
 # with it off and diffing proves the optimization changes no number.
 golden-check-noff:
 	HFSTREAM_NO_FASTFORWARD=1 $(MAKE) golden-check
+
+# The serve differential battery: every path through the HTTP service —
+# blocking /run, streamed /run?stream=ndjson (cold, cached, coalesced),
+# and /sweep cells — must produce metrics byte-identical to the direct
+# library API, and re-submitted sweeps must only simulate cache misses.
+serve-diff:
+	$(GO) test -count=1 -run 'TestDifferential|TestStream|TestSweep|TestServe' . ./serve/
+
+# The same battery with idle-cycle fast-forwarding disabled: streaming
+# progress delivery and the FF optimization must both be invisible in
+# the metrics bytes.
+serve-diff-noff:
+	HFSTREAM_NO_FASTFORWARD=1 $(MAKE) serve-diff
 
 # Full chaos sweep: 20 seeded workloads x 7 designs x (1 baseline +
 # 6 fault plans). Any failure prints a single-case replay command.

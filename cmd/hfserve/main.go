@@ -10,9 +10,23 @@
 //
 // Endpoints:
 //
-//	POST /run      {"bench":"wc","design":"SYNCOPTI"} -> metrics JSON
-//	GET  /metrics  service counters
-//	GET  /healthz  liveness (503 once draining)
+//	POST /run                {"bench":"wc","design":"SYNCOPTI"} -> metrics JSON
+//	POST /run?stream=ndjson  same spec -> NDJSON event stream: progress
+//	                         heartbeats while the simulation runs
+//	                         (?progress_every=N sets the cycle cadence),
+//	                         then a metrics event whose body field holds
+//	                         the exact non-streaming response bytes, then
+//	                         done; failures arrive as typed error events.
+//	                         Disconnecting cancels the simulation.
+//	POST /sweep              {"benches":["*"],"designs":["*"],"single":true,
+//	                         "stages":[3]} -> NDJSON stream of per-cell
+//	                         metrics/error events in completion order plus
+//	                         a closing done event with run/hit/coalesced
+//	                         tallies. Cells share the /run result cache,
+//	                         so re-submitting a sweep only simulates the
+//	                         misses.
+//	GET  /metrics            service counters
+//	GET  /healthz            liveness (503 once draining)
 //
 // On SIGINT/SIGTERM the server stops accepting work (new /run requests
 // get a typed 503), finishes queued and in-flight simulations within the

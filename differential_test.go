@@ -18,11 +18,14 @@ package hfstream_test
 // imports hfstream.
 
 import (
+	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"hfstream"
@@ -246,5 +249,213 @@ func TestDifferentialServeStaged(t *testing.T) {
 	}
 	if !bytes.Equal(served.Bytes(), direct.Bytes()) {
 		t.Error("staged serve body differs from RunStagedCtx snapshot")
+	}
+}
+
+// streamEvents posts a body to a streaming endpoint and decodes every
+// NDJSON line.
+func streamEvents(t *testing.T, url, path, body string) []serve.StreamEvent {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("%s: status %d", path, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var events []serve.StreamEvent
+	for sc.Scan() {
+		var ev serve.StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatalf("%s: empty stream", path)
+	}
+	return events
+}
+
+// metricsEvents filters a stream down to its per-run result events.
+func metricsEvents(events []serve.StreamEvent) []serve.StreamEvent {
+	var out []serve.StreamEvent
+	for _, ev := range events {
+		if ev.Type == "metrics" {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// cellName maps a sweep cell's spec back to the reference-matrix key.
+func cellName(spec *hfstream.Spec) string {
+	if spec.Single {
+		return spec.Bench + "/single"
+	}
+	return spec.Bench + "/" + spec.Design
+}
+
+// TestDifferentialStreamedRun: the metrics event of a streamed /run
+// carries, as a string, the exact bytes of the non-streaming response
+// and of the direct-API snapshot — cold (with progress events
+// interleaved, proving progress delivery does not perturb the metrics),
+// cached, and under concurrent coalesced streams.
+func TestDifferentialStreamedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	ref := referenceMatrix(t)
+	ts := httptest.NewServer(serve.New(serve.Config{Workers: 2}).Handler())
+	defer ts.Close()
+
+	for _, bench := range diffBenches {
+		cases := []struct {
+			name, body string
+		}{
+			{bench + "/single", `{"bench":"` + bench + `","single":true}`},
+		}
+		for _, d := range hfstream.Designs() {
+			cases = append(cases, struct{ name, body string }{
+				bench + "/" + d.Name(),
+				`{"bench":"` + bench + `","design":"` + d.Name() + `"}`,
+			})
+		}
+		for _, c := range cases {
+			// Cold: a tight progress cadence maximizes interleaved events.
+			events := streamEvents(t, ts.URL, "/run?stream=ndjson&progress_every=5000", c.body)
+			mev := metricsEvents(events)
+			if len(mev) != 1 || mev[0].Cache != "miss" {
+				t.Fatalf("%s cold: %d metrics events, cache=%q", c.name, len(mev), mev[0].Cache)
+			}
+			if !bytes.Equal([]byte(mev[0].Body), ref[c.name]) {
+				t.Errorf("%s: streamed cold body differs from direct API snapshot", c.name)
+			}
+			// Cached: the hit must replay the identical bytes.
+			events = streamEvents(t, ts.URL, "/run?stream=ndjson", c.body)
+			mev = metricsEvents(events)
+			if len(mev) != 1 || mev[0].Cache != "hit" {
+				t.Fatalf("%s hot: %d metrics events, cache=%q", c.name, len(mev), mev[0].Cache)
+			}
+			if !bytes.Equal([]byte(mev[0].Body), ref[c.name]) {
+				t.Errorf("%s: streamed cached body differs from direct API snapshot", c.name)
+			}
+			// Non-streaming /run must agree byte for byte with the stream.
+			resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(c.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var plain bytes.Buffer
+			if _, err := plain.ReadFrom(resp.Body); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if !bytes.Equal(plain.Bytes(), []byte(mev[0].Body)) {
+				t.Errorf("%s: non-streaming body differs from streamed body", c.name)
+			}
+		}
+	}
+
+	// Coalesced: concurrent streamed requests for one uncached spec all
+	// deliver the same reference bytes, whichever of them led the flight.
+	fresh := httptest.NewServer(serve.New(serve.Config{Workers: 2}).Handler())
+	defer fresh.Close()
+	const fanIn = 6
+	bodies := make([]string, fanIn)
+	var wg sync.WaitGroup
+	for i := 0; i < fanIn; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(fresh.URL+"/run?stream=ndjson", "application/json",
+				strings.NewReader(`{"bench":"bzip2","design":"EXISTING"}`))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+			for sc.Scan() {
+				var ev serve.StreamEvent
+				if json.Unmarshal(sc.Bytes(), &ev) == nil && ev.Type == "metrics" {
+					bodies[i] = ev.Body
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, body := range bodies {
+		if !bytes.Equal([]byte(body), ref["bzip2/EXISTING"]) {
+			t.Errorf("coalesced stream %d: body differs from direct API snapshot", i)
+		}
+	}
+}
+
+// TestDifferentialSweep: every cell of a /sweep grid matches the
+// direct-API snapshot byte for byte, a sweep overlapping previously-run
+// cells only simulates the new ones, and a re-submitted sweep runs
+// nothing at all — pinned through the server's run counter, not just
+// the per-event cache tags.
+func TestDifferentialSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	ref := referenceMatrix(t)
+	srv := serve.New(serve.Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	checkCells := func(events []serve.StreamEvent, wantCells int) {
+		t.Helper()
+		for _, ev := range metricsEvents(events) {
+			if ev.Spec == nil {
+				t.Fatal("sweep metrics event without a spec")
+			}
+			name := cellName(ev.Spec)
+			if !bytes.Equal([]byte(ev.Body), ref[name]) {
+				t.Errorf("%s: sweep cell body differs from direct API snapshot", name)
+			}
+		}
+		done := events[len(events)-1]
+		if done.Type != "done" || done.Cells != wantCells || done.Errors != 0 {
+			t.Fatalf("done = %+v, want %d clean cells", done, wantCells)
+		}
+	}
+
+	// Half the grid first: one bench across all designs plus single.
+	perBench := len(hfstream.Designs()) + 1
+	partial := streamEvents(t, ts.URL, "/sweep", `{"benches":["bzip2"],"designs":["*"],"single":true}`)
+	checkCells(partial, perBench)
+	if runs := srv.Metrics().Runs; runs != uint64(perBench) {
+		t.Fatalf("partial sweep ran %d simulations, want %d", runs, perBench)
+	}
+
+	// The full grid: only the second bench's cells are cache misses.
+	full := streamEvents(t, ts.URL, "/sweep", `{"benches":["bzip2","adpcmdec"],"designs":["*"],"single":true}`)
+	checkCells(full, 2*perBench)
+	fullDone := full[len(full)-1]
+	if fullDone.Ran != perBench || fullDone.Hits != perBench {
+		t.Fatalf("full sweep ran=%d hits=%d, want only the new bench simulated (%d each)",
+			fullDone.Ran, fullDone.Hits, perBench)
+	}
+	if runs := srv.Metrics().Runs; runs != uint64(2*perBench) {
+		t.Fatalf("after full sweep: %d simulations, want %d", runs, 2*perBench)
+	}
+
+	// Re-submitting the identical sweep simulates nothing.
+	again := streamEvents(t, ts.URL, "/sweep", `{"benches":["bzip2","adpcmdec"],"designs":["*"],"single":true}`)
+	checkCells(again, 2*perBench)
+	againDone := again[len(again)-1]
+	if againDone.Ran != 0 || againDone.Hits != 2*perBench {
+		t.Fatalf("re-sweep ran=%d hits=%d, want all cells cached", againDone.Ran, againDone.Hits)
+	}
+	if runs := srv.Metrics().Runs; runs != uint64(2*perBench) {
+		t.Fatalf("re-sweep started new simulations: %d, want %d", runs, 2*perBench)
 	}
 }

@@ -1,17 +1,21 @@
 // Walk through the simulation service end to end against an in-process
 // server: a cold run (cache miss), the same spec re-posted (cache hit,
 // byte-identical body), a burst of concurrent identical requests
-// (coalesced onto one simulation), the typed error envelope, the
-// /metrics counters, and finally a graceful drain. Everything here works
-// the same against a real `go run ./cmd/hfserve` — swap ts.URL for its
-// address.
+// (coalesced onto one simulation), a streamed run (live NDJSON progress
+// events, with the metrics event carrying the exact non-streaming
+// bytes), a /sweep over a grid plus the re-sweep that simulates nothing,
+// the typed error envelope, the /metrics counters, and finally a
+// graceful drain. Everything here works the same against a real
+// `go run ./cmd/hfserve` — swap ts.URL for its address.
 //
 //	go run ./examples/serve
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
@@ -23,6 +27,27 @@ import (
 	"hfstream"
 	"hfstream/serve"
 )
+
+// streamNDJSON posts a spec to a streaming endpoint and decodes the
+// event lines.
+func streamNDJSON(url, path, body string) []serve.StreamEvent {
+	resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var events []serve.StreamEvent
+	for sc.Scan() {
+		var ev serve.StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			log.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
 
 func main() {
 	s := serve.New(serve.Config{Workers: 2})
@@ -89,12 +114,52 @@ func main() {
 	fmt.Printf("coalesced: %d identical requests -> %d runs (identical bodies=%v)\n",
 		n, m.Runs-1, same) // -1: the adpcmdec run above
 
+	// Streaming mode: the same /run, but the response is NDJSON events —
+	// progress heartbeats while the simulation runs, then a metrics event
+	// whose body field carries the exact bytes the blocking /run would
+	// have returned, then done. (?progress_every tightens the cadence so
+	// even this sub-megacycle benchmark emits heartbeats.)
+	events := streamNDJSON(ts.URL, "/run?stream=ndjson&progress_every=5000",
+		`{"bench":"wc","design":"SYNCOPTI"}`)
+	var wcStream string
+	progress := 0
+	for _, ev := range events {
+		if ev.Type == "progress" {
+			progress++
+		}
+		if ev.Type == "metrics" {
+			wcStream = ev.Body
+		}
+	}
+	fmt.Printf("streamed:  %d events (%d progress), terminal=%q\n",
+		len(events), progress, events[len(events)-1].Type)
+
+	// The streamed body and a blocking /run agree byte for byte: caching,
+	// coalescing and streaming all sit on one deterministic result path.
+	_, wcPlain, _ := post(`{"bench":"wc","design":"SYNCOPTI"}`)
+	fmt.Printf("stream=plain bytes=%v\n", wcStream == string(wcPlain))
+
+	// /sweep expands a (benches x designs) grid — "*" means "all" — and
+	// streams each cell's result as it completes, closing with tallies.
+	sweep := `{"benches":["adpcmdec","wc"],"designs":["EXISTING","SYNCOPTI"]}`
+	events = streamNDJSON(ts.URL, "/sweep", sweep)
+	tally := events[len(events)-1]
+	fmt.Printf("sweep:     cells=%d ran=%d hits=%d errors=%d\n",
+		tally.Cells, tally.Ran, tally.Hits, tally.Errors)
+
+	// Cells are cache-keyed exactly like /run specs, so re-submitting the
+	// sweep simulates nothing: every cell is a hit with identical bytes.
+	events = streamNDJSON(ts.URL, "/sweep", sweep)
+	tally = events[len(events)-1]
+	fmt.Printf("re-sweep:  cells=%d ran=%d hits=%d\n", tally.Cells, tally.Ran, tally.Hits)
+
 	// Errors are typed JSON envelopes: {"error":{"code","message"}}.
 	status, body, _ := post(`{"bench":"nope","design":"HEAVYWT"}`)
 	fmt.Printf("bad spec:  %d %s\n", status, bytes.TrimSpace(body))
 
-	fmt.Printf("metrics:   requests=%d runs=%d hits=%d coalesced=%d simulated-cycles=%d\n",
-		m.Requests, m.Runs, m.CacheHits, m.Coalesced, m.Simulated.Cycles)
+	m = s.Metrics()
+	fmt.Printf("metrics:   requests=%d streams=%d sweeps=%d runs=%d hits=%d coalesced=%d simulated-cycles=%d\n",
+		m.Requests, m.Streams, m.Sweeps, m.Runs, m.CacheHits, m.Coalesced, m.Simulated.Cycles)
 
 	// Graceful drain: stop admitting, finish in-flight work, then idle.
 	// cmd/hfserve runs this on SIGTERM/SIGINT. Cached results are still
@@ -103,6 +168,6 @@ func main() {
 	if err := s.Drain(context.Background()); err != nil {
 		log.Fatal(err)
 	}
-	status, body, _ = post(`{"bench":"wc","design":"EXISTING"}`)
+	status, body, _ = post(`{"bench":"fir","design":"EXISTING"}`)
 	fmt.Printf("drained:   new work gets %d %s\n", status, bytes.TrimSpace(body))
 }

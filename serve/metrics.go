@@ -15,10 +15,13 @@ type Metrics struct {
 	Draining      bool    `json:"draining"`
 	Workers       int     `json:"workers"`
 
-	// Request-plane counters. Requests counts POST /run bodies read;
-	// Runs counts simulations actually started (cache hits and coalesced
-	// duplicates never start one).
+	// Request-plane counters. Requests counts POST /run and /sweep
+	// bodies read; Streams counts the /run?stream=ndjson subset and
+	// Sweeps the /sweep subset; Runs counts simulations actually started
+	// (cache hits and coalesced duplicates never start one).
 	Requests         uint64 `json:"requests"`
+	Streams          uint64 `json:"streams"`
+	Sweeps           uint64 `json:"sweeps"`
 	Runs             uint64 `json:"runs"`
 	Failures         uint64 `json:"failures"`
 	CacheHits        uint64 `json:"cache_hits"`
@@ -56,6 +59,8 @@ func (s *Server) Metrics() Metrics {
 	m.Draining = s.draining.Load()
 	m.Workers = s.cfg.Workers
 	m.Requests = s.requests.Load()
+	m.Streams = s.streams.Load()
+	m.Sweeps = s.sweeps.Load()
 	m.Runs = s.runs.Load()
 	m.Failures = s.failures.Load()
 	m.CacheHits = s.cacheHits.Load()

@@ -76,6 +76,8 @@ type Server struct {
 	cancel   context.CancelFunc
 
 	requests    atomic.Uint64
+	streams     atomic.Uint64
+	sweeps      atomic.Uint64
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 	coalesced   atomic.Uint64
@@ -89,7 +91,8 @@ type Server struct {
 
 	// run executes one spec; overridable by tests to model slow or
 	// failing jobs without real simulations (same seam as exp.Runner.run).
-	run func(ctx context.Context, spec hfstream.Spec) *outcome
+	// hooks, when non-nil, carries the streaming progress callback.
+	run func(ctx context.Context, spec hfstream.Spec, hooks *streamHooks) *outcome
 }
 
 // New builds a Server and starts its worker pool.
@@ -123,12 +126,16 @@ func New(cfg Config) *Server {
 
 // Handler returns the service's HTTP surface:
 //
-//	POST /run      run a spec (or serve it from cache), body = metrics JSON
-//	GET  /metrics  service counters (cache, queue, simulated work)
-//	GET  /healthz  liveness; 503 once draining so balancers stop routing
+//	POST /run            run a spec (or serve it from cache), body = metrics JSON
+//	POST /run?stream=ndjson  the same run as live NDJSON events (see stream.go)
+//	POST /sweep          run a (benches x designs x options) grid, cells
+//	                     streamed as NDJSON events as they complete (see sweep.go)
+//	GET  /metrics        service counters (cache, queue, simulated work)
+//	GET  /healthz        liveness; 503 once draining so balancers stop routing
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/sweep", s.handleSweep)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -159,10 +166,17 @@ const (
 	codeQueueFull  = "queue_full"
 	codeDraining   = "draining"
 	codeTimeout    = "timeout"
+	codeCanceled   = "canceled"
 	codeDeadlock   = "deadlock"
 	codeRunFailed  = "run_failed"
 	codeInternal   = "internal"
 )
+
+// statusClientClosed reports a run stopped because its requester went
+// away (the nginx 499 convention); streaming requests join the
+// simulation to the request context, so a client disconnect cancels the
+// run mid-flight rather than burning a worker on an unwatched result.
+const statusClientClosed = 499
 
 // errorBody is the JSON envelope of every non-200 response.
 type errorBody struct {
@@ -201,6 +215,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.requests.Add(1)
+	stream := r.URL.Query().Get("stream")
+	if stream != "" && stream != "ndjson" {
+		writeOutcome(w, "", "", errorOutcome(http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("unsupported stream mode %q (only ndjson)", stream), nil))
+		return
+	}
 	var spec hfstream.Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
@@ -213,6 +233,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeOutcome(w, "", "", errorOutcome(http.StatusBadRequest, codeBadRequest, err.Error(), nil))
 		return
 	}
+	if stream == "ndjson" {
+		s.streamRun(w, r, key, spec)
+		return
+	}
 
 	// Fast path: previously served and still resident.
 	if body, ok := s.cache.Get(key); ok {
@@ -221,7 +245,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	out, joined := s.flights.do(key, func() *outcome { return s.runOne(key, spec) })
+	out, joined := s.flights.do(key, func() *outcome { return s.runOne(s.baseCtx, key, spec, nil) })
 	src := out.source
 	if joined {
 		s.coalesced.Add(1)
@@ -232,7 +256,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 // runOne is the flight leader's path: admission control, pool submit,
 // and cache publication. It never runs concurrently for the same key.
-func (s *Server) runOne(key string, spec hfstream.Spec) *outcome {
+// ctx bounds the job (baseCtx for blocking requests, the joined
+// request context for streaming ones); hooks carries streaming
+// progress delivery.
+func (s *Server) runOne(ctx context.Context, key string, spec hfstream.Spec, hooks *streamHooks) *outcome {
 	if s.draining.Load() {
 		s.rejected.Add(1)
 		return errorOutcome(http.StatusServiceUnavailable, codeDraining,
@@ -248,7 +275,7 @@ func (s *Server) runOne(key string, spec hfstream.Spec) *outcome {
 	s.cacheMisses.Add(1)
 
 	ch := make(chan *outcome, 1)
-	err := s.pool.TrySubmit(func() { ch <- runProtected(func() *outcome { return s.run(s.baseCtx, spec) }) })
+	err := s.pool.TrySubmit(func() { ch <- runProtected(func() *outcome { return s.run(ctx, spec, hooks) }) })
 	switch {
 	case errors.Is(err, exp.ErrPoolFull):
 		s.shed.Add(1)
@@ -268,16 +295,27 @@ func (s *Server) runOne(key string, spec hfstream.Spec) *outcome {
 
 // execSpec runs one simulation and classifies its outcome. The response
 // body is exactly what hfstream.WithMetrics writes, which is what makes
-// direct-API and served results byte-comparable.
-func (s *Server) execSpec(ctx context.Context, spec hfstream.Spec) *outcome {
+// direct-API and served results byte-comparable. A non-nil hooks wires
+// the streaming progress callback into the run (progress delivery never
+// changes the metrics bytes — the fast-forward invariant covers
+// progress boundaries, and the differential battery asserts it).
+func (s *Server) execSpec(ctx context.Context, spec hfstream.Spec, hooks *streamHooks) *outcome {
 	s.runs.Add(1)
 	if s.cfg.JobTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 		defer cancel()
 	}
+	opts := []hfstream.RunOpt{}
 	var buf bytes.Buffer
-	res, err := spec.RunCtx(ctx, hfstream.WithMetrics(&buf))
+	opts = append(opts, hfstream.WithMetrics(&buf))
+	if hooks != nil && hooks.progress != nil {
+		opts = append(opts, hfstream.WithProgress(hooks.progress))
+		if hooks.every > 0 {
+			opts = append(opts, hfstream.WithProgressInterval(hooks.every))
+		}
+	}
+	res, err := spec.RunCtx(ctx, opts...)
 	if err != nil {
 		s.failures.Add(1)
 		var dl *hfstream.DeadlockError
@@ -291,6 +329,14 @@ func (s *Server) execSpec(ctx context.Context, spec hfstream.Spec) *outcome {
 			}
 			return errorOutcome(http.StatusUnprocessableEntity, codeDeadlock, err.Error(), diag)
 		case errors.As(err, &ce):
+			// Distinguish the two ways a run's context dies: an expired
+			// per-job budget is a timeout; an upstream cancel (client
+			// disconnect on a streaming request, or a drain deadline) is a
+			// cancellation — the graceful-degradation path, not a fault.
+			if ctx.Err() == context.Canceled {
+				return errorOutcome(statusClientClosed, codeCanceled,
+					"run canceled by its requester: "+err.Error(), nil)
+			}
 			return errorOutcome(http.StatusGatewayTimeout, codeTimeout,
 				fmt.Sprintf("job exceeded its budget (%v): %v", s.cfg.JobTimeout, err), nil)
 		case errors.As(err, &ve):

@@ -124,15 +124,21 @@ func TestServeBadRequests(t *testing.T) {
 }
 
 // gatedServer overrides the run seam with a job that blocks on a gate,
-// so queue occupancy and drain ordering become deterministic.
+// so queue occupancy and drain ordering become deterministic. A run
+// whose context dies before the gate opens resolves to the typed
+// canceled outcome, mirroring execSpec's classification.
 func gatedServer(cfg Config) (*Server, chan struct{}) {
 	s := New(cfg)
 	gate := make(chan struct{})
-	s.run = func(ctx context.Context, spec hfstream.Spec) *outcome {
+	s.run = func(ctx context.Context, spec hfstream.Spec, hooks *streamHooks) *outcome {
 		s.runs.Add(1)
 		select {
 		case <-gate:
 		case <-ctx.Done():
+			if ctx.Err() == context.Canceled {
+				s.failures.Add(1)
+				return errorOutcome(statusClientClosed, codeCanceled, "gated run canceled", nil)
+			}
 		}
 		return &outcome{status: 200, body: []byte(`{"gated":true}` + "\n"), source: "miss", ok: true}
 	}

@@ -1,0 +1,297 @@
+package serve
+
+// Streaming mode: POST /run?stream=ndjson answers with line-delimited
+// JSON events instead of one blocking body, so a client watching a long
+// simulation sees signs of life (progress heartbeats) and the final
+// metrics the moment they exist — the "results flow as they are
+// produced" shape of the paper's streaming workloads, applied to the
+// service itself.
+//
+// The stream is a sequence of typed events, one JSON object per line,
+// with a strictly monotone seq starting at 0:
+//
+//	{"seq":0,"type":"progress","cycle":1000000,"instructions":83133}
+//	{"seq":1,"type":"metrics","key":"ab12…","cache":"miss","status":200,"body":"{…}\n"}
+//	{"seq":2,"type":"done","status":200}
+//
+// Event types:
+//
+//	progress  heartbeat from the running simulation (WithProgress); the
+//	          cadence is the library default (every 1M simulated cycles)
+//	          or the ?progress_every=N query parameter
+//	metrics   one run's result: body carries, as a JSON string, the EXACT
+//	          bytes the non-streaming /run response would have — the
+//	          byte-equivalence the differential battery pins
+//	done      terminal success marker (for /sweep it carries the tallies)
+//	error     a failed run, same typed detail as the non-streaming error
+//	          envelope; terminal for /run, per-cell for /sweep
+//
+// The body rides as a JSON string rather than embedded JSON because
+// encoding/json compacts embedded RawMessage output, and the metrics
+// snapshot is indented; string escaping round-trips the bytes exactly.
+//
+// Cancellation: the run is executed under a context joined to the HTTP
+// request's, so a client disconnect closes sim.Config.Cancel and stops
+// the simulation within its polling bound (1024 cycles) — a canceled
+// run produces an error event with code "canceled" and is never cached.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"hfstream"
+)
+
+// ndjsonContentType labels streaming responses. Each line is one
+// StreamEvent; the stream is flushed after every event.
+const ndjsonContentType = "application/x-ndjson"
+
+// streamEventBuffer bounds progress events queued between the simulation
+// goroutine and the HTTP writer. The progress hook must never block the
+// simulation, so events past the buffer are dropped — heartbeats are
+// advisory; only metrics/done/error events are part of the contract.
+const streamEventBuffer = 256
+
+// Stream event types.
+const (
+	eventProgress = "progress"
+	eventMetrics  = "metrics"
+	eventDone     = "done"
+	eventError    = "error"
+)
+
+// StreamEvent is one NDJSON line of a streaming response (see the
+// package comment above for the per-type field population).
+type StreamEvent struct {
+	Seq  uint64 `json:"seq"`
+	Type string `json:"type"`
+
+	// progress fields.
+	Cycle        uint64 `json:"cycle,omitempty"`
+	Instructions uint64 `json:"instructions,omitempty"`
+
+	// metrics / error fields. Spec is populated on /sweep cell events so
+	// a client can tie a completion back to its grid cell; Key and Cache
+	// are the X-Hfserve-Key / X-Hfserve-Cache equivalents; Body is the
+	// exact non-streaming response body as a JSON string.
+	Spec   *hfstream.Spec `json:"spec,omitempty"`
+	Key    string         `json:"key,omitempty"`
+	Cache  string         `json:"cache,omitempty"`
+	Status int            `json:"status,omitempty"`
+	Body   string         `json:"body,omitempty"`
+	Error  *errorDetail   `json:"error,omitempty"`
+
+	// done tallies (sweep): Cells is the grid size, Ran/Hits/Coalesced
+	// its cache-provenance split, Errors the failed-cell count.
+	Cells     int `json:"cells,omitempty"`
+	Ran       int `json:"ran,omitempty"`
+	Hits      int `json:"hits,omitempty"`
+	Coalesced int `json:"coalesced,omitempty"`
+	Errors    int `json:"errors,omitempty"`
+}
+
+// streamHooks carries the per-request streaming knobs into the run seam:
+// the progress callback (invoked on the simulation goroutine) and its
+// cadence in cycles (0 = library default).
+type streamHooks struct {
+	progress func(hfstream.ProgressEvent)
+	every    uint64
+}
+
+// streamWriter serializes events onto one HTTP response with monotone
+// sequence numbers, flushing after each line. Writes after a client
+// disconnect fail; the writer goes quiet rather than erroring out, and
+// the simulation is stopped through the request context instead.
+type streamWriter struct {
+	w      http.ResponseWriter
+	f      http.Flusher
+	seq    uint64
+	failed bool
+}
+
+func newStreamWriter(w http.ResponseWriter) *streamWriter {
+	sw := &streamWriter{w: w}
+	if f, ok := w.(http.Flusher); ok {
+		sw.f = f
+	}
+	return sw
+}
+
+// begin commits the response: a stream is always HTTP 200 once event
+// delivery starts (failures ride in error events), and the header flush
+// must not wait for the first event — a client watching a long run
+// needs the response open immediately.
+func (sw *streamWriter) begin() {
+	sw.w.WriteHeader(http.StatusOK)
+	if sw.f != nil {
+		sw.f.Flush()
+	}
+}
+
+// send assigns the next sequence number and writes one event line. The
+// seq still advances after a write failure so a partially-received
+// stream never renumbers.
+func (sw *streamWriter) send(ev StreamEvent) {
+	ev.Seq = sw.seq
+	sw.seq++
+	if sw.failed {
+		return
+	}
+	line, err := marshalEvent(ev)
+	if err != nil {
+		sw.failed = true
+		return
+	}
+	if _, err := sw.w.Write(line); err != nil {
+		sw.failed = true
+		return
+	}
+	if sw.f != nil {
+		sw.f.Flush()
+	}
+}
+
+// marshalEvent renders one NDJSON line (object + newline).
+func marshalEvent(ev StreamEvent) ([]byte, error) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// outcomeEvent converts a run outcome into its stream event: a metrics
+// event carrying the exact response body on success, an error event
+// carrying the typed detail otherwise.
+func outcomeEvent(out *outcome, key, source string, spec *hfstream.Spec) StreamEvent {
+	if out.ok {
+		return StreamEvent{
+			Type: eventMetrics, Spec: spec, Key: key, Cache: source,
+			Status: out.status, Body: string(out.body),
+		}
+	}
+	return StreamEvent{
+		Type: eventError, Spec: spec, Key: key,
+		Status: out.status, Error: decodeErrorDetail(out.body),
+	}
+}
+
+// decodeErrorDetail recovers the typed detail from a rendered error
+// envelope so stream events carry structure, not a quoted blob.
+func decodeErrorDetail(body []byte) *errorDetail {
+	var e errorBody
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code == "" {
+		return &errorDetail{Code: codeInternal, Message: string(body)}
+	}
+	return &e.Error
+}
+
+// parseProgressEvery reads the ?progress_every query parameter (cycles
+// between progress events; 0 or absent keeps the library default).
+func parseProgressEvery(r *http.Request) (uint64, bool) {
+	raw := r.URL.Query().Get("progress_every")
+	if raw == "" {
+		return 0, true
+	}
+	n, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// joinRequestContext derives the job context for a streaming request:
+// canceled when the client disconnects (request context) or when the
+// server tears down jobs (baseCtx, the Drain-deadline path), whichever
+// comes first.
+func (s *Server) joinRequestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// streamRun is the streaming half of handleRun: same admission control,
+// cache, coalescing and pool execution as the blocking path (runOne is
+// shared), with progress events interleaved while the leader's
+// simulation runs.
+func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, key string, spec hfstream.Spec) {
+	every, ok := parseProgressEvery(r)
+	if !ok {
+		writeOutcome(w, key, "", errorOutcome(http.StatusBadRequest, codeBadRequest,
+			"progress_every must be a non-negative integer", nil))
+		return
+	}
+	s.streams.Add(1)
+
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.Header().Set("X-Hfserve-Key", key)
+	sw := newStreamWriter(w)
+	sw.begin()
+
+	// Fast path: resident in the cache — one metrics event, no run, no
+	// progress.
+	if body, ok := s.cache.Get(key); ok {
+		s.cacheHits.Add(1)
+		sw.send(outcomeEvent(&outcome{status: http.StatusOK, body: body, ok: true}, key, "hit", nil))
+		sw.send(StreamEvent{Type: eventDone, Status: http.StatusOK})
+		return
+	}
+
+	ctx, cancel := s.joinRequestContext(r)
+	defer cancel()
+
+	// Progress events hop from the simulation goroutine to this writer
+	// through a bounded buffer; the hook never blocks the simulation.
+	events := make(chan hfstream.ProgressEvent, streamEventBuffer)
+	hooks := &streamHooks{every: every, progress: func(ev hfstream.ProgressEvent) {
+		select {
+		case events <- ev:
+		default:
+		}
+	}}
+
+	type flightResult struct {
+		out    *outcome
+		joined bool
+	}
+	res := make(chan flightResult, 1)
+	go func() {
+		out, joined := s.flights.do(key, func() *outcome { return s.runOne(ctx, key, spec, hooks) })
+		res <- flightResult{out, joined}
+	}()
+
+	var fr flightResult
+	waiting := true
+	for waiting {
+		select {
+		case ev := <-events:
+			sw.send(StreamEvent{Type: eventProgress, Cycle: ev.Cycle, Instructions: ev.Instructions})
+		case fr = <-res:
+			waiting = false
+		}
+	}
+	// The simulation finished before the flight resolved, so any events
+	// still buffered precede the outcome; drain them so progress lines
+	// never trail the result.
+	for {
+		select {
+		case ev := <-events:
+			sw.send(StreamEvent{Type: eventProgress, Cycle: ev.Cycle, Instructions: ev.Instructions})
+			continue
+		default:
+		}
+		break
+	}
+
+	src := fr.out.source
+	if fr.joined {
+		s.coalesced.Add(1)
+		src = "coalesced"
+	}
+	sw.send(outcomeEvent(fr.out, key, src, nil))
+	if fr.out.ok {
+		sw.send(StreamEvent{Type: eventDone, Status: http.StatusOK})
+	}
+}
