@@ -23,6 +23,16 @@
 #   make serve-diff-noff - the same with HFSTREAM_NO_FASTFORWARD=1, proving
 #                       progress/streaming delivery is invariant to the
 #                       fast-forward optimization
+#   make serve-cluster - cluster correctness: consistent-hash ring
+#                       properties, peer fill/store/replication, and the
+#                       owner-death degradation race, under the race
+#                       detector, plus the cluster differential rows
+#   make load-smoke   - hfload against in-process 1- and 3-replica
+#                       clusters; fails unless the 3-replica phase shows
+#                       >=2x modeled throughput and live peer cache hits
+#   make bench-serve  - regenerate BENCH_SERVE.json, the serving-tier SLO
+#                       report (latency percentiles, shed rate, hit-ratio
+#                       split, throughput vs replicas)
 #   make ci           - everything CI runs: tier1, race, coverage, formatting,
 #                       goldens (with fast-forward on and off), serve
 #                       differentials, bench regression gate
@@ -51,7 +61,7 @@ GOLDEN_BENCHES = bzip2,adpcmdec
 # real regression. Raise it as coverage grows.
 COVERAGE_BASELINE = 72.0
 
-.PHONY: tier1 vet build test race coverage bench bench-smoke bench-compare gobench ci fmtcheck golden golden-check golden-check-noff serve-diff serve-diff-noff chaos chaos-smoke fuzz-smoke
+.PHONY: tier1 vet build test race coverage bench bench-smoke bench-compare bench-serve gobench ci fmtcheck golden golden-check golden-check-noff serve-diff serve-diff-noff serve-cluster load-smoke chaos chaos-smoke fuzz-smoke
 
 tier1: build vet test
 
@@ -98,7 +108,7 @@ bench-compare:
 gobench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-ci: tier1 race coverage fmtcheck golden-check golden-check-noff serve-diff serve-diff-noff bench-compare chaos-smoke
+ci: tier1 race coverage fmtcheck golden-check golden-check-noff serve-diff serve-diff-noff serve-cluster load-smoke bench-compare chaos-smoke
 
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -129,6 +139,30 @@ serve-diff:
 # the metrics bytes.
 serve-diff-noff:
 	HFSTREAM_NO_FASTFORWARD=1 $(MAKE) serve-diff
+
+# Cluster correctness: ring balance/minimal-movement properties and the
+# peering failure contract (owner death mid-fill degrades to local
+# compute, zero request failures) under the race detector, then the
+# cluster rows of the differential battery (3 replicas byte-identical to
+# the direct API across cold/local-hit/peer-fill/coalesced, and a
+# re-sweep across replicas simulating nothing).
+serve-cluster:
+	$(GO) test -count=1 -race ./serve/cluster/
+	$(GO) test -count=1 -run 'TestDifferentialCluster' .
+
+# hfload smoke: drive in-process 1- and 3-replica clusters and check the
+# SLO report — the 3-replica phase must reach >=2x the single-replica
+# modeled throughput and must have served some requests from the peer
+# cache tier (ratio > 0). See the cmd/hfload doc comment for the
+# per-replica capacity model behind -cap-rps.
+load-smoke:
+	$(GO) run ./cmd/hfload -scale 1,3 -duration 2s -conc 16 -cap-rps 200 \
+		-out /tmp/hfload_smoke.json -min-speedup 2 -min-peer-ratio 0.0001
+
+# Regenerate the checked-in serving-tier SLO report.
+bench-serve:
+	$(GO) run ./cmd/hfload -scale 1,3 -duration 3s -conc 24 -cap-rps 250 \
+		-out BENCH_SERVE.json -label pr8
 
 # Full chaos sweep: 20 seeded workloads x 7 designs x (1 baseline +
 # 6 fault plans). Any failure prints a single-case replay command.

@@ -1,0 +1,616 @@
+// Command hfload drives an hfserve cluster at configurable offered load
+// and Zipf key skew, and emits an SLO report (latency percentiles, shed
+// rate, cache-hit ratio split local/peer, throughput vs replicas) as
+// JSON — BENCH_SERVE.json when checked in, giving serving performance
+// the same tracked trajectory the kernel has in BENCH_PR3/PR6.json.
+//
+// Two modes:
+//
+//	hfload -scale 1,3 ...        in-process mode (default): for each listed
+//	                             replica count, spin up that many peered
+//	                             serve.Server replicas on ephemeral ports,
+//	                             drive the same seeded workload at each
+//	                             scale, and report throughput scaling.
+//	hfload -urls http://a,http://b ...
+//	                             external mode: drive already-running
+//	                             replicas (one phase, no capacity model).
+//
+// The workload is a closed loop: -conc workers each pick a spec from the
+// (benches x designs x single x stages) cell universe via a seeded Zipf
+// draw (-skew; sweeps make some specs orders of magnitude hotter than
+// others, and Zipf models that), round-robin across replicas — a
+// load-balancer's view of the cluster — and issue /v1/run through the
+// typed serve/client package.
+//
+// Capacity model (-cap-rps, in-process mode only): the in-process
+// harness co-locates every replica on one machine, so raw CPU cannot
+// scale with the replica count — on a single box, three replicas share
+// the same cores one replica had. What CAN be measured end to end is
+// whether the cluster layer (consistent-hash routing, peer cache fill,
+// hot-key convergence, failure degradation) preserves linear scaling of
+// per-replica capacity, or taxes it. So each in-process replica admits
+// client requests through a token-bucket pacer modeling a fixed
+// per-instance capacity of -cap-rps requests/sec (peer-tier and metrics
+// endpoints are never paced — they are cluster-internal). A 3-replica
+// phase then sustains ~3x the single-replica throughput exactly when
+// the cluster layer adds no serialization, sheds nothing, and serves
+// every key from the shared cache tier — which is the claim under test,
+// and what the checked-in BENCH_SERVE.json demonstrates. The model
+// constant is recorded in the report as config.cap_rps.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"hfstream"
+	"hfstream/serve"
+	"hfstream/serve/client"
+	"hfstream/serve/cluster"
+)
+
+func main() {
+	var (
+		scaleFlag   = flag.String("scale", "1,3", "in-process mode: comma list of replica counts to phase through")
+		urlsFlag    = flag.String("urls", "", "external mode: comma list of replica base URLs (disables -scale)")
+		benchesFlag = flag.String("benches", "bzip2,adpcmdec", "comma list of benchmarks, or *")
+		designsFlag = flag.String("designs", "*", "comma list of design points, or *")
+		single      = flag.Bool("single", true, "include each benchmark's single-threaded baseline cell")
+		stagesFlag  = flag.String("stages", "", "comma list of staged-pipeline stage counts to add per (bench,design)")
+		conc        = flag.Int("conc", 24, "closed-loop worker count (offered concurrency)")
+		duration    = flag.Duration("duration", 3*time.Second, "measurement duration per phase")
+		skew        = flag.Float64("skew", 1.2, "Zipf skew s (> 1) over the spec universe")
+		seed        = flag.Int64("seed", 1, "workload seed (per-worker streams derive from it)")
+		capRPS      = flag.Float64("cap-rps", 250, "modeled per-replica admission capacity in req/s (in-process mode; 0 disables)")
+		workers     = flag.Int("workers", 1, "per-replica simulation pool size (in-process mode)")
+		queueDepth  = flag.Int("queue", serve.DefaultQueueDepth, "per-replica job queue depth (in-process mode)")
+		cacheMB     = flag.Int64("cache-mb", 64, "per-replica result cache budget in MiB (in-process mode)")
+		replication = flag.Int("replication", cluster.DefaultReplication, "owner shards per key for peer fill/store")
+		peerTimeout = flag.Duration("peer-timeout", cluster.DefaultFillTimeout, "per-attempt peer fill budget")
+		outPath     = flag.String("out", "BENCH_SERVE.json", "report path, or - for stdout")
+		label       = flag.String("label", "serve", "report label")
+		minSpeedup  = flag.Float64("min-speedup", 0, "exit 1 unless the last phase's throughput is at least this multiple of the first's")
+		minPeerHit  = flag.Float64("min-peer-ratio", 0, "exit 1 unless some multi-replica phase's peer-hit ratio exceeds this")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cells, err := expandCells(*benchesFlag, *designsFlag, *single, *stagesFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *skew <= 1 {
+		fatal(fmt.Errorf("-skew must be > 1 (Zipf s parameter), got %v", *skew))
+	}
+
+	load := loadConfig{
+		cells:    cells,
+		conc:     *conc,
+		duration: *duration,
+		skew:     *skew,
+		seed:     *seed,
+	}
+
+	rep := report{
+		Label:       *label,
+		GoVersion:   runtime.Version(),
+		FastForward: os.Getenv("HFSTREAM_NO_FASTFORWARD") == "",
+	}
+	rep.Config.Benches = splitList(*benchesFlag)
+	rep.Config.Designs = splitList(*designsFlag)
+	rep.Config.Single = *single
+	rep.Config.Stages = mustStages(*stagesFlag)
+	rep.Config.Cells = len(cells)
+	rep.Config.Conc = *conc
+	rep.Config.DurationSec = duration.Seconds()
+	rep.Config.Skew = *skew
+	rep.Config.Seed = *seed
+	rep.Config.CapRPS = *capRPS
+	rep.Config.WorkersPerReplica = *workers
+	rep.Config.Replication = *replication
+
+	if *urlsFlag != "" {
+		urls := splitList(*urlsFlag)
+		clients := make([]*client.Client, len(urls))
+		for i, u := range urls {
+			clients[i] = client.New(u, client.WithHTTPClient(loadHTTPClient(*conc)))
+		}
+		rep.Config.CapRPS = 0 // external replicas have real capacity
+		ph := runPhase(ctx, clients, load)
+		ph.Replicas = len(urls)
+		rep.Phases = append(rep.Phases, ph)
+	} else {
+		scales, err := parseInts(*scaleFlag)
+		if err != nil || len(scales) == 0 {
+			fatal(fmt.Errorf("bad -scale %q: want a comma list of replica counts", *scaleFlag))
+		}
+		for _, n := range scales {
+			ph, err := runInprocPhase(ctx, n, inprocConfig{
+				workers:     *workers,
+				queueDepth:  *queueDepth,
+				cacheBytes:  *cacheMB << 20,
+				replication: *replication,
+				peerTimeout: *peerTimeout,
+				capRPS:      *capRPS,
+			}, load)
+			if err != nil {
+				fatal(err)
+			}
+			rep.Phases = append(rep.Phases, ph)
+		}
+	}
+
+	for i := range rep.Phases {
+		if base := rep.Phases[0].ThroughputRPS; base > 0 {
+			rep.Phases[i].SpeedupVsFirst = rep.Phases[i].ThroughputRPS / base
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *outPath == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hfload: wrote %s\n", *outPath)
+	}
+	for _, ph := range rep.Phases {
+		fmt.Fprintf(os.Stderr,
+			"hfload: replicas=%d throughput=%.1f rps p50=%.2fms p95=%.2fms p99=%.2fms shed=%.3f local=%.3f peer=%.3f speedup=%.2fx\n",
+			ph.Replicas, ph.ThroughputRPS, ph.P50Ms, ph.P95Ms, ph.P99Ms,
+			ph.ShedRate, ph.HitRatioLocal, ph.HitRatioPeer, ph.SpeedupVsFirst)
+	}
+
+	// SLO checks (CI smoke): the report must demonstrate scaling and a
+	// live peer cache tier, or the job fails loudly.
+	ok := true
+	if *minSpeedup > 0 {
+		last := rep.Phases[len(rep.Phases)-1]
+		if last.SpeedupVsFirst < *minSpeedup {
+			fmt.Fprintf(os.Stderr, "hfload: FAIL speedup %.2fx < required %.2fx\n", last.SpeedupVsFirst, *minSpeedup)
+			ok = false
+		}
+	}
+	if *minPeerHit > 0 {
+		best := 0.0
+		for _, ph := range rep.Phases {
+			if ph.Replicas > 1 && ph.HitRatioPeer > best {
+				best = ph.HitRatioPeer
+			}
+		}
+		if best <= *minPeerHit {
+			fmt.Fprintf(os.Stderr, "hfload: FAIL peer-hit ratio %.4f <= required %.4f\n", best, *minPeerHit)
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hfload:", err)
+	os.Exit(2)
+}
+
+func splitList(raw string) []string {
+	var out []string
+	for _, s := range strings.Split(raw, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func parseInts(raw string) ([]int, error) {
+	var out []int
+	for _, s := range splitList(raw) {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count %q", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func mustStages(raw string) []int {
+	st, err := parseInts(raw)
+	if raw != "" && err != nil {
+		fatal(fmt.Errorf("bad -stages: %v", err))
+	}
+	return st
+}
+
+// expandCells builds the normalized spec universe the Zipf draw indexes
+// — the same grid semantics as /v1/sweep.
+func expandCells(benchesRaw, designsRaw string, single bool, stagesRaw string) ([]hfstream.Spec, error) {
+	benches := splitList(benchesRaw)
+	if len(benches) == 1 && benches[0] == "*" {
+		benches = benches[:0]
+		for _, b := range hfstream.Benchmarks() {
+			benches = append(benches, b.Name())
+		}
+	}
+	designs := splitList(designsRaw)
+	if len(designs) == 1 && designs[0] == "*" {
+		designs = designs[:0]
+		for _, d := range hfstream.Designs() {
+			designs = append(designs, d.Name())
+		}
+	}
+	stages := mustStages(stagesRaw)
+	var cells []hfstream.Spec
+	add := func(s hfstream.Spec) error {
+		n, err := s.Normalize()
+		if err != nil {
+			return err
+		}
+		cells = append(cells, n)
+		return nil
+	}
+	for _, bench := range benches {
+		if single {
+			if err := add(hfstream.Spec{Bench: bench, Single: true}); err != nil {
+				return nil, err
+			}
+		}
+		for _, design := range designs {
+			if err := add(hfstream.Spec{Bench: bench, Design: design}); err != nil {
+				return nil, err
+			}
+			for _, st := range stages {
+				if err := add(hfstream.Spec{Bench: bench, Design: design, Stages: st}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("empty spec universe: need benches and designs (or -single)")
+	}
+	return cells, nil
+}
+
+func loadHTTPClient(conc int) *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        conc * 2,
+		MaxIdleConnsPerHost: conc,
+	}}
+}
+
+// ---- report schema --------------------------------------------------
+
+type report struct {
+	Label       string `json:"label"`
+	GoVersion   string `json:"go_version"`
+	FastForward bool   `json:"fast_forward"`
+	Config      struct {
+		Benches           []string `json:"benches"`
+		Designs           []string `json:"designs"`
+		Single            bool     `json:"single"`
+		Stages            []int    `json:"stages,omitempty"`
+		Cells             int      `json:"cells"`
+		Conc              int      `json:"conc"`
+		DurationSec       float64  `json:"duration_sec"`
+		Skew              float64  `json:"zipf_skew"`
+		Seed              int64    `json:"seed"`
+		CapRPS            float64  `json:"cap_rps"`
+		WorkersPerReplica int      `json:"workers_per_replica"`
+		Replication       int      `json:"replication"`
+	} `json:"config"`
+	Phases []phaseReport `json:"phases"`
+}
+
+type phaseReport struct {
+	Replicas  int `json:"replicas"`
+	Requests  int `json:"requests"`
+	Succeeded int `json:"succeeded"`
+
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	SpeedupVsFirst float64 `json:"speedup_vs_first"`
+	P50Ms          float64 `json:"p50_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+
+	Shed     int     `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
+	Errors   int     `json:"errors"`
+
+	// Cache provenance split over successful responses: Misses were
+	// fresh simulations, HitsLocal served from the replica's own cache,
+	// HitsPeer filled from the cluster cache tier, Coalesced joined a
+	// concurrent identical request.
+	Misses        int     `json:"misses"`
+	HitsLocal     int     `json:"hits_local"`
+	HitsPeer      int     `json:"hits_peer"`
+	Coalesced     int     `json:"coalesced"`
+	HitRatioLocal float64 `json:"hit_ratio_local"`
+	HitRatioPeer  float64 `json:"hit_ratio_peer"`
+
+	// Sims is the per-replica simulation count — across the phase, every
+	// distinct key should be simulated once cluster-wide once peering
+	// converges.
+	Sims []uint64 `json:"sims_per_replica,omitempty"`
+	// Peer aggregates the peering-tier counters over all replicas.
+	Peer *serve.PeerStats `json:"peer,omitempty"`
+}
+
+// ---- load loop ------------------------------------------------------
+
+type loadConfig struct {
+	cells    []hfstream.Spec
+	conc     int
+	duration time.Duration
+	skew     float64
+	seed     int64
+}
+
+type workerTally struct {
+	latencies []float64 // ms, successes only
+	succeeded int
+	shed      int
+	errors    int
+	misses    int
+	hitsLocal int
+	hitsPeer  int
+	coalesced int
+}
+
+// runPhase drives the closed loop against the given replica clients and
+// aggregates the SLO numbers.
+func runPhase(ctx context.Context, clients []*client.Client, load loadConfig) phaseReport {
+	var rr atomic.Uint64
+	tallies := make([]workerTally, load.conc)
+	start := time.Now()
+	deadline := start.Add(load.duration)
+
+	var wg sync.WaitGroup
+	for w := 0; w < load.conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tally := &tallies[w]
+			rng := rand.New(rand.NewSource(load.seed*1000 + int64(w)))
+			zipf := rand.NewZipf(rng, load.skew, 1, uint64(len(load.cells)-1))
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				spec := load.cells[zipf.Uint64()]
+				cl := clients[rr.Add(1)%uint64(len(clients))]
+				t0 := time.Now()
+				res, err := cl.Run(ctx, spec)
+				lat := time.Since(t0)
+				if err != nil {
+					var apiErr *client.APIError
+					if errors.As(err, &apiErr) && apiErr.Detail.Code == "queue_full" {
+						tally.shed++
+					} else if ctx.Err() == nil {
+						tally.errors++
+					}
+					continue
+				}
+				tally.succeeded++
+				tally.latencies = append(tally.latencies, float64(lat.Microseconds())/1000)
+				switch res.Cache {
+				case "hit":
+					tally.hitsLocal++
+				case "peer":
+					tally.hitsPeer++
+				case "coalesced":
+					tally.coalesced++
+				default:
+					tally.misses++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var ph phaseReport
+	ph.Replicas = len(clients)
+	var all []float64
+	for i := range tallies {
+		t := &tallies[i]
+		ph.Succeeded += t.succeeded
+		ph.Shed += t.shed
+		ph.Errors += t.errors
+		ph.Misses += t.misses
+		ph.HitsLocal += t.hitsLocal
+		ph.HitsPeer += t.hitsPeer
+		ph.Coalesced += t.coalesced
+		all = append(all, t.latencies...)
+	}
+	ph.Requests = ph.Succeeded + ph.Shed + ph.Errors
+	ph.ThroughputRPS = float64(ph.Succeeded) / elapsed.Seconds()
+	if ph.Requests > 0 {
+		ph.ShedRate = float64(ph.Shed) / float64(ph.Requests)
+	}
+	if ph.Succeeded > 0 {
+		ph.HitRatioLocal = float64(ph.HitsLocal) / float64(ph.Succeeded)
+		ph.HitRatioPeer = float64(ph.HitsPeer) / float64(ph.Succeeded)
+	}
+	sort.Float64s(all)
+	ph.P50Ms = percentile(all, 0.50)
+	ph.P95Ms = percentile(all, 0.95)
+	ph.P99Ms = percentile(all, 0.99)
+	return ph
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// ---- in-process cluster harness -------------------------------------
+
+type inprocConfig struct {
+	workers     int
+	queueDepth  int
+	cacheBytes  int64
+	replication int
+	peerTimeout time.Duration
+	capRPS      float64
+}
+
+type replicaProc struct {
+	id      string
+	srv     *serve.Server
+	peering *cluster.Peering
+	httpSrv *http.Server
+	url     string
+}
+
+// pacer is the per-replica admission capacity model: a token bucket at
+// a fixed rate with single-token grain, implemented as virtual-time
+// pacing. It applies only to client-facing run/sweep traffic.
+type pacer struct {
+	mu       sync.Mutex
+	next     time.Time
+	interval time.Duration
+}
+
+func (p *pacer) wait() {
+	p.mu.Lock()
+	now := time.Now()
+	if p.next.Before(now) {
+		p.next = now
+	}
+	sleep := p.next.Sub(now)
+	p.next = p.next.Add(p.interval)
+	p.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+}
+
+func pacedHandler(h http.Handler, capRPS float64) http.Handler {
+	if capRPS <= 0 {
+		return h
+	}
+	p := &pacer{interval: time.Duration(float64(time.Second) / capRPS)}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasSuffix(r.URL.Path, "/run"), strings.HasSuffix(r.URL.Path, "/sweep"):
+			p.wait()
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// runInprocPhase builds an n-replica peered cluster on ephemeral ports,
+// drives the load, and tears the cluster down.
+func runInprocPhase(ctx context.Context, n int, cfg inprocConfig, load loadConfig) (phaseReport, error) {
+	listeners := make([]net.Listener, n)
+	urls := make(map[string]string, n)
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return phaseReport{}, err
+		}
+		listeners[i] = ln
+		ids[i] = fmt.Sprintf("r%d", i)
+		urls[ids[i]] = "http://" + ln.Addr().String()
+	}
+
+	replicas := make([]*replicaProc, n)
+	for i := 0; i < n; i++ {
+		var peering *cluster.Peering
+		if n > 1 {
+			var err error
+			peering, err = cluster.New(cluster.Config{
+				Self:        ids[i],
+				Peers:       urls,
+				Replication: cfg.replication,
+				FillTimeout: cfg.peerTimeout,
+				HTTPClient:  loadHTTPClient(load.conc),
+			})
+			if err != nil {
+				return phaseReport{}, err
+			}
+		}
+		sCfg := serve.Config{
+			Workers:    cfg.workers,
+			QueueDepth: cfg.queueDepth,
+			CacheBytes: cfg.cacheBytes,
+		}
+		if peering != nil {
+			sCfg.Peer = peering
+		}
+		srv := serve.New(sCfg)
+		httpSrv := &http.Server{Handler: pacedHandler(srv.Handler(), cfg.capRPS)}
+		replicas[i] = &replicaProc{
+			id: ids[i], srv: srv, peering: peering, httpSrv: httpSrv, url: urls[ids[i]],
+		}
+		go httpSrv.Serve(listeners[i])
+	}
+	defer func() {
+		for _, r := range replicas {
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			r.httpSrv.Shutdown(shutdownCtx)
+			r.srv.Drain(shutdownCtx)
+			if r.peering != nil {
+				r.peering.Close()
+			}
+			cancel()
+		}
+	}()
+
+	clients := make([]*client.Client, n)
+	hc := loadHTTPClient(load.conc)
+	for i, r := range replicas {
+		clients[i] = client.New(r.url, client.WithHTTPClient(hc))
+	}
+
+	ph := runPhase(ctx, clients, load)
+	ph.Replicas = n
+	var peerAgg serve.PeerStats
+	for _, r := range replicas {
+		m := r.srv.Metrics()
+		ph.Sims = append(ph.Sims, m.Runs)
+		if m.Peer != nil {
+			peerAgg.Replicas = m.Peer.Replicas
+			peerAgg.Fills += m.Peer.Fills
+			peerAgg.Hits += m.Peer.Hits
+			peerAgg.Misses += m.Peer.Misses
+			peerAgg.Errors += m.Peer.Errors
+			peerAgg.Timeouts += m.Peer.Timeouts
+			peerAgg.SkippedDown += m.Peer.SkippedDown
+			peerAgg.Stores += m.Peer.Stores
+			peerAgg.StoreErrors += m.Peer.StoreErrors
+			peerAgg.StoreDropped += m.Peer.StoreDropped
+			peerAgg.PeersDown += m.Peer.PeersDown
+		}
+	}
+	if n > 1 {
+		ph.Peer = &peerAgg
+	}
+	return ph, nil
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	hfstream "hfstream"
+)
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want []string
+	}{
+		{"", nil},
+		{" , ,", nil},
+		{"a,b", []string{"a", "b"}},
+		{" a , b ,", []string{"a", "b"}},
+	}
+	for _, c := range cases {
+		got := splitList(c.raw)
+		if len(got) != len(c.want) {
+			t.Fatalf("splitList(%q) = %v, want %v", c.raw, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("splitList(%q) = %v, want %v", c.raw, got, c.want)
+			}
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 3,8")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 8 {
+		t.Fatalf("parseInts = %v, %v", got, err)
+	}
+	for _, bad := range []string{"x", "0", "-2", "1,x"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Fatalf("parseInts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestExpandCells(t *testing.T) {
+	// Explicit benches x designs, plus single and a staged variant:
+	// 1 bench x (1 single + 2 designs + 2 staged) = 5 cells.
+	cells, err := expandCells("bzip2", "EXISTING,SYNCOPTI", true, "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 5 {
+		t.Fatalf("got %d cells, want 5", len(cells))
+	}
+	for _, c := range cells {
+		if _, err := c.Key(); err != nil {
+			t.Fatalf("cell %+v has no key: %v", c, err)
+		}
+	}
+
+	// Wildcards expand to the full registries.
+	all, err := expandCells("*", "*", false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(hfstream.Benchmarks()) * len(hfstream.Designs())
+	if len(all) != want {
+		t.Fatalf("wildcard universe = %d cells, want %d", len(all), want)
+	}
+
+	if _, err := expandCells("nosuchbench", "EXISTING", false, ""); err == nil {
+		t.Fatal("unknown bench accepted")
+	}
+	if _, err := expandCells("bzip2", "", false, ""); err == nil {
+		t.Fatal("empty universe accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(sorted, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := percentile(sorted, 1); got != 10 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := percentile(sorted, 0.5); got != 5 {
+		t.Fatalf("p50 = %v", got)
+	}
+}
+
+func TestPacerPacesToRate(t *testing.T) {
+	// 1000 tokens/sec: 30 sequential waits past the first must take at
+	// least ~29 ms of virtual time.
+	p := &pacer{interval: time.Millisecond}
+	start := time.Now()
+	for i := 0; i < 30; i++ {
+		p.wait()
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("30 waits at 1ms interval took only %v", elapsed)
+	}
+}
+
+func TestPacedHandlerScopesToRunAndSweep(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	if got := pacedHandler(inner, 0); got == nil {
+		t.Fatal("capRPS<=0 must still return a handler")
+	}
+
+	// 20 rps = 50 ms interval. Metrics-path requests are never paced;
+	// back-to-back /run requests are.
+	h := pacedHandler(inner, 20)
+	get := func(path string) time.Duration {
+		t0 := time.Now()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusNoContent {
+			t.Fatalf("GET %s = %d", path, rec.Code)
+		}
+		return time.Since(t0)
+	}
+	get("/v1/run") // may consume the initial token
+	if d := get("/v1/metrics"); d > 25*time.Millisecond {
+		t.Fatalf("metrics path was paced: %v", d)
+	}
+	if d := get("/v1/run"); d < 25*time.Millisecond {
+		t.Fatalf("second /v1/run not paced: %v", d)
+	}
+}
+
+// TestRunInprocPhases drives the same harness main uses: a 1-replica
+// phase and a 3-replica peered phase over a tiny working set. This is a
+// functional smoke (the SLO thresholds live in make load-smoke); here we
+// only assert the closed loop works and the tallies are coherent.
+func TestRunInprocPhases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real simulations")
+	}
+	cells, err := expandCells("bzip2", "EXISTING,MEMOPTI", true, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := loadConfig{cells: cells, conc: 4, duration: 400 * time.Millisecond, skew: 1.2, seed: 1}
+	cfg := inprocConfig{
+		workers:     1,
+		queueDepth:  64,
+		cacheBytes:  8 << 20,
+		replication: 2,
+		peerTimeout: 250 * time.Millisecond,
+		capRPS:      0, // uncapped: this test is about correctness, not modeling
+	}
+
+	ph1, err := runInprocPhase(context.Background(), 1, cfg, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph1.Replicas != 1 || ph1.Succeeded == 0 || ph1.Errors != 0 {
+		t.Fatalf("1-replica phase: %+v", ph1)
+	}
+	if ph1.Requests != ph1.Succeeded+ph1.Shed+ph1.Errors {
+		t.Fatalf("tally mismatch: %+v", ph1)
+	}
+	if ph1.Peer != nil {
+		t.Fatal("single replica must not report peer stats")
+	}
+	if len(ph1.Sims) != 1 || ph1.Sims[0] == 0 || ph1.Sims[0] > uint64(len(cells)) {
+		t.Fatalf("sims per replica = %v, want 1..%d sims on 1 replica", ph1.Sims, len(cells))
+	}
+	if ph1.P50Ms < 0 || ph1.P99Ms < ph1.P50Ms {
+		t.Fatalf("percentiles incoherent: %+v", ph1)
+	}
+
+	ph3, err := runInprocPhase(context.Background(), 3, cfg, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph3.Replicas != 3 || ph3.Succeeded == 0 || ph3.Errors != 0 {
+		t.Fatalf("3-replica phase: %+v", ph3)
+	}
+	if len(ph3.Sims) != 3 {
+		t.Fatalf("sims per replica = %v, want 3 entries", ph3.Sims)
+	}
+	if ph3.Peer == nil || ph3.Peer.Replicas != 3 {
+		t.Fatalf("clustered phase must aggregate peer stats: %+v", ph3.Peer)
+	}
+	if got := ph3.Misses + ph3.HitsLocal + ph3.HitsPeer + ph3.Coalesced; got != ph3.Succeeded {
+		t.Fatalf("provenance split %d != succeeded %d", got, ph3.Succeeded)
+	}
+}

@@ -1,32 +1,49 @@
 // Command hfserve runs the simulation service: an HTTP JSON frontend
 // over the deterministic simulator with content-addressed result
-// caching, request coalescing, bounded-queue load shedding and graceful
-// drain (see package serve and the README "Serving" section).
+// caching, request coalescing, bounded-queue load shedding, graceful
+// drain, and optional cluster cache peering (see package serve, package
+// serve/cluster, serve/API.md and the README "Serving" / "Cluster
+// serving" sections).
 //
 // Usage:
 //
 //	hfserve -addr :8080
 //	hfserve -addr :8080 -workers 8 -queue 128 -cache-mb 256 -timeout 2m
+//	hfserve -addr :0 -id r0 -peers r1=http://h1:8080,r2=http://h2:8080
 //
-// Endpoints:
+// Endpoints (versioned under /v1/, with the legacy unversioned paths
+// kept as aliases; full wire contract in serve/API.md):
 //
-//	POST /run                {"bench":"wc","design":"SYNCOPTI"} -> metrics JSON
-//	POST /run?stream=ndjson  same spec -> NDJSON event stream: progress
-//	                         heartbeats while the simulation runs
-//	                         (?progress_every=N sets the cycle cadence),
-//	                         then a metrics event whose body field holds
-//	                         the exact non-streaming response bytes, then
-//	                         done; failures arrive as typed error events.
-//	                         Disconnecting cancels the simulation.
-//	POST /sweep              {"benches":["*"],"designs":["*"],"single":true,
-//	                         "stages":[3]} -> NDJSON stream of per-cell
-//	                         metrics/error events in completion order plus
-//	                         a closing done event with run/hit/coalesced
-//	                         tallies. Cells share the /run result cache,
-//	                         so re-submitting a sweep only simulates the
-//	                         misses.
-//	GET  /metrics            service counters
-//	GET  /healthz            liveness (503 once draining)
+//	POST /v1/run                {"bench":"wc","design":"SYNCOPTI"} -> metrics JSON
+//	POST /v1/run?stream=ndjson  same spec -> NDJSON event stream: progress
+//	                            heartbeats while the simulation runs
+//	                            (?progress_every=N sets the cycle cadence),
+//	                            then a metrics event whose body field holds
+//	                            the exact non-streaming response bytes, then
+//	                            done; failures arrive as typed error events.
+//	                            Disconnecting cancels the simulation.
+//	POST /v1/sweep              {"benches":["*"],"designs":["*"],"single":true,
+//	                            "stages":[3]} -> NDJSON stream of per-cell
+//	                            metrics/error events in completion order plus
+//	                            a closing done event with run/hit/peer/
+//	                            coalesced tallies. Cells share the /v1/run
+//	                            result cache, so re-submitting a sweep only
+//	                            simulates the misses.
+//	GET  /v1/metrics            service counters (incl. peering when clustered)
+//	GET  /v1/healthz            liveness (503 once draining)
+//	GET  /v1/peer/{key}         cluster-internal cache tier: cached bytes for
+//	                            a Spec.Key (404 not_cached; never simulates)
+//	PUT  /v1/peer/{key}         cluster-internal: install a peer's result
+//
+// Clustering: give each replica an -id and the full -peers membership
+// list (id=url pairs). On a local cache miss the replica asks the key's
+// consistent-hash owner shard for the bytes before simulating, and
+// publishes fresh results back to the owners; a dead or slow peer only
+// ever degrades a request to local compute (see RESILIENCE.md).
+//
+// With -addr :0 the kernel picks the port; the resolved address is
+// printed to stdout as "hfserve: listening on HOST:PORT" so scripts and
+// tests can spin up ephemeral-port replicas without races.
 //
 // On SIGINT/SIGTERM the server stops accepting work (new /run requests
 // get a typed 503), finishes queued and in-flight simulations within the
@@ -39,23 +56,51 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"hfstream/serve"
+	"hfstream/serve/cluster"
 )
+
+// parsePeers decodes the -peers flag: comma-separated id=url pairs.
+func parsePeers(raw string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, pair := range strings.Split(raw, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(pair, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", pair)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate peer id %q", id)
+		}
+		peers[id] = url
+	}
+	return peers, nil
+}
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
+		addr    = flag.String("addr", ":8080", "listen address (:0 picks an ephemeral port and prints it)")
 		workers = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		queue   = flag.Int("queue", serve.DefaultQueueDepth, "max jobs queued before shedding with 429")
 		cacheMB = flag.Int64("cache-mb", serve.DefaultCacheBytes>>20, "result cache budget in MiB (negative disables)")
 		timeout = flag.Duration("timeout", serve.DefaultJobTimeout, "per-job wall-clock budget")
 		grace   = flag.Duration("grace", 30*time.Second, "drain budget after SIGTERM before in-flight jobs are canceled")
+
+		id          = flag.String("id", "", "this replica's cluster id (required with -peers)")
+		peersFlag   = flag.String("peers", "", "cluster membership as id=url,id=url (other replicas)")
+		replication = flag.Int("replication", cluster.DefaultReplication, "owner shards per key for peer fill/store")
+		peerTimeout = flag.Duration("peer-timeout", cluster.DefaultFillTimeout, "per-attempt peer cache fill budget")
 	)
 	flag.Parse()
 
@@ -63,20 +108,60 @@ func main() {
 	if *cacheMB < 0 {
 		cacheBytes = -1
 	}
-	s := serve.New(serve.Config{
+
+	var peering *cluster.Peering
+	if *peersFlag != "" {
+		if *id == "" {
+			fmt.Fprintln(os.Stderr, "hfserve: -peers requires -id")
+			os.Exit(2)
+		}
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfserve:", err)
+			os.Exit(2)
+		}
+		peering, err = cluster.New(cluster.Config{
+			Self:        *id,
+			Peers:       peers,
+			Replication: *replication,
+			FillTimeout: *peerTimeout,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfserve:", err)
+			os.Exit(2)
+		}
+	}
+
+	cfg := serve.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheBytes: cacheBytes,
 		JobTimeout: *timeout,
-	})
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	}
+	if peering != nil {
+		cfg.Peer = peering
+	}
+	s := serve.New(cfg)
+	httpSrv := &http.Server{Handler: s.Handler()}
+
+	// Listen before serving so -addr :0 resolves to a concrete port we
+	// can announce; tests and hfload parse this line to find the replica.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("hfserve: listening on %s\n", ln.Addr())
+	if peering != nil {
+		fmt.Fprintf(os.Stderr, "hfserve: cluster replica %s, ring %v (replication %d)\n",
+			*id, peering.Ring().IDs(), *replication)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "hfserve: listening on %s\n", *addr)
+	go func() { errCh <- httpSrv.Serve(ln) }()
 
 	select {
 	case err := <-errCh:
@@ -99,6 +184,14 @@ func main() {
 	if err := s.Drain(graceCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "hfserve: drain:", err)
 		failed = true
+	}
+	if peering != nil {
+		// Push any queued result publications out so the owners keep the
+		// bytes this replica computed, then stop the store workers.
+		if err := peering.Flush(graceCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "hfserve: peer store flush:", err)
+		}
+		peering.Close()
 	}
 	if failed {
 		os.Exit(1)

@@ -7,7 +7,10 @@ package hfstream_test
 //	(a) serial vs parallel experiment runner,
 //	(b) fast-forwarding kernel vs per-cycle kernel,
 //	(c) direct library API vs a serve/ HTTP round trip (cold, cached,
-//	    and the single-threaded and staged modes).
+//	    and the single-threaded and staged modes),
+//	(d) a 3-replica peered cluster vs the direct API, across the cold,
+//	    local-hit, peer-fill and coalesced provenances, with each cell
+//	    simulated exactly once cluster-wide.
 //
 // Before this file the invariants were only checked pairwise in
 // scattered places (golden-check-noff in CI, runner tests); here they
@@ -15,24 +18,28 @@ package hfstream_test
 // benchmarks the golden snapshots cover — the fastest of the nine — so
 // the battery stays cheap enough for tier 1. This file is an external
 // test (package hfstream_test) because it imports serve, which itself
-// imports hfstream.
+// imports hfstream. All HTTP traffic goes through the typed
+// serve/client package — the battery doubles as that client's
+// integration test.
 
 import (
-	"bufio"
 	"bytes"
 	"context"
-	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"hfstream"
 	"hfstream/internal/design"
 	"hfstream/internal/exp"
 	"hfstream/internal/sim"
 	"hfstream/serve"
+	"hfstream/serve/client"
+	"hfstream/serve/cluster"
 )
 
 var diffBenches = []string{"bzip2", "adpcmdec"}
@@ -112,6 +119,31 @@ func referenceMatrix(t *testing.T) map[string][]byte {
 	return ref
 }
 
+// diffSpecCases is the served view of the grid: the same cells as
+// diffJobs, as public Specs keyed by the reference-matrix name.
+func diffSpecCases() []struct {
+	name string
+	spec hfstream.Spec
+} {
+	var cases []struct {
+		name string
+		spec hfstream.Spec
+	}
+	for _, bench := range diffBenches {
+		cases = append(cases, struct {
+			name string
+			spec hfstream.Spec
+		}{bench + "/single", hfstream.Spec{Bench: bench, Single: true}})
+		for _, d := range hfstream.Designs() {
+			cases = append(cases, struct {
+				name string
+				spec hfstream.Spec
+			}{bench + "/" + d.Name(), hfstream.Spec{Bench: bench, Design: d.Name()}})
+		}
+	}
+	return cases
+}
+
 func TestDifferentialSerialVsParallelRunner(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full grid")
@@ -162,6 +194,17 @@ func TestDifferentialFastForwardInvariance(t *testing.T) {
 	}
 }
 
+// mustRun executes spec through the typed client and fails the test on
+// any error.
+func mustRun(t *testing.T, cl *client.Client, spec hfstream.Spec) *client.RunResult {
+	t.Helper()
+	res, err := cl.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("client.Run(%+v): %v", spec, err)
+	}
+	return res
+}
+
 func TestDifferentialServeRoundTrip(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full grid")
@@ -169,48 +212,22 @@ func TestDifferentialServeRoundTrip(t *testing.T) {
 	ref := referenceMatrix(t)
 	ts := httptest.NewServer(serve.New(serve.Config{Workers: 2}).Handler())
 	defer ts.Close()
+	cl := client.New(ts.URL)
 
-	postSpec := func(body string) (int, []byte, string) {
-		t.Helper()
-		resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
-		if err != nil {
-			t.Fatal(err)
+	for _, c := range diffSpecCases() {
+		cold := mustRun(t, cl, c.spec)
+		if cold.Cache != "miss" {
+			t.Fatalf("%s cold: cache=%q", c.name, cold.Cache)
 		}
-		defer resp.Body.Close()
-		var buf bytes.Buffer
-		if _, err := buf.ReadFrom(resp.Body); err != nil {
-			t.Fatal(err)
+		if !bytes.Equal(cold.Body, ref[c.name]) {
+			t.Errorf("%s: served body differs from direct API snapshot", c.name)
 		}
-		return resp.StatusCode, buf.Bytes(), resp.Header.Get("X-Hfserve-Cache")
-	}
-
-	for _, bench := range diffBenches {
-		cases := []struct {
-			name, body string
-		}{
-			{bench + "/single", `{"bench":"` + bench + `","single":true}`},
+		hot := mustRun(t, cl, c.spec)
+		if hot.Cache != "hit" {
+			t.Fatalf("%s hot: cache=%q", c.name, hot.Cache)
 		}
-		for _, d := range hfstream.Designs() {
-			cases = append(cases, struct{ name, body string }{
-				bench + "/" + d.Name(),
-				`{"bench":"` + bench + `","design":"` + d.Name() + `"}`,
-			})
-		}
-		for _, c := range cases {
-			status, cold, src := postSpec(c.body)
-			if status != 200 || src != "miss" {
-				t.Fatalf("%s cold: status=%d src=%q (%s)", c.name, status, src, cold)
-			}
-			if !bytes.Equal(cold, ref[c.name]) {
-				t.Errorf("%s: served body differs from direct API snapshot", c.name)
-			}
-			status, hot, src := postSpec(c.body)
-			if status != 200 || src != "hit" {
-				t.Fatalf("%s hot: status=%d src=%q", c.name, status, src)
-			}
-			if !bytes.Equal(hot, cold) {
-				t.Errorf("%s: cached body differs from cold body", c.name)
-			}
+		if !bytes.Equal(hot.Body, cold.Body) {
+			t.Errorf("%s: cached body differs from cold body", c.name)
 		}
 	}
 }
@@ -234,51 +251,47 @@ func TestDifferentialServeStaged(t *testing.T) {
 
 	ts := httptest.NewServer(serve.New(serve.Config{Workers: 1}).Handler())
 	defer ts.Close()
-	body := `{"bench":"adpcmdec","design":"` + d.Name() + `","stages":3}`
-	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var served bytes.Buffer
-	if _, err := served.ReadFrom(resp.Body); err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != 200 {
-		t.Fatalf("staged serve: status %d (%s)", resp.StatusCode, served.Bytes())
-	}
-	if !bytes.Equal(served.Bytes(), direct.Bytes()) {
+	res := mustRun(t, client.New(ts.URL),
+		hfstream.Spec{Bench: "adpcmdec", Design: d.Name(), Stages: 3})
+	if !bytes.Equal(res.Body, direct.Bytes()) {
 		t.Error("staged serve body differs from RunStagedCtx snapshot")
 	}
 }
 
-// streamEvents posts a body to a streaming endpoint and decodes every
-// NDJSON line.
-func streamEvents(t *testing.T, url, path, body string) []serve.StreamEvent {
+// runStreamEvents streams one run through the typed client and returns
+// every event.
+func runStreamEvents(t *testing.T, cl *client.Client, spec hfstream.Spec, opts client.StreamOpts) []serve.StreamEvent {
 	t.Helper()
-	resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+	st, err := cl.RunStream(context.Background(), spec, opts)
+	if err != nil {
+		t.Fatalf("RunStream(%+v): %v", spec, err)
+	}
+	defer st.Close()
+	events, err := st.All()
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != 200 {
-		t.Fatalf("%s: status %d", path, resp.StatusCode)
+	if len(events) == 0 {
+		t.Fatal("empty run stream")
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	var events []serve.StreamEvent
-	for sc.Scan() {
-		var ev serve.StreamEvent
-		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			t.Fatalf("bad event line %q: %v", sc.Text(), err)
-		}
-		events = append(events, ev)
+	return events
+}
+
+// sweepEvents streams one sweep through the typed client and returns
+// every event.
+func sweepEvents(t *testing.T, cl *client.Client, req serve.SweepRequest) []serve.StreamEvent {
+	t.Helper()
+	st, err := cl.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Sweep(%+v): %v", req, err)
 	}
-	if err := sc.Err(); err != nil {
+	defer st.Close()
+	events, err := st.All()
+	if err != nil {
 		t.Fatal(err)
 	}
 	if len(events) == 0 {
-		t.Fatalf("%s: empty stream", path)
+		t.Fatal("empty sweep stream")
 	}
 	return events
 }
@@ -314,51 +327,31 @@ func TestDifferentialStreamedRun(t *testing.T) {
 	ref := referenceMatrix(t)
 	ts := httptest.NewServer(serve.New(serve.Config{Workers: 2}).Handler())
 	defer ts.Close()
+	cl := client.New(ts.URL)
 
-	for _, bench := range diffBenches {
-		cases := []struct {
-			name, body string
-		}{
-			{bench + "/single", `{"bench":"` + bench + `","single":true}`},
+	for _, c := range diffSpecCases() {
+		// Cold: a tight progress cadence maximizes interleaved events.
+		events := runStreamEvents(t, cl, c.spec, client.StreamOpts{ProgressEvery: 5000})
+		mev := metricsEvents(events)
+		if len(mev) != 1 || mev[0].Cache != "miss" {
+			t.Fatalf("%s cold: %d metrics events, cache=%q", c.name, len(mev), mev[0].Cache)
 		}
-		for _, d := range hfstream.Designs() {
-			cases = append(cases, struct{ name, body string }{
-				bench + "/" + d.Name(),
-				`{"bench":"` + bench + `","design":"` + d.Name() + `"}`,
-			})
+		if !bytes.Equal([]byte(mev[0].Body), ref[c.name]) {
+			t.Errorf("%s: streamed cold body differs from direct API snapshot", c.name)
 		}
-		for _, c := range cases {
-			// Cold: a tight progress cadence maximizes interleaved events.
-			events := streamEvents(t, ts.URL, "/run?stream=ndjson&progress_every=5000", c.body)
-			mev := metricsEvents(events)
-			if len(mev) != 1 || mev[0].Cache != "miss" {
-				t.Fatalf("%s cold: %d metrics events, cache=%q", c.name, len(mev), mev[0].Cache)
-			}
-			if !bytes.Equal([]byte(mev[0].Body), ref[c.name]) {
-				t.Errorf("%s: streamed cold body differs from direct API snapshot", c.name)
-			}
-			// Cached: the hit must replay the identical bytes.
-			events = streamEvents(t, ts.URL, "/run?stream=ndjson", c.body)
-			mev = metricsEvents(events)
-			if len(mev) != 1 || mev[0].Cache != "hit" {
-				t.Fatalf("%s hot: %d metrics events, cache=%q", c.name, len(mev), mev[0].Cache)
-			}
-			if !bytes.Equal([]byte(mev[0].Body), ref[c.name]) {
-				t.Errorf("%s: streamed cached body differs from direct API snapshot", c.name)
-			}
-			// Non-streaming /run must agree byte for byte with the stream.
-			resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(c.body))
-			if err != nil {
-				t.Fatal(err)
-			}
-			var plain bytes.Buffer
-			if _, err := plain.ReadFrom(resp.Body); err != nil {
-				t.Fatal(err)
-			}
-			resp.Body.Close()
-			if !bytes.Equal(plain.Bytes(), []byte(mev[0].Body)) {
-				t.Errorf("%s: non-streaming body differs from streamed body", c.name)
-			}
+		// Cached: the hit must replay the identical bytes.
+		events = runStreamEvents(t, cl, c.spec, client.StreamOpts{})
+		mev = metricsEvents(events)
+		if len(mev) != 1 || mev[0].Cache != "hit" {
+			t.Fatalf("%s hot: %d metrics events, cache=%q", c.name, len(mev), mev[0].Cache)
+		}
+		if !bytes.Equal([]byte(mev[0].Body), ref[c.name]) {
+			t.Errorf("%s: streamed cached body differs from direct API snapshot", c.name)
+		}
+		// Non-streaming /run must agree byte for byte with the stream.
+		plain := mustRun(t, cl, c.spec)
+		if !bytes.Equal(plain.Body, []byte(mev[0].Body)) {
+			t.Errorf("%s: non-streaming body differs from streamed body", c.name)
 		}
 	}
 
@@ -366,6 +359,7 @@ func TestDifferentialStreamedRun(t *testing.T) {
 	// deliver the same reference bytes, whichever of them led the flight.
 	fresh := httptest.NewServer(serve.New(serve.Config{Workers: 2}).Handler())
 	defer fresh.Close()
+	fcl := client.New(fresh.URL)
 	const fanIn = 6
 	bodies := make([]string, fanIn)
 	var wg sync.WaitGroup
@@ -373,19 +367,18 @@ func TestDifferentialStreamedRun(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, err := http.Post(fresh.URL+"/run?stream=ndjson", "application/json",
-				strings.NewReader(`{"bench":"bzip2","design":"EXISTING"}`))
+			st, err := fcl.RunStream(context.Background(),
+				hfstream.Spec{Bench: "bzip2", Design: "EXISTING"}, client.StreamOpts{})
 			if err != nil {
 				return
 			}
-			defer resp.Body.Close()
-			sc := bufio.NewScanner(resp.Body)
-			sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-			for sc.Scan() {
-				var ev serve.StreamEvent
-				if json.Unmarshal(sc.Bytes(), &ev) == nil && ev.Type == "metrics" {
-					bodies[i] = ev.Body
-				}
+			defer st.Close()
+			events, err := st.All()
+			if err != nil {
+				return
+			}
+			for _, ev := range metricsEvents(events) {
+				bodies[i] = ev.Body
 			}
 		}(i)
 	}
@@ -410,6 +403,7 @@ func TestDifferentialSweep(t *testing.T) {
 	srv := serve.New(serve.Config{Workers: 2})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
+	cl := client.New(ts.URL)
 
 	checkCells := func(events []serve.StreamEvent, wantCells int) {
 		t.Helper()
@@ -430,14 +424,17 @@ func TestDifferentialSweep(t *testing.T) {
 
 	// Half the grid first: one bench across all designs plus single.
 	perBench := len(hfstream.Designs()) + 1
-	partial := streamEvents(t, ts.URL, "/sweep", `{"benches":["bzip2"],"designs":["*"],"single":true}`)
+	partial := sweepEvents(t, cl, serve.SweepRequest{
+		Benches: []string{"bzip2"}, Designs: []string{"*"}, Single: true})
 	checkCells(partial, perBench)
 	if runs := srv.Metrics().Runs; runs != uint64(perBench) {
 		t.Fatalf("partial sweep ran %d simulations, want %d", runs, perBench)
 	}
 
 	// The full grid: only the second bench's cells are cache misses.
-	full := streamEvents(t, ts.URL, "/sweep", `{"benches":["bzip2","adpcmdec"],"designs":["*"],"single":true}`)
+	fullReq := serve.SweepRequest{
+		Benches: []string{"bzip2", "adpcmdec"}, Designs: []string{"*"}, Single: true}
+	full := sweepEvents(t, cl, fullReq)
 	checkCells(full, 2*perBench)
 	fullDone := full[len(full)-1]
 	if fullDone.Ran != perBench || fullDone.Hits != perBench {
@@ -449,7 +446,7 @@ func TestDifferentialSweep(t *testing.T) {
 	}
 
 	// Re-submitting the identical sweep simulates nothing.
-	again := streamEvents(t, ts.URL, "/sweep", `{"benches":["bzip2","adpcmdec"],"designs":["*"],"single":true}`)
+	again := sweepEvents(t, cl, fullReq)
 	checkCells(again, 2*perBench)
 	againDone := again[len(again)-1]
 	if againDone.Ran != 0 || againDone.Hits != 2*perBench {
@@ -457,5 +454,268 @@ func TestDifferentialSweep(t *testing.T) {
 	}
 	if runs := srv.Metrics().Runs; runs != uint64(2*perBench) {
 		t.Fatalf("re-sweep started new simulations: %d, want %d", runs, 2*perBench)
+	}
+}
+
+// ---- cluster battery ------------------------------------------------
+
+// swapHandler lets a replica's HTTP server exist (with a concrete URL)
+// before the serve.Server it fronts — the peering layer needs every
+// replica's URL, and each serve.Server needs its peering.
+type swapHandler struct{ h atomic.Value }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := s.h.Load().(http.Handler); ok {
+		h.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "replica not ready", http.StatusServiceUnavailable)
+}
+
+// diffCluster is an in-process peered cluster for the battery: n
+// replicas with full-mesh membership over httptest servers.
+type diffCluster struct {
+	ids      []string
+	servers  []*serve.Server
+	peerings []*cluster.Peering
+	ts       []*httptest.Server
+	clients  []*client.Client
+}
+
+func newDiffCluster(t *testing.T, n int) *diffCluster {
+	t.Helper()
+	c := &diffCluster{}
+	urls := make(map[string]string, n)
+	swaps := make([]*swapHandler, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("n%d", i)
+		c.ids = append(c.ids, id)
+		swaps[i] = &swapHandler{}
+		ts := httptest.NewServer(swaps[i])
+		c.ts = append(c.ts, ts)
+		urls[id] = ts.URL
+	}
+	for i := 0; i < n; i++ {
+		p, err := cluster.New(cluster.Config{Self: c.ids[i], Peers: urls})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := serve.New(serve.Config{Workers: 1, Peer: p})
+		swaps[i].h.Store(srv.Handler())
+		c.peerings = append(c.peerings, p)
+		c.servers = append(c.servers, srv)
+		c.clients = append(c.clients, client.New(urls[c.ids[i]]))
+	}
+	t.Cleanup(func() {
+		for i := range c.ts {
+			c.ts[i].Close()
+			c.peerings[i].Close()
+		}
+	})
+	return c
+}
+
+// flush settles every replica's pending peer store publications.
+func (c *diffCluster) flush(t *testing.T) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, p := range c.peerings {
+		if err := p.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// index maps a replica ID back to its slot.
+func (c *diffCluster) index(t *testing.T, id string) int {
+	t.Helper()
+	for i, have := range c.ids {
+		if have == id {
+			return i
+		}
+	}
+	t.Fatalf("unknown replica %q", id)
+	return -1
+}
+
+// totalRuns sums the simulation counters across the cluster.
+func (c *diffCluster) totalRuns() uint64 {
+	var total uint64
+	for _, s := range c.servers {
+		total += s.Metrics().Runs
+	}
+	return total
+}
+
+// TestDifferentialCluster pins the tentpole invariant: a 3-replica
+// peered cluster answers byte-identically to the direct library API on
+// every provenance path — cold miss on the key's owner, peer fill on a
+// non-owner, local hit after the fill, and the replicated owner's copy
+// — and the cluster as a whole simulates each cell exactly once.
+func TestDifferentialCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	ref := referenceMatrix(t)
+	c := newDiffCluster(t, 3)
+
+	cases := diffSpecCases()
+	for _, cse := range cases {
+		norm, err := cse.spec.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, err := norm.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The ring is identical on every replica; route like a balancer
+		// would: cold traffic lands on the key's primary owner.
+		owners := c.peerings[0].Owners(key)
+		if len(owners) != 2 {
+			t.Fatalf("%s: %d owners, want replication 2", cse.name, len(owners))
+		}
+		primary := c.index(t, owners[0])
+		secondary := c.index(t, owners[1])
+		nonOwner := 3 - primary - secondary // the remaining replica of {0,1,2}
+
+		cold := mustRun(t, c.clients[primary], cse.spec)
+		if cold.Cache != "miss" || cold.Key != key {
+			t.Fatalf("%s cold on owner: cache=%q key=%q want miss/%s", cse.name, cold.Cache, cold.Key, key)
+		}
+		if !bytes.Equal(cold.Body, ref[cse.name]) {
+			t.Errorf("%s: owner body differs from direct API snapshot", cse.name)
+		}
+
+		// Let the async store publication reach the secondary owner, then
+		// read the key everywhere.
+		c.flush(t)
+
+		peerRes := mustRun(t, c.clients[nonOwner], cse.spec)
+		if peerRes.Cache != "peer" {
+			t.Fatalf("%s on non-owner: cache=%q, want peer fill", cse.name, peerRes.Cache)
+		}
+		if !bytes.Equal(peerRes.Body, ref[cse.name]) {
+			t.Errorf("%s: peer-filled body differs from direct API snapshot", cse.name)
+		}
+
+		local := mustRun(t, c.clients[nonOwner], cse.spec)
+		if local.Cache != "hit" {
+			t.Fatalf("%s non-owner replay: cache=%q, want local hit after fill", cse.name, local.Cache)
+		}
+		if !bytes.Equal(local.Body, ref[cse.name]) {
+			t.Errorf("%s: post-fill local body differs from direct API snapshot", cse.name)
+		}
+
+		replicated := mustRun(t, c.clients[secondary], cse.spec)
+		if replicated.Cache != "hit" {
+			t.Fatalf("%s on secondary owner: cache=%q, want replicated local hit", cse.name, replicated.Cache)
+		}
+		if !bytes.Equal(replicated.Body, ref[cse.name]) {
+			t.Errorf("%s: replicated body differs from direct API snapshot", cse.name)
+		}
+	}
+
+	// Four requests per cell, one simulation per cell, cluster-wide.
+	if got, want := c.totalRuns(), uint64(len(cases)); got != want {
+		t.Errorf("cluster simulated %d times for %d cells, want one each", got, want)
+	}
+
+	// Coalesced under clustering: concurrent requests for one uncached
+	// spec on one replica produce one flight and identical reference
+	// bytes for every caller.
+	b, err := hfstream.BenchmarkByName("adpcmdec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if _, err := hfstream.RunStagedCtx(context.Background(), b, hfstream.SyncOptiSCQ64, 3,
+		hfstream.WithMetrics(&direct)); err != nil {
+		t.Fatal(err)
+	}
+	staged := hfstream.Spec{Bench: "adpcmdec", Design: hfstream.SyncOptiSCQ64.Name(), Stages: 3}
+	before := c.servers[0].Metrics().Runs
+	const fanIn = 6
+	results := make([]*client.RunResult, fanIn)
+	var wg sync.WaitGroup
+	for i := 0; i < fanIn; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.clients[0].Run(context.Background(), staged)
+			if err == nil {
+				results[i] = res
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("coalesced cluster request %d failed", i)
+		}
+		if !bytes.Equal(res.Body, direct.Bytes()) {
+			t.Errorf("coalesced cluster request %d: body differs from RunStagedCtx snapshot", i)
+		}
+	}
+	if ran := c.servers[0].Metrics().Runs - before; ran != 1 {
+		t.Errorf("coalesced fan-in simulated %d times, want 1", ran)
+	}
+}
+
+// TestDifferentialClusterResweep: after one replica sweeps the full
+// grid, re-running the sweep on a different replica simulates nothing —
+// every cell arrives from that replica's own (replicated) cache or a
+// peer fill, byte-identical to the direct API.
+func TestDifferentialClusterResweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	ref := referenceMatrix(t)
+	c := newDiffCluster(t, 3)
+	req := serve.SweepRequest{Benches: diffBenches, Designs: []string{"*"}, Single: true}
+	cells := len(diffBenches) * (len(hfstream.Designs()) + 1)
+
+	checkCells := func(events []serve.StreamEvent) {
+		t.Helper()
+		for _, ev := range metricsEvents(events) {
+			if ev.Spec == nil {
+				t.Fatal("sweep metrics event without a spec")
+			}
+			name := cellName(ev.Spec)
+			if !bytes.Equal([]byte(ev.Body), ref[name]) {
+				t.Errorf("%s: cluster sweep cell differs from direct API snapshot", name)
+			}
+		}
+		done := events[len(events)-1]
+		if done.Type != "done" || done.Cells != cells || done.Errors != 0 {
+			t.Fatalf("done = %+v, want %d clean cells", done, cells)
+		}
+	}
+
+	first := sweepEvents(t, c.clients[0], req)
+	checkCells(first)
+	if got := c.totalRuns(); got != uint64(cells) {
+		t.Fatalf("first sweep simulated %d times for %d cells", got, cells)
+	}
+
+	// Settle the store publications, then sweep from the other replicas:
+	// zero new simulations anywhere, and the done tallies show only local
+	// hits and peer fills.
+	c.flush(t)
+	for _, idx := range []int{1, 2} {
+		events := sweepEvents(t, c.clients[idx], req)
+		checkCells(events)
+		done := events[len(events)-1]
+		if done.Ran != 0 {
+			t.Errorf("replica %d re-sweep simulated %d cells, want 0", idx, done.Ran)
+		}
+		if done.Hits+done.PeerHits != cells {
+			t.Errorf("replica %d re-sweep hits=%d peer_hits=%d, want %d total",
+				idx, done.Hits, done.PeerHits, cells)
+		}
+	}
+	if got := c.totalRuns(); got != uint64(cells) {
+		t.Errorf("cluster re-sweeps simulated new cells: %d total runs for %d cells", got, cells)
 	}
 }

@@ -1,0 +1,343 @@
+// Package client is the typed Go client for the hfserve /v1 HTTP API
+// (wire contract in serve/API.md). It wraps the versioned endpoints in
+// methods that speak the exported serve types — hfstream.Spec in,
+// serve.StreamEvent / serve.Metrics / serve.ErrorDetail out — so
+// callers (cmd/hfload, the cluster peer-fill path, the differential
+// battery) never hand-roll HTTP or scrape response bodies.
+//
+// Every non-2xx response decodes into *APIError carrying the typed
+// error envelope, so callers branch on Detail.Code ("queue_full",
+// "draining", "timeout", "canceled", …) instead of status-code
+// guessing.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"hfstream"
+	"hfstream/serve"
+)
+
+// Client talks to one hfserve replica. The zero value is not usable;
+// construct with New. Clients are safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). The default is http.DefaultClient; callers
+// bound individual calls through ctx.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the replica at baseURL (scheme://host[:port],
+// no trailing path).
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// BaseURL reports the replica address this client targets.
+func (c *Client) BaseURL() string { return c.base }
+
+// APIError is a non-2xx response decoded from the typed error envelope.
+type APIError struct {
+	// Status is the HTTP status code (including 499, the
+	// client-closed-request convention, and 504 for job timeouts).
+	Status int
+	// Detail is the decoded envelope payload.
+	Detail serve.ErrorDetail
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("hfserve: %s (%d): %s", e.Detail.Code, e.Status, e.Detail.Message)
+}
+
+// ErrNotCached reports a peer-tier GET for a key the shard does not
+// hold. errors.Is(err, ErrNotCached) works on the *APIError PeerGet
+// returns.
+var ErrNotCached = errors.New("hfserve: key not cached on shard")
+
+// Is makes APIError match ErrNotCached when it carries the not_cached
+// code, so peer-fill callers can errors.Is instead of code-comparing.
+func (e *APIError) Is(target error) bool {
+	return target == ErrNotCached && e.Detail.Code == "not_cached"
+}
+
+// decodeAPIError turns a non-2xx body into *APIError; a body that is
+// not a well-formed envelope still produces a typed error with code
+// "internal" and the raw body as message.
+func decodeAPIError(status int, body []byte) *APIError {
+	var env serve.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+		env.Error = serve.ErrorDetail{Code: "internal", Message: string(bytes.TrimSpace(body))}
+	}
+	return &APIError{Status: status, Detail: env.Error}
+}
+
+// RunResult is one successful /v1/run response: the exact metrics bytes
+// the direct library API would have produced, plus cache provenance.
+type RunResult struct {
+	// Body is the metrics snapshot — byte-identical to
+	// hfstream.WithMetrics output for the same spec.
+	Body []byte
+	// Key is the spec's content address (X-Hfserve-Key).
+	Key string
+	// Cache is the response provenance (X-Hfserve-Cache): "miss" (fresh
+	// simulation), "hit" (local cache), "peer" (cluster cache tier), or
+	// "coalesced" (joined a concurrent identical request).
+	Cache string
+}
+
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("hfserve: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	return resp, nil
+}
+
+// Run executes spec on the replica (or serves it from cache) and
+// returns the metrics bytes. Failures are *APIError.
+func (c *Client) Run(ctx context.Context, spec hfstream.Spec) (*RunResult, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp.StatusCode, out)
+	}
+	return &RunResult{
+		Body:  out,
+		Key:   resp.Header.Get("X-Hfserve-Key"),
+		Cache: resp.Header.Get("X-Hfserve-Cache"),
+	}, nil
+}
+
+// StreamOpts tunes a streaming run.
+type StreamOpts struct {
+	// ProgressEvery is the progress-event cadence in simulated cycles
+	// (0 = the library default, every 1M cycles).
+	ProgressEvery uint64
+}
+
+// EventStream iterates the typed NDJSON events of a streaming response.
+// Always Close it (closing cancels the underlying run if the stream is
+// abandoned mid-flight).
+type EventStream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+}
+
+func newEventStream(body io.ReadCloser) *EventStream {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	return &EventStream{body: body, sc: sc}
+}
+
+// Next returns the next event, or io.EOF when the stream ends cleanly.
+func (s *EventStream) Next() (*serve.StreamEvent, error) {
+	if !s.sc.Scan() {
+		if err := s.sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	var ev serve.StreamEvent
+	if err := json.Unmarshal(s.sc.Bytes(), &ev); err != nil {
+		return nil, fmt.Errorf("hfserve: bad stream event %q: %w", s.sc.Text(), err)
+	}
+	return &ev, nil
+}
+
+// All drains the stream and returns every remaining event.
+func (s *EventStream) All() ([]serve.StreamEvent, error) {
+	var events []serve.StreamEvent
+	for {
+		ev, err := s.Next()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return events, err
+		}
+		events = append(events, *ev)
+	}
+}
+
+// Close releases the stream's connection.
+func (s *EventStream) Close() error { return s.body.Close() }
+
+// stream POSTs body and hands back the NDJSON event iterator; non-200
+// responses (which only happen before the first event) decode to
+// *APIError.
+func (c *Client) stream(ctx context.Context, path string, body []byte) (*EventStream, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		return nil, decodeAPIError(resp.StatusCode, out)
+	}
+	return newEventStream(resp.Body), nil
+}
+
+// RunStream executes spec with live NDJSON events: progress heartbeats
+// while the simulation runs, then a metrics (or error) event, then
+// done. The metrics event's Body field carries the exact non-streaming
+// response bytes.
+func (c *Client) RunStream(ctx context.Context, spec hfstream.Spec, opts StreamOpts) (*EventStream, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	q := url.Values{"stream": {"ndjson"}}
+	if opts.ProgressEvery > 0 {
+		q.Set("progress_every", strconv.FormatUint(opts.ProgressEvery, 10))
+	}
+	return c.stream(ctx, "/v1/run?"+q.Encode(), body)
+}
+
+// Sweep runs a (benches × designs × options) grid, streaming per-cell
+// metrics/error events in completion order and a final done event with
+// the sweep tallies.
+func (c *Client) Sweep(ctx context.Context, req serve.SweepRequest) (*EventStream, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return c.stream(ctx, "/v1/sweep", body)
+}
+
+// Metrics fetches the replica's /v1/metrics counter snapshot.
+func (c *Client) Metrics(ctx context.Context) (*serve.Metrics, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp.StatusCode, out)
+	}
+	var m serve.Metrics
+	if err := json.Unmarshal(out, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Health is the /v1/healthz body.
+type Health struct {
+	Status   string `json:"status"`
+	InFlight int    `json:"in_flight"`
+}
+
+// Health fetches liveness. A draining replica answers 503; that is
+// reported as Health{Status:"draining"} with a nil error, since the
+// body still decodes — transport failures and non-healthz bodies are
+// the error cases.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// PeerGet fetches the cached bytes for key from this replica's cache
+// tier endpoint. A cold shard returns an *APIError matching
+// ErrNotCached; the endpoint never simulates.
+func (c *Client) PeerGet(ctx context.Context, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/peer/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp.StatusCode, out)
+	}
+	return out, nil
+}
+
+// PeerPut publishes a computed result into this replica's cache tier.
+func (c *Client) PeerPut(ctx context.Context, key string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+"/v1/peer/"+key, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		out, _ := io.ReadAll(resp.Body)
+		return decodeAPIError(resp.StatusCode, out)
+	}
+	return nil
+}

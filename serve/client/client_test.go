@@ -1,0 +1,199 @@
+package client_test
+
+// The client package's own tests run against a real serve.Server, so
+// they double-check the wire contract in serve/API.md from the consumer
+// side: typed results, typed error envelopes, NDJSON event iteration,
+// and the peer-tier verbs.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hfstream"
+	"hfstream/serve"
+	"hfstream/serve/client"
+)
+
+func newServerAndClient(t *testing.T) (*serve.Server, *client.Client) {
+	t.Helper()
+	s := serve.New(serve.Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, client.New(ts.URL)
+}
+
+var testSpec = hfstream.Spec{Bench: "bzip2", Design: "EXISTING"}
+
+func TestClientRun(t *testing.T) {
+	_, cl := newServerAndClient(t)
+	ctx := context.Background()
+
+	res, err := cl.Run(ctx, testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != "miss" || len(res.Key) != 64 || len(res.Body) == 0 {
+		t.Fatalf("cold run: cache=%q key=%q len=%d", res.Cache, res.Key, len(res.Body))
+	}
+	hot, err := cl.Run(ctx, testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Cache != "hit" || !bytes.Equal(hot.Body, res.Body) || hot.Key != res.Key {
+		t.Fatalf("hot run: cache=%q, body match=%v", hot.Cache, bytes.Equal(hot.Body, res.Body))
+	}
+}
+
+func TestClientRunAPIError(t *testing.T) {
+	_, cl := newServerAndClient(t)
+	_, err := cl.Run(context.Background(), hfstream.Spec{Bench: "no-such-bench"})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if apiErr.Status != http.StatusBadRequest || apiErr.Detail.Code != "bad_request" {
+		t.Fatalf("APIError = %+v", apiErr)
+	}
+	if !strings.Contains(apiErr.Error(), "bad_request") {
+		t.Errorf("Error() = %q, want the code in the message", apiErr.Error())
+	}
+}
+
+func TestClientRunStream(t *testing.T) {
+	_, cl := newServerAndClient(t)
+	st, err := cl.RunStream(context.Background(), testSpec, client.StreamOpts{ProgressEvery: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	events, err := st.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progress, metrics, done int
+	var lastSeq uint64
+	for i, ev := range events {
+		if i > 0 && ev.Seq <= lastSeq {
+			t.Fatalf("event %d: seq %d not monotone after %d", i, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Type {
+		case "progress":
+			progress++
+		case "metrics":
+			metrics++
+			if ev.Cache != "miss" || ev.Body == "" {
+				t.Errorf("metrics event: cache=%q body empty=%v", ev.Cache, ev.Body == "")
+			}
+		case "done":
+			done++
+		}
+	}
+	if progress == 0 || metrics != 1 || done != 1 {
+		t.Fatalf("stream shape: %d progress, %d metrics, %d done", progress, metrics, done)
+	}
+	// After All, the iterator is exhausted.
+	if _, err := st.Next(); err != io.EOF {
+		t.Fatalf("Next after All: %v, want io.EOF", err)
+	}
+}
+
+func TestClientSweep(t *testing.T) {
+	srv, cl := newServerAndClient(t)
+	st, err := cl.Sweep(context.Background(), serve.SweepRequest{
+		Benches: []string{"bzip2"}, Designs: []string{"EXISTING", "MEMOPTI"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	events, err := st.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := events[len(events)-1]
+	if last.Type != "done" || last.Cells != 2 || last.Ran != 2 || last.Errors != 0 {
+		t.Fatalf("sweep done = %+v", last)
+	}
+	if runs := srv.Metrics().Runs; runs != 2 {
+		t.Fatalf("sweep simulated %d cells", runs)
+	}
+
+	// A bad grid fails before any event streams: a typed *APIError.
+	_, err = cl.Sweep(context.Background(), serve.SweepRequest{})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("empty sweep error = %v", err)
+	}
+}
+
+func TestClientMetricsAndHealth(t *testing.T) {
+	srv, cl := newServerAndClient(t)
+	ctx := context.Background()
+	if _, err := cl.Run(ctx, testSpec); err != nil {
+		t.Fatal(err)
+	}
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs != 1 || m.Requests != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("health = %+v", h)
+	}
+	srv.BeginDrain()
+	if h, err = cl.Health(ctx); err != nil || h.Status != "draining" {
+		t.Fatalf("draining health = %+v, err=%v", h, err)
+	}
+}
+
+func TestClientPeerVerbs(t *testing.T) {
+	_, cl := newServerAndClient(t)
+	ctx := context.Background()
+	key := strings.Repeat("cd", 32)
+
+	_, err := cl.PeerGet(ctx, key)
+	if !errors.Is(err, client.ErrNotCached) {
+		t.Fatalf("cold PeerGet error = %v, want ErrNotCached match", err)
+	}
+	payload := []byte(`{"p":"q"}`)
+	if err := cl.PeerPut(ctx, key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.PeerGet(ctx, key)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("PeerGet after put: %q, %v", got, err)
+	}
+	if err := cl.PeerPut(ctx, "bogus-key", payload); err == nil {
+		t.Error("PeerPut with a malformed key succeeded")
+	}
+}
+
+// TestClientNonEnvelopeError: a proxy-style failure (non-JSON body)
+// still surfaces as a typed *APIError instead of a decode error.
+func TestClientNonEnvelopeError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+	_, err := client.New(ts.URL).Run(context.Background(), testSpec)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error type %T", err)
+	}
+	if apiErr.Status != http.StatusBadGateway || apiErr.Detail.Code != "internal" ||
+		apiErr.Detail.Message != "bad gateway" {
+		t.Fatalf("APIError = %+v", apiErr)
+	}
+}

@@ -1,0 +1,348 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hfstream/serve"
+	"hfstream/serve/client"
+)
+
+// Defaults for the zero-ish Config fields.
+const (
+	// DefaultReplication is how many owner shards a key is stored to and
+	// fetched from: 2 means a key survives one replica death without
+	// losing its cached bytes, and a fill has a failover candidate while
+	// the primary owner is down.
+	DefaultReplication = 2
+	// DefaultFillTimeout bounds one peer-fill attempt. It is deliberately
+	// tight: a fill races a local simulation that would take milliseconds
+	// to minutes, but a healthy peer answers a cache lookup in
+	// microseconds — so a slow peer should lose quickly and the request
+	// degrade to local compute.
+	DefaultFillTimeout = 250 * time.Millisecond
+	// DefaultStoreTimeout bounds one async store publication.
+	DefaultStoreTimeout = time.Second
+	// DefaultFailThreshold is how many consecutive transport failures
+	// mark a peer down.
+	DefaultFailThreshold = 3
+	// DefaultDownDuration is how long a down peer is skipped before it
+	// gets probed again.
+	DefaultDownDuration = 2 * time.Second
+	// storeQueueDepth bounds the async store queue; publications past it
+	// are dropped (counted), never blocking the serving path.
+	storeQueueDepth = 256
+)
+
+// Config describes this replica's view of the cluster.
+type Config struct {
+	// Self is this replica's ID. It must appear in the ring (it is added
+	// implicitly if absent from Peers).
+	Self string
+	// Peers maps replica ID to base URL (http://host:port) for every
+	// other replica; an entry for Self is allowed and ignored.
+	Peers map[string]string
+	// Replication is the owner count per key (see DefaultReplication);
+	// clamped to the ring size.
+	Replication int
+	// VirtualNodes per replica on the ring (0 = DefaultVirtualNodes).
+	VirtualNodes int
+	// FillTimeout bounds one peer-fill attempt (0 = DefaultFillTimeout).
+	FillTimeout time.Duration
+	// StoreTimeout bounds one store publication (0 = DefaultStoreTimeout).
+	StoreTimeout time.Duration
+	// FailThreshold is the consecutive-failure count that marks a peer
+	// down (0 = DefaultFailThreshold).
+	FailThreshold int
+	// DownDuration is how long a down peer is skipped
+	// (0 = DefaultDownDuration).
+	DownDuration time.Duration
+	// HTTPClient overrides the transport used for peer calls.
+	HTTPClient *http.Client
+}
+
+// peerState is one remote replica: its typed client plus health
+// tracking. A peer is "down" after FailThreshold consecutive transport
+// failures and is skipped until DownDuration passes; any success resets
+// the counter. Down-marking is advisory — it only decides whether a
+// fill/store bothers trying, so a stale mark can never fail a request.
+type peerState struct {
+	id        string
+	cl        *client.Client
+	fails     atomic.Int32
+	downUntil atomic.Int64 // unix nanos; 0 = up
+}
+
+func (p *peerState) down(now time.Time) bool {
+	return now.UnixNano() < p.downUntil.Load()
+}
+
+// Peering implements serve.Peer over the /v1/peer HTTP tier. Create it
+// with New, hand it to serve.Config.Peer, and Close it after the server
+// drains.
+type Peering struct {
+	cfg   Config
+	ring  *Ring
+	peers map[string]*peerState // remote replicas only (Self excluded)
+
+	storeMu     sync.RWMutex
+	storeClosed bool
+	storeQ      chan storeReq
+	storeWG     sync.WaitGroup
+	pending     atomic.Int64
+
+	fills       atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	errs        atomic.Uint64
+	timeouts    atomic.Uint64
+	skippedDown atomic.Uint64
+	stores      atomic.Uint64
+	storeErrs   atomic.Uint64
+	storeDrops  atomic.Uint64
+}
+
+type storeReq struct {
+	key  string
+	body []byte
+}
+
+// New builds the peering layer for one replica. The ring covers Self
+// plus every key of Peers, so all replicas construct identical rings
+// from the same membership list — routing agreement needs no
+// coordination beyond consistent configuration.
+func New(cfg Config) (*Peering, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Config.Self is required")
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = DefaultReplication
+	}
+	if cfg.FillTimeout <= 0 {
+		cfg.FillTimeout = DefaultFillTimeout
+	}
+	if cfg.StoreTimeout <= 0 {
+		cfg.StoreTimeout = DefaultStoreTimeout
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = DefaultFailThreshold
+	}
+	if cfg.DownDuration <= 0 {
+		cfg.DownDuration = DefaultDownDuration
+	}
+	ids := []string{cfg.Self}
+	for id := range cfg.Peers {
+		if id != cfg.Self {
+			ids = append(ids, id)
+		}
+	}
+	ring, err := NewRing(ids, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	p := &Peering{
+		cfg:    cfg,
+		ring:   ring,
+		peers:  make(map[string]*peerState, len(cfg.Peers)),
+		storeQ: make(chan storeReq, storeQueueDepth),
+	}
+	for id, baseURL := range cfg.Peers {
+		if id == cfg.Self {
+			continue
+		}
+		if baseURL == "" {
+			return nil, fmt.Errorf("cluster: peer %q has no URL", id)
+		}
+		var opts []client.Option
+		if cfg.HTTPClient != nil {
+			opts = append(opts, client.WithHTTPClient(cfg.HTTPClient))
+		}
+		p.peers[id] = &peerState{id: id, cl: client.New(baseURL, opts...)}
+	}
+	// Two store workers: enough to keep publication latency off the
+	// serving path without fanning out one goroutine per result.
+	for i := 0; i < 2; i++ {
+		p.storeWG.Add(1)
+		go p.storeWorker()
+	}
+	return p, nil
+}
+
+// Ring exposes the membership ring (for tests and tooling).
+func (p *Peering) Ring() *Ring { return p.ring }
+
+// Owners returns key's owner list at the configured replication factor.
+func (p *Peering) Owners(key string) []string {
+	return p.ring.Owners(key, p.cfg.Replication)
+}
+
+// candidates returns the remote owner shards worth asking for key, in
+// ring order, skipping Self and peers currently marked down.
+func (p *Peering) candidates(key string) (up []*peerState, skippedAll bool) {
+	now := time.Now()
+	any := false
+	for _, id := range p.Owners(key) {
+		ps, ok := p.peers[id]
+		if !ok { // Self
+			continue
+		}
+		any = true
+		if ps.down(now) {
+			continue
+		}
+		up = append(up, ps)
+	}
+	return up, any && len(up) == 0
+}
+
+// noteFailure records one transport failure against a peer, marking it
+// down once the consecutive-failure threshold trips.
+func (p *Peering) noteFailure(ps *peerState) {
+	if int(ps.fails.Add(1)) >= p.cfg.FailThreshold {
+		ps.downUntil.Store(time.Now().Add(p.cfg.DownDuration).UnixNano())
+		ps.fails.Store(0)
+	}
+}
+
+func (p *Peering) noteSuccess(ps *peerState) {
+	ps.fails.Store(0)
+	ps.downUntil.Store(0)
+}
+
+// Fill implements serve.Peer: ask key's owner shards (in ring order,
+// failing over across the replication set) for the cached bytes. Every
+// attempt is bounded by FillTimeout; any error is just a miss — the
+// caller simulates locally, so a dead owner costs at most one bounded
+// timeout per request until the failure counter marks it down.
+func (p *Peering) Fill(ctx context.Context, key string) ([]byte, bool) {
+	cands, skippedAll := p.candidates(key)
+	if len(cands) == 0 {
+		if skippedAll {
+			p.skippedDown.Add(1)
+		}
+		return nil, false
+	}
+	p.fills.Add(1)
+	for _, ps := range cands {
+		attemptCtx, cancel := context.WithTimeout(ctx, p.cfg.FillTimeout)
+		body, err := ps.cl.PeerGet(attemptCtx, key)
+		cancel()
+		switch {
+		case err == nil:
+			p.noteSuccess(ps)
+			p.hits.Add(1)
+			return body, true
+		case errors.Is(err, client.ErrNotCached):
+			// A healthy owner that simply doesn't hold the key yet: not a
+			// failure, but no point retrying this shard.
+			p.noteSuccess(ps)
+		default:
+			if errors.Is(err, context.DeadlineExceeded) {
+				p.timeouts.Add(1)
+			}
+			p.errs.Add(1)
+			p.noteFailure(ps)
+		}
+	}
+	p.misses.Add(1)
+	return nil, false
+}
+
+// Store implements serve.Peer: publish a locally computed result to
+// key's owner shards, asynchronously. The queue is bounded; under
+// pressure publications are dropped (the owners stay cold and later
+// fills miss — correctness is untouched because any replica can always
+// recompute any key).
+func (p *Peering) Store(key string, body []byte) {
+	p.storeMu.RLock()
+	defer p.storeMu.RUnlock()
+	if p.storeClosed {
+		p.storeDrops.Add(1)
+		return
+	}
+	select {
+	case p.storeQ <- storeReq{key: key, body: body}:
+		p.pending.Add(1)
+	default:
+		p.storeDrops.Add(1)
+	}
+}
+
+func (p *Peering) storeWorker() {
+	defer p.storeWG.Done()
+	for req := range p.storeQ {
+		now := time.Now()
+		for _, id := range p.Owners(req.key) {
+			ps, ok := p.peers[id]
+			if !ok || ps.down(now) {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), p.cfg.StoreTimeout)
+			err := ps.cl.PeerPut(ctx, req.key, req.body)
+			cancel()
+			if err != nil {
+				p.storeErrs.Add(1)
+				p.noteFailure(ps)
+				continue
+			}
+			p.noteSuccess(ps)
+			p.stores.Add(1)
+		}
+		p.pending.Add(-1)
+	}
+}
+
+// Flush blocks until every queued store publication has been attempted
+// (or ctx expires). Useful before tearing a replica down, and for tests
+// that need the owners' caches settled.
+func (p *Peering) Flush(ctx context.Context) error {
+	for p.pending.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Close stops the store workers. Fill keeps working (it is stateless);
+// Store calls after Close are counted as drops.
+func (p *Peering) Close() {
+	p.storeMu.Lock()
+	if !p.storeClosed {
+		p.storeClosed = true
+		close(p.storeQ)
+	}
+	p.storeMu.Unlock()
+	p.storeWG.Wait()
+}
+
+// Stats implements serve.Peer.
+func (p *Peering) Stats() serve.PeerStats {
+	now := time.Now()
+	downCount := 0
+	for _, ps := range p.peers {
+		if ps.down(now) {
+			downCount++
+		}
+	}
+	return serve.PeerStats{
+		Replicas:     p.ring.Size(),
+		Fills:        p.fills.Load(),
+		Hits:         p.hits.Load(),
+		Misses:       p.misses.Load(),
+		Errors:       p.errs.Load(),
+		Timeouts:     p.timeouts.Load(),
+		SkippedDown:  p.skippedDown.Load(),
+		Stores:       p.stores.Load(),
+		StoreErrors:  p.storeErrs.Load(),
+		StoreDropped: p.storeDrops.Load(),
+		PeersDown:    downCount,
+	}
+}

@@ -26,6 +26,8 @@ type Metrics struct {
 	Failures         uint64 `json:"failures"`
 	CacheHits        uint64 `json:"cache_hits"`
 	CacheMisses      uint64 `json:"cache_misses"`
+	PeerHits         uint64 `json:"peer_hits"`
+	PeerMisses       uint64 `json:"peer_misses"`
 	Coalesced        uint64 `json:"coalesced"`
 	ShedQueueFull    uint64 `json:"shed_queue_full"`
 	RejectedDraining uint64 `json:"rejected_draining"`
@@ -41,6 +43,10 @@ type Metrics struct {
 		BudgetBytes int64  `json:"budget_bytes"`
 		Evictions   uint64 `json:"evictions"`
 	} `json:"cache"`
+
+	// Peer is the cluster cache tier snapshot; nil when this replica is
+	// not clustered.
+	Peer *PeerStats `json:"peer,omitempty"`
 
 	// Simulated totals across every completed run: machine cycles,
 	// issued instructions, and zero-issue (stall) cycles summed over
@@ -65,6 +71,8 @@ func (s *Server) Metrics() Metrics {
 	m.Failures = s.failures.Load()
 	m.CacheHits = s.cacheHits.Load()
 	m.CacheMisses = s.cacheMisses.Load()
+	m.PeerHits = s.peerHits.Load()
+	m.PeerMisses = s.peerMisses.Load()
 	m.Coalesced = s.coalesced.Load()
 	m.ShedQueueFull = s.shed.Load()
 	m.RejectedDraining = s.rejected.Load()
@@ -72,6 +80,10 @@ func (s *Server) Metrics() Metrics {
 	m.Queued = s.pool.QueueLen()
 	m.QueueDepth = s.cfg.QueueDepth
 	m.Cache.Entries, m.Cache.Bytes, m.Cache.BudgetBytes, m.Cache.Evictions = s.cache.Stats()
+	if s.peer != nil {
+		ps := s.peer.Stats()
+		m.Peer = &ps
+	}
 	m.Simulated.Cycles = s.simCycles.Load()
 	m.Simulated.Instructions = s.simInstrs.Load()
 	m.Simulated.StallCycles = s.simStalls.Load()

@@ -1,0 +1,138 @@
+package serve
+
+// The cluster cache tier seam. A Server is clustered by handing Config a
+// Peer implementation (serve/cluster provides the production one built
+// on consistent-hash routing): on a local cache miss runOne calls
+// Peer.Fill to ask the key's owner shard for the bytes before
+// simulating, and publishes fresh local results through Peer.Store so
+// the owners' caches converge. Determinism plus content addressing is
+// what makes this sound — a Spec.Key fully determines its response
+// bytes, so a peer's cached body is byte-identical to what a local
+// simulation would produce, and no coherence protocol is needed.
+//
+// The server side of the tier is the /v1/peer/{key} endpoint below:
+// GET serves the local cache only (it never simulates, so fill chains
+// cannot recurse or amplify load), PUT installs a replica's fresh result
+// into this shard's cache.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Peer is the cluster cache tier a Server consults around its local
+// cache. Implementations must be safe for concurrent use.
+type Peer interface {
+	// Fill fetches the cached bytes for key from the key's owner
+	// shard(s). It must be bounded (its own timeout, independent of the
+	// job budget) and must never fail a request: any error is reported
+	// as a miss and the caller simulates locally.
+	Fill(ctx context.Context, key string) ([]byte, bool)
+	// Store publishes a locally computed result to the key's owner
+	// shard(s). It must not block the serving path (queue or drop).
+	Store(key string, body []byte)
+	// Stats snapshots the tier's counters for /v1/metrics.
+	Stats() PeerStats
+}
+
+// PeerStats is the peering tier's counter snapshot, surfaced under the
+// "peer" field of /v1/metrics when clustering is enabled.
+type PeerStats struct {
+	// Replicas is the ring size including this replica.
+	Replicas int `json:"replicas"`
+	// Fills counts fill attempts (local misses that consulted a peer);
+	// Hits/Misses split their outcomes. Errors counts transport
+	// failures and Timeouts the subset that hit the fill deadline;
+	// SkippedDown counts fills short-circuited because every candidate
+	// owner was marked down.
+	Fills       uint64 `json:"fills"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Errors      uint64 `json:"errors"`
+	Timeouts    uint64 `json:"timeouts"`
+	SkippedDown uint64 `json:"skipped_down"`
+	// Stores counts successful publications to owner shards,
+	// StoreErrors failed ones, StoreDropped publications dropped
+	// because the async store queue was full.
+	Stores       uint64 `json:"stores"`
+	StoreErrors  uint64 `json:"store_errors"`
+	StoreDropped uint64 `json:"store_dropped"`
+	// PeersDown is the number of peers currently marked down.
+	PeersDown int `json:"peers_down"`
+}
+
+// codeNotCached is the typed 404 of GET /v1/peer/{key}: the shard does
+// not hold the key. Distinct from bad_request so a filling replica can
+// tell "owner is healthy but cold" from "I sent garbage".
+const codeNotCached = "not_cached"
+
+// maxPeerBodyBytes bounds a PUT /v1/peer body; metrics snapshots are a
+// few KiB, so anything near this bound is a protocol error.
+const maxPeerBodyBytes = 8 << 20
+
+// isSpecKey reports whether key has the shape of a Spec.Key: 64 bytes
+// of lowercase hex. Peer endpoints reject anything else so junk keys
+// can never occupy cache budget.
+func isSpecKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handlePeer serves the cluster-internal cache tier: GET returns the
+// locally cached bytes for a key (404 not_cached on miss — never a
+// simulation), PUT installs a peer's freshly computed bytes.
+func (s *Server) handlePeer(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/v1/peer/")
+	if !isSpecKey(key) {
+		writeOutcome(w, "", "", errorOutcome(http.StatusBadRequest, codeBadRequest,
+			"peer key must be a 64-char lowercase hex Spec.Key", nil))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		if s.draining.Load() {
+			// A draining replica stops answering fills so peers fail over
+			// to local compute instead of racing its teardown.
+			writeOutcome(w, key, "", errorOutcome(http.StatusServiceUnavailable, codeDraining,
+				"server is draining", nil))
+			return
+		}
+		body, ok := s.cache.Get(key)
+		if !ok {
+			writeOutcome(w, key, "", errorOutcome(http.StatusNotFound, codeNotCached,
+				"key not cached on this shard", nil))
+			return
+		}
+		writeOutcome(w, key, "local", &outcome{status: http.StatusOK, body: body, ok: true})
+	case http.MethodPut:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPeerBodyBytes))
+		if err != nil {
+			writeOutcome(w, key, "", errorOutcome(http.StatusBadRequest, codeBadRequest,
+				"peer body: "+err.Error(), nil))
+			return
+		}
+		if len(body) == 0 {
+			writeOutcome(w, key, "", errorOutcome(http.StatusBadRequest, codeBadRequest,
+				"peer body must be non-empty", nil))
+			return
+		}
+		// Determinism makes this idempotent: a re-put for a resident key
+		// carries identical bytes, and resultCache.Put just refreshes
+		// recency.
+		s.cache.Put(key, body)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeOutcome(w, "", "", errorOutcome(http.StatusMethodNotAllowed, codeBadRequest,
+			"GET or PUT required", nil))
+	}
+}

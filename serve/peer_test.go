@@ -1,0 +1,244 @@
+package serve
+
+// Unit tests for the cluster seam at the serve layer: the /v1/peer
+// cache-tier endpoint, the Peer fill/store hooks in runOne, and the
+// /v1 <-> legacy path aliasing.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"hfstream"
+)
+
+// peerURL builds the tier path for a key.
+func peerURL(ts *httptest.Server, key string) string {
+	return ts.URL + "/v1/peer/" + key
+}
+
+func doReq(t *testing.T, method, url string, body string) (int, []byte, http.Header) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf, resp.Header
+}
+
+func TestServePeerTier(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	key := strings.Repeat("ab", 32)
+
+	// Cold shard: typed not_cached, never a simulation.
+	status, body, _ := doReq(t, http.MethodGet, peerURL(ts, key), "")
+	if status != http.StatusNotFound || errCode(t, body) != codeNotCached {
+		t.Fatalf("cold GET: status=%d code=%q", status, errCode(t, body))
+	}
+	if runs := s.Metrics().Runs; runs != 0 {
+		t.Fatalf("peer GET started %d simulations", runs)
+	}
+
+	// Install bytes, read them back with the local provenance tag.
+	payload := `{"fake":"metrics"}`
+	status, _, _ = doReq(t, http.MethodPut, peerURL(ts, key), payload)
+	if status != http.StatusNoContent {
+		t.Fatalf("PUT: status=%d", status)
+	}
+	status, body, hdr := doReq(t, http.MethodGet, peerURL(ts, key), "")
+	if status != http.StatusOK || string(body) != payload {
+		t.Fatalf("GET after PUT: status=%d body=%q", status, body)
+	}
+	if hdr.Get("X-Hfserve-Cache") != "local" || hdr.Get("X-Hfserve-Key") != key {
+		t.Fatalf("GET headers: cache=%q key=%q", hdr.Get("X-Hfserve-Cache"), hdr.Get("X-Hfserve-Key"))
+	}
+
+	// Malformed keys and bodies are rejected up front.
+	for _, bad := range []string{"short", strings.Repeat("AB", 32), strings.Repeat("zz", 32)} {
+		if status, body, _ = doReq(t, http.MethodGet, peerURL(ts, bad), ""); status != http.StatusBadRequest {
+			t.Errorf("GET with key %q: status=%d %s", bad, status, body)
+		}
+	}
+	if status, body, _ = doReq(t, http.MethodPut, peerURL(ts, key), ""); status != http.StatusBadRequest {
+		t.Errorf("empty PUT: status=%d %s", status, body)
+	}
+	if status, body, _ = doReq(t, http.MethodPost, peerURL(ts, key), payload); status != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status=%d %s", status, body)
+	}
+
+	// A draining shard refuses fills so peers fail over to local compute.
+	s.BeginDrain()
+	status, body, _ = doReq(t, http.MethodGet, peerURL(ts, key), "")
+	if status != http.StatusServiceUnavailable || errCode(t, body) != codeDraining {
+		t.Fatalf("draining GET: status=%d code=%q", status, errCode(t, body))
+	}
+}
+
+// fakePeer is a scripted Peer for exercising runOne's fill/store seam
+// without the cluster package.
+type fakePeer struct {
+	mu     sync.Mutex
+	fill   map[string][]byte
+	stored map[string][]byte
+	fills  int
+}
+
+func newFakePeer() *fakePeer {
+	return &fakePeer{fill: make(map[string][]byte), stored: make(map[string][]byte)}
+}
+
+func (f *fakePeer) Fill(ctx context.Context, key string) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fills++
+	body, ok := f.fill[key]
+	return body, ok
+}
+
+func (f *fakePeer) Store(key string, body []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stored[key] = append([]byte(nil), body...)
+}
+
+func (f *fakePeer) Stats() PeerStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return PeerStats{Replicas: 2, Fills: uint64(f.fills)}
+}
+
+func TestServePeerFillSeam(t *testing.T) {
+	peer := newFakePeer()
+	s := New(Config{Workers: 1, Peer: peer})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := hfstream.Spec{Bench: "bzip2", Design: "EXISTING"}
+	norm, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := norm.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Miss everywhere: the run simulates locally and publishes the fresh
+	// bytes through Store.
+	status, body, src := post(t, ts.URL, `{"bench":"bzip2","design":"EXISTING"}`)
+	if status != http.StatusOK || src != "miss" {
+		t.Fatalf("cold run: status=%d src=%q", status, src)
+	}
+	waitFor(t, func() bool {
+		peer.mu.Lock()
+		defer peer.mu.Unlock()
+		return peer.stored[key] != nil
+	})
+	peer.mu.Lock()
+	stored := peer.stored[key]
+	peer.mu.Unlock()
+	if !bytes.Equal(stored, body) {
+		t.Error("stored bytes differ from the served response")
+	}
+
+	// A peer-supplied body short-circuits simulation and lands in the
+	// local cache: provenance "peer" once, then "hit".
+	spec2 := hfstream.Spec{Bench: "bzip2", Design: "MEMOPTI"}
+	norm2, err := spec2.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key2, err := norm2.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	canned := []byte(`{"canned":"peer bytes"}`)
+	peer.mu.Lock()
+	peer.fill[key2] = canned
+	peer.mu.Unlock()
+
+	status, body, src = post(t, ts.URL, `{"bench":"bzip2","design":"MEMOPTI"}`)
+	if status != http.StatusOK || src != "peer" || !bytes.Equal(body, canned) {
+		t.Fatalf("peer fill: status=%d src=%q body=%q", status, src, body)
+	}
+	status, _, src = post(t, ts.URL, `{"bench":"bzip2","design":"MEMOPTI"}`)
+	if status != http.StatusOK || src != "hit" {
+		t.Fatalf("after fill: status=%d src=%q, want local hit", status, src)
+	}
+	if runs := s.Metrics().Runs; runs != 1 {
+		t.Errorf("server simulated %d times, want only the first spec", runs)
+	}
+
+	// The tier's counters surface under /v1/metrics.
+	m := s.Metrics()
+	if m.PeerHits != 1 || m.Peer == nil || m.Peer.Replicas != 2 {
+		t.Errorf("metrics peer view = hits:%d %+v", m.PeerHits, m.Peer)
+	}
+}
+
+// TestServeV1Aliases: the versioned and legacy paths are one surface —
+// same handlers, same bytes, same method policing.
+func TestServeV1Aliases(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"bench":"bzip2","single":true}`
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy /run: status=%d err=%v", resp.StatusCode, err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	versioned, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/run: status=%d err=%v", resp.StatusCode, err)
+	}
+	if !bytes.Equal(legacy, versioned) {
+		t.Error("legacy and /v1 run bodies differ")
+	}
+	if resp.Header.Get("X-Hfserve-Cache") != "hit" {
+		t.Errorf("/v1/run after /run: cache=%q, want shared cache hit", resp.Header.Get("X-Hfserve-Cache"))
+	}
+
+	for _, path := range []string{"/metrics", "/v1/metrics", "/healthz", "/v1/healthz"} {
+		status, body, _ := doReq(t, http.MethodGet, ts.URL+path, "")
+		if status != http.StatusOK {
+			t.Errorf("GET %s: status=%d %s", path, status, body)
+		}
+	}
+	for _, path := range []string{"/run", "/v1/run", "/sweep", "/v1/sweep"} {
+		status, _, _ := doReq(t, http.MethodGet, ts.URL+path, "")
+		if status != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s: status=%d, want 405", path, status)
+		}
+	}
+}

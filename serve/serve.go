@@ -60,6 +60,11 @@ type Config struct {
 	// JobTimeout caps each simulation's wall-clock time through the
 	// ctx-first run API; an expired job fails with a typed 504.
 	JobTimeout time.Duration
+	// Peer, when non-nil, plugs this server into a cluster cache tier
+	// (serve/cluster): on a local cache miss the server asks the key's
+	// owner shard for the bytes before simulating, and publishes fresh
+	// results back to the owners. See peer.go for the contract.
+	Peer Peer
 }
 
 // Server is one service instance. Create it with New, mount Handler on
@@ -68,6 +73,7 @@ type Server struct {
 	cfg     Config
 	pool    *exp.Pool
 	cache   *resultCache // nil when disabled
+	peer    Peer         // nil when not clustered
 	flights flightGroup
 
 	draining atomic.Bool
@@ -81,6 +87,8 @@ type Server struct {
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 	coalesced   atomic.Uint64
+	peerHits    atomic.Uint64
+	peerMisses  atomic.Uint64
 	runs        atomic.Uint64
 	failures    atomic.Uint64
 	shed        atomic.Uint64
@@ -113,6 +121,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		pool:    exp.NewPool(cfg.Workers, cfg.QueueDepth),
+		peer:    cfg.Peer,
 		start:   time.Now(),
 		baseCtx: ctx,
 		cancel:  cancel,
@@ -124,20 +133,29 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP surface:
+// Handler returns the service's HTTP surface. The wire contract is
+// versioned under /v1/ (documented in full in serve/API.md); the
+// original unversioned paths are kept as aliases for existing clients:
 //
-//	POST /run            run a spec (or serve it from cache), body = metrics JSON
-//	POST /run?stream=ndjson  the same run as live NDJSON events (see stream.go)
-//	POST /sweep          run a (benches x designs x options) grid, cells
-//	                     streamed as NDJSON events as they complete (see sweep.go)
-//	GET  /metrics        service counters (cache, queue, simulated work)
-//	GET  /healthz        liveness; 503 once draining so balancers stop routing
+//	POST /v1/run            run a spec (or serve it from cache), body = metrics JSON
+//	POST /v1/run?stream=ndjson  the same run as live NDJSON events (see stream.go)
+//	POST /v1/sweep          run a (benches x designs x options) grid, cells
+//	                        streamed as NDJSON events as they complete (see sweep.go)
+//	GET  /v1/metrics        service counters (cache, queue, peering, simulated work)
+//	GET  /v1/healthz        liveness; 503 once draining so balancers stop routing
+//	GET  /v1/peer/{key}     cluster-internal: the cached bytes for a Spec.Key,
+//	                        404 (not_cached) on miss — never simulates
+//	PUT  /v1/peer/{key}     cluster-internal: publish a replica's fresh result
+//	                        into this shard's cache
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/run", s.handleRun)
-	mux.HandleFunc("/sweep", s.handleSweep)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	for _, prefix := range []string{"", "/v1"} {
+		mux.HandleFunc(prefix+"/run", s.handleRun)
+		mux.HandleFunc(prefix+"/sweep", s.handleSweep)
+		mux.HandleFunc(prefix+"/metrics", s.handleMetrics)
+		mux.HandleFunc(prefix+"/healthz", s.handleHealthz)
+	}
+	mux.HandleFunc("/v1/peer/", s.handlePeer)
 	return mux
 }
 
@@ -178,12 +196,17 @@ const (
 // run mid-flight rather than burning a worker on an unwatched result.
 const statusClientClosed = 499
 
-// errorBody is the JSON envelope of every non-200 response.
-type errorBody struct {
-	Error errorDetail `json:"error"`
+// ErrorEnvelope is the JSON envelope of every non-200 response. It is
+// exported (with ErrorDetail) so typed clients — serve/client, the
+// cluster peer-fill path, hfload — decode errors structurally instead
+// of scraping bodies.
+type ErrorEnvelope struct {
+	Error ErrorDetail `json:"error"`
 }
 
-type errorDetail struct {
+// ErrorDetail is the typed error payload inside an ErrorEnvelope (and
+// inside streaming error events).
+type ErrorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	// Diagnosis carries the structured machine snapshot for deadlock
@@ -201,7 +224,7 @@ type outcome struct {
 }
 
 func errorOutcome(status int, code, msg string, diag json.RawMessage) *outcome {
-	body, err := json.Marshal(errorBody{Error: errorDetail{Code: code, Message: msg, Diagnosis: diag}})
+	body, err := json.Marshal(ErrorEnvelope{Error: ErrorDetail{Code: code, Message: msg, Diagnosis: diag}})
 	if err != nil {
 		status, body = http.StatusInternalServerError,
 			[]byte(`{"error":{"code":"internal","message":"error marshal failed"}}`)
@@ -274,6 +297,21 @@ func (s *Server) runOne(ctx context.Context, key string, spec hfstream.Spec, hoo
 	}
 	s.cacheMisses.Add(1)
 
+	// Cluster cache tier: on a local miss, ask the key's owner shard for
+	// the bytes before burning a worker on a simulation. Determinism makes
+	// a peer's bytes indistinguishable from a local run, so a peer hit is
+	// cached and served exactly like one. Fill is bounded (the peering
+	// layer owns the timeout) and failure only means "simulate locally" —
+	// a dead or slow peer can never fail the request.
+	if s.peer != nil {
+		if body, ok := s.peer.Fill(ctx, key); ok {
+			s.peerHits.Add(1)
+			s.cache.Put(key, body)
+			return &outcome{status: http.StatusOK, body: body, source: "peer", ok: true}
+		}
+		s.peerMisses.Add(1)
+	}
+
 	ch := make(chan *outcome, 1)
 	err := s.pool.TrySubmit(func() { ch <- runProtected(func() *outcome { return s.run(ctx, spec, hooks) }) })
 	switch {
@@ -289,6 +327,12 @@ func (s *Server) runOne(ctx context.Context, key string, spec hfstream.Spec, hoo
 	out := <-ch
 	if out.ok {
 		s.cache.Put(key, out.body)
+		// Publish the fresh result to the key's owner shards (async,
+		// best-effort) so any replica's future miss peer-hits instead of
+		// re-simulating.
+		if s.peer != nil {
+			s.peer.Store(key, out.body)
+		}
 	}
 	return out
 }

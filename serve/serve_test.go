@@ -32,7 +32,7 @@ func post(t *testing.T, url, body string) (int, []byte, string) {
 
 func errCode(t *testing.T, body []byte) string {
 	t.Helper()
-	var e errorBody
+	var e ErrorEnvelope
 	if err := json.Unmarshal(body, &e); err != nil {
 		t.Fatalf("non-envelope error body %q: %v", body, err)
 	}

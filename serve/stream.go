@@ -81,13 +81,14 @@ type StreamEvent struct {
 	Cache  string         `json:"cache,omitempty"`
 	Status int            `json:"status,omitempty"`
 	Body   string         `json:"body,omitempty"`
-	Error  *errorDetail   `json:"error,omitempty"`
+	Error  *ErrorDetail   `json:"error,omitempty"`
 
-	// done tallies (sweep): Cells is the grid size, Ran/Hits/Coalesced
-	// its cache-provenance split, Errors the failed-cell count.
+	// done tallies (sweep): Cells is the grid size, Ran/Hits/PeerHits/
+	// Coalesced its cache-provenance split, Errors the failed-cell count.
 	Cells     int `json:"cells,omitempty"`
 	Ran       int `json:"ran,omitempty"`
 	Hits      int `json:"hits,omitempty"`
+	PeerHits  int `json:"peer_hits,omitempty"`
 	Coalesced int `json:"coalesced,omitempty"`
 	Errors    int `json:"errors,omitempty"`
 }
@@ -180,10 +181,10 @@ func outcomeEvent(out *outcome, key, source string, spec *hfstream.Spec) StreamE
 
 // decodeErrorDetail recovers the typed detail from a rendered error
 // envelope so stream events carry structure, not a quoted blob.
-func decodeErrorDetail(body []byte) *errorDetail {
-	var e errorBody
+func decodeErrorDetail(body []byte) *ErrorDetail {
+	var e ErrorEnvelope
 	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code == "" {
-		return &errorDetail{Code: codeInternal, Message: string(body)}
+		return &ErrorDetail{Code: codeInternal, Message: string(body)}
 	}
 	return &e.Error
 }

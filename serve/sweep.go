@@ -193,6 +193,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			done.Errors++
 		case cr.src == "hit":
 			done.Hits++
+		case cr.src == "peer":
+			done.PeerHits++
 		case cr.src == "coalesced":
 			done.Coalesced++
 		default:
