@@ -45,6 +45,10 @@
 #                       all designs); see RESILIENCE.md for the contract
 #   make chaos-smoke  - the CI corpus (seeds 1-6, 4 plans), fast-forward on
 #                       and off
+#   make chaos-cluster - service-tier chaos smoke: the cluster_seeds.json
+#                       corpus subset under the race detector (faulted
+#                       hfserve clusters; peer-fill integrity, breaker,
+#                       retry/backoff under seeded network faults)
 #   make fuzz-smoke   - 30s of native Go fuzzing per target (assembler parse,
 #                       software-queue lowering)
 
@@ -61,7 +65,7 @@ GOLDEN_BENCHES = bzip2,adpcmdec
 # real regression. Raise it as coverage grows.
 COVERAGE_BASELINE = 72.0
 
-.PHONY: tier1 vet build test race coverage bench bench-smoke bench-compare bench-serve gobench ci fmtcheck golden golden-check golden-check-noff serve-diff serve-diff-noff serve-cluster load-smoke chaos chaos-smoke fuzz-smoke
+.PHONY: tier1 vet build test race coverage bench bench-smoke bench-compare bench-serve gobench ci fmtcheck golden golden-check golden-check-noff serve-diff serve-diff-noff serve-cluster load-smoke chaos chaos-smoke chaos-cluster fuzz-smoke
 
 tier1: build vet test
 
@@ -108,7 +112,7 @@ bench-compare:
 gobench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-ci: tier1 race coverage fmtcheck golden-check golden-check-noff serve-diff serve-diff-noff serve-cluster load-smoke bench-compare chaos-smoke
+ci: tier1 race coverage fmtcheck golden-check golden-check-noff serve-diff serve-diff-noff serve-cluster load-smoke bench-compare chaos-smoke chaos-cluster
 
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -174,6 +178,13 @@ chaos:
 chaos-smoke:
 	$(GO) run ./cmd/hfchaos -seeds 1,2,3,4,5,6 -plans 4
 	HFSTREAM_NO_FASTFORWARD=1 $(GO) run ./cmd/hfchaos -seeds 1,2,3,4,5,6 -plans 4
+
+# Service-tier chaos smoke: the first corpus seed's scenario set (see
+# chaos/testdata/cluster_seeds.json) against real faulted hfserve
+# clusters, under the race detector and with a goroutine-leak check.
+# The full corpus runs via `go run ./cmd/hfchaos -cluster -seeds 1,2,3`.
+chaos-cluster:
+	$(GO) test -count=1 -race -run 'TestClusterChaos' ./chaos/cluster/
 
 # Short native-fuzz sessions over the user-reachable text pipelines. The
 # checked-in corpora under testdata/fuzz/ replay as ordinary tests.

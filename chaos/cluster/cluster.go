@@ -1,0 +1,513 @@
+// Package cluster is the service-tier chaos harness: it spins up real
+// peered hfserve replicas on loopback listeners, injects seeded
+// deterministic network faults (serve/faultnet) into both the
+// replica-to-replica peering channels and the driving clients, and
+// checks the service-tier robustness contract on every scenario:
+//
+//   - every request either returns byte-correct metrics (equal to the
+//     fault-free library reference for its spec) or fails with a typed
+//     error — never plausible-but-wrong bytes;
+//   - zero poisoned cache entries: a post-run audit over clean channels
+//     compares every replica's cached body against the reference;
+//   - a dead or lying peer costs at most one extra local simulation per
+//     (key, replica) — degradation, not amplification;
+//   - under delay-class plans every request completes within the
+//     latency bound (delay faults are survived, not surfaced).
+//
+// Everything derives from integer seeds — the replica fault plans, the
+// driver fault plan, the retry jitter, and the request mix — so any
+// failure replays bit-exactly from its (seed, plan) coordinates with
+// the hfchaos -cluster command each failure prints.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hfstream"
+	"hfstream/serve"
+	"hfstream/serve/client"
+	scluster "hfstream/serve/cluster"
+	"hfstream/serve/faultnet"
+)
+
+// Config parameterizes a service-tier chaos sweep.
+type Config struct {
+	// Seeds selects the scenarios; each seed derives its own fault plans,
+	// request mix, and retry jitter.
+	Seeds []int64
+	// PlansPerSeed is the number of fault plans per seed on top of the
+	// fault-free baseline (default 4: alternating delay- and loss-class).
+	PlansPerSeed int
+	// Replicas is the cluster size per scenario (default 3).
+	Replicas int
+	// Requests is the number of driver requests per scenario (default 24,
+	// spread over a small worker pool).
+	Requests int
+	// Timeout bounds one scenario's wall clock (default 60s); exceeding
+	// it is a hang, which is always a failure.
+	Timeout time.Duration
+	// MaxLatency bounds each request on baseline and delay-class
+	// scenarios (default 10s — far above the injected delays, far below
+	// a hang).
+	MaxLatency time.Duration
+	// Progress, when non-nil, is called serially after every scenario.
+	Progress func(done, total int, o Outcome)
+}
+
+// Classification of one scenario.
+const (
+	ClassBaselineOK   = "baseline-ok"   // no faults; all byte-correct, no errors
+	ClassDelayOK      = "delay-ok"      // delay plan; all byte-correct within the bound
+	ClassLossSurvived = "loss-survived" // loss plan; correct-or-typed, caches clean
+	ClassFail         = "fail"          // contract violation
+)
+
+// Outcome is one classified scenario.
+type Outcome struct {
+	Seed int64
+	// PlanIndex is the fault-plan index (-1 = the fault-free baseline).
+	PlanIndex int
+	// Plan renders the scenario's driver and per-replica fault plans
+	// ("" for the baseline).
+	Plan     string
+	Replicas int
+	Class    string
+	// Detail explains failures.
+	Detail string
+	// Errors is the typed-error count among driver requests (only ever
+	// non-zero on loss-class scenarios).
+	Errors int
+	// Retries is the total retry count the driver clients performed.
+	Retries uint64
+	Wall    time.Duration
+}
+
+// Replay renders the hfchaos invocation that reruns exactly this
+// scenario's (seed, plan) coordinates.
+func (o Outcome) Replay() string {
+	return fmt.Sprintf("go run ./cmd/hfchaos -cluster -seeds %d -plans %d -replicas %d -v",
+		o.Seed, o.PlanIndex+1, o.Replicas)
+}
+
+// Report aggregates a sweep.
+type Report struct {
+	Outcomes []Outcome
+	Runs     int
+	Failures int
+}
+
+// Failed returns the failing outcomes.
+func (r *Report) Failed() []Outcome {
+	var out []Outcome
+	for _, o := range r.Outcomes {
+		if o.Class == ClassFail {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// String renders the class histogram and every failure with its replay
+// command.
+func (r *Report) String() string {
+	byClass := map[string]int{}
+	for _, o := range r.Outcomes {
+		byClass[o.Class]++
+	}
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster chaos: %d scenarios, %d failures\n", r.Runs, r.Failures)
+	for _, c := range classes {
+		fmt.Fprintf(&b, "  %-14s %d\n", c, byClass[c])
+	}
+	for _, o := range r.Failed() {
+		fmt.Fprintf(&b, "FAIL seed=%d plan=%d %s: %s\n  replay: %s\n",
+			o.Seed, o.PlanIndex, o.Plan, o.Detail, o.Replay())
+	}
+	return b.String()
+}
+
+// universe is the spec mix every scenario draws requests from: two
+// designs of one benchmark (peer-fill traffic between owners), a
+// single-threaded baseline, and a second benchmark.
+func universe() []hfstream.Spec {
+	return []hfstream.Spec{
+		{Bench: "bzip2", Design: "EXISTING"},
+		{Bench: "bzip2", Design: "MEMOPTI"},
+		{Bench: "bzip2", Single: true},
+		{Bench: "adpcmdec", Design: "EXISTING"},
+	}
+}
+
+// ReplicaPlan derives replica r's peering-channel fault plan for
+// (seed, planIndex). Even indices are delay-class, odd loss-class —
+// loss plans here may damage bodies, because every peering transfer is
+// digest-protected. Exposed so replays and tests agree with the sweep.
+func ReplicaPlan(seed int64, planIndex, replica int) faultnet.Plan {
+	salt := seed*1000 + int64(planIndex)*10 + int64(replica) + 1
+	if planIndex%2 == 0 {
+		return faultnet.RandomDelay(salt, 3)
+	}
+	return faultnet.RandomLoss(salt)
+}
+
+// DriverPlan derives the shared driving-client fault plan. Loss-class
+// driver plans draw only connection-level kinds (RandomDisconnect):
+// the public /v1/run channel carries no digest, so a damaged-but-
+// complete body there would be undetectable by design — the same
+// reason the sim-tier taxonomy omits sa-data-delay.
+func DriverPlan(seed int64, planIndex int) faultnet.Plan {
+	salt := seed*1000 + int64(planIndex)*10 + 9
+	if planIndex%2 == 0 {
+		return faultnet.RandomDelay(salt, 2)
+	}
+	return faultnet.RandomDisconnect(salt)
+}
+
+// reference is one universe cell's fault-free ground truth.
+type reference struct {
+	spec hfstream.Spec
+	key  string
+	body []byte
+}
+
+// Sweep runs the (seed x plan) scenario grid sequentially (each
+// scenario owns a whole cluster; running them in parallel would just
+// contend) and returns the classified report. The error is non-nil
+// only for setup problems; contract violations are per-outcome.
+func Sweep(ctx context.Context, cfg Config) (*Report, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, errors.New("cluster chaos: no seeds")
+	}
+	if cfg.PlansPerSeed == 0 {
+		cfg.PlansPerSeed = 4
+	}
+	if cfg.Replicas <= 1 {
+		cfg.Replicas = 3
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 24
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	if cfg.MaxLatency <= 0 {
+		cfg.MaxLatency = 10 * time.Second
+	}
+
+	// Fault-free references, computed once through the library API — the
+	// same oracle /v1/run byte-equivalence is checked against in CI.
+	refs := make([]reference, 0, len(universe()))
+	for _, spec := range universe() {
+		norm, err := spec.Normalize()
+		if err != nil {
+			return nil, fmt.Errorf("cluster chaos: %w", err)
+		}
+		key, err := norm.Key()
+		if err != nil {
+			return nil, fmt.Errorf("cluster chaos: %w", err)
+		}
+		var buf bytes.Buffer
+		if _, err := norm.RunCtx(ctx, hfstream.WithMetrics(&buf)); err != nil {
+			return nil, fmt.Errorf("cluster chaos: reference for %s: %w", key, err)
+		}
+		refs = append(refs, reference{spec: norm, key: key, body: buf.Bytes()})
+	}
+
+	total := len(cfg.Seeds) * (1 + cfg.PlansPerSeed)
+	rep := &Report{Runs: total}
+	done := 0
+	for _, seed := range cfg.Seeds {
+		for planIdx := -1; planIdx < cfg.PlansPerSeed; planIdx++ {
+			if ctx.Err() != nil {
+				return rep, ctx.Err()
+			}
+			o := runScenario(ctx, cfg, refs, seed, planIdx)
+			rep.Outcomes = append(rep.Outcomes, o)
+			if o.Class == ClassFail {
+				rep.Failures++
+			}
+			done++
+			if cfg.Progress != nil {
+				cfg.Progress(done, total, o)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// replica is one in-process hfserve instance.
+type replica struct {
+	id      string
+	srv     *serve.Server
+	peering *scluster.Peering
+	httpSrv *http.Server
+	url     string
+	peerHC  *http.Client
+}
+
+// runScenario builds a fresh faulted cluster, drives the request mix,
+// audits the caches, and tears everything down.
+func runScenario(ctx context.Context, cfg Config, refs []reference, seed int64, planIdx int) (o Outcome) {
+	o = Outcome{Seed: seed, PlanIndex: planIdx, Replicas: cfg.Replicas}
+	start := time.Now()
+	defer func() {
+		o.Wall = time.Since(start)
+		if r := recover(); r != nil {
+			o.Class = ClassFail
+			o.Detail = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	sctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+
+	fail := func(format string, args ...interface{}) Outcome {
+		o.Class = ClassFail
+		o.Detail = fmt.Sprintf(format, args...)
+		return o
+	}
+
+	// ---- build the cluster ------------------------------------------
+	n := cfg.Replicas
+	listeners := make([]net.Listener, n)
+	urls := make(map[string]string, n)
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail("listen: %v", err)
+		}
+		defer ln.Close()
+		listeners[i] = ln
+		ids[i] = fmt.Sprintf("c%d", i)
+		urls[ids[i]] = "http://" + ln.Addr().String()
+	}
+
+	var planDesc []string
+	replicas := make([]*replica, n)
+	for i := 0; i < n; i++ {
+		peerHC := &http.Client{Transport: &http.Transport{}}
+		if planIdx >= 0 {
+			plan := ReplicaPlan(seed, planIdx, i)
+			planDesc = append(planDesc, fmt.Sprintf("%s=%s", ids[i], plan))
+			peerHC = faultnet.NewTransport(plan, &http.Transport{}).Client()
+		}
+		peering, err := scluster.New(scluster.Config{
+			Self:       ids[i],
+			Peers:      urls,
+			HTTPClient: peerHC,
+		})
+		if err != nil {
+			return fail("peering %s: %v", ids[i], err)
+		}
+		srv := serve.New(serve.Config{Workers: 2, Peer: peering})
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		replicas[i] = &replica{
+			id: ids[i], srv: srv, peering: peering, httpSrv: httpSrv,
+			url: urls[ids[i]], peerHC: peerHC,
+		}
+		go httpSrv.Serve(listeners[i])
+	}
+	defer func() {
+		for _, r := range replicas {
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			r.httpSrv.Shutdown(shutdownCtx)
+			r.srv.Drain(shutdownCtx)
+			r.peering.Close()
+			r.peerHC.CloseIdleConnections()
+			cancel()
+		}
+	}()
+
+	// ---- the driver -------------------------------------------------
+	// One shared fault transport in front of every driver client, so
+	// occurrence counting spans the whole request mix; plus seeded
+	// retries — the layer under test for absorbing transient faults.
+	driverTransport := &http.Transport{}
+	var driverHC *http.Client
+	var driverFaults *faultnet.Transport
+	if planIdx >= 0 {
+		plan := DriverPlan(seed, planIdx)
+		planDesc = append(planDesc, "driver="+plan.String())
+		driverFaults = faultnet.NewTransport(plan, driverTransport)
+		driverHC = driverFaults.Client()
+	} else {
+		driverHC = &http.Client{Transport: driverTransport}
+	}
+	defer driverTransport.CloseIdleConnections()
+	o.Plan = strings.Join(planDesc, " ")
+
+	clients := make([]*client.Client, n)
+	for i, r := range replicas {
+		clients[i] = client.New(r.url,
+			client.WithHTTPClient(driverHC),
+			client.WithRetry(client.RetryPolicy{
+				MaxAttempts: 4,
+				BaseDelay:   25 * time.Millisecond,
+				MaxDelay:    250 * time.Millisecond,
+				Seed:        seed,
+			}))
+	}
+
+	lossy := planIdx >= 0 && planIdx%2 == 1
+	type result struct {
+		spec    hfstream.Spec
+		body    []byte
+		err     error
+		latency time.Duration
+	}
+	const workers = 4
+	perWorker := cfg.Requests / workers
+	results := make([]result, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*100 + int64(w)))
+			for i := 0; i < perWorker; i++ {
+				ref := refs[rng.Intn(len(refs))]
+				cl := clients[rng.Intn(n)]
+				t0 := time.Now()
+				res, err := cl.Run(sctx, ref.spec)
+				r := result{spec: ref.spec, err: err, latency: time.Since(t0)}
+				if err == nil {
+					r.body = res.Body
+				}
+				results[w*perWorker+i] = r
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, cl := range clients {
+		o.Retries += cl.Retries()
+	}
+	if sctx.Err() != nil {
+		return fail("hang: scenario exceeded %v", cfg.Timeout)
+	}
+
+	// ---- the contract, request by request ---------------------------
+	refByKey := make(map[string][]byte, len(refs))
+	for _, r := range refs {
+		refByKey[r.key] = r.body
+	}
+	refFor := func(spec hfstream.Spec) []byte {
+		for _, r := range refs {
+			if r.spec == spec {
+				return r.body
+			}
+		}
+		return nil
+	}
+	for i, r := range results {
+		if r.err == nil {
+			if !bytes.Equal(r.body, refFor(r.spec)) {
+				return fail("request %d: silent corruption — %d bytes differ from the fault-free reference", i, len(r.body))
+			}
+			if !lossy && r.latency > cfg.MaxLatency {
+				return fail("request %d: latency %v exceeds the %v bound on a %s scenario",
+					i, r.latency.Round(time.Millisecond), cfg.MaxLatency, o.classNameForPlan())
+			}
+			continue
+		}
+		if !lossy {
+			return fail("request %d: error on a %s scenario: %v", i, o.classNameForPlan(), r.err)
+		}
+		if !typedError(r.err) {
+			return fail("request %d: untyped error under a loss plan: %v", i, r.err)
+		}
+		o.Errors++
+	}
+
+	// ---- post-run cache audit over clean channels -------------------
+	for _, rp := range replicas {
+		flushCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := rp.peering.Flush(flushCtx)
+		cancel()
+		if err != nil {
+			return fail("flush %s: %v", rp.id, err)
+		}
+	}
+	auditHC := &http.Client{Transport: &http.Transport{}}
+	defer auditHC.CloseIdleConnections()
+	for _, rp := range replicas {
+		auditCl := client.New(rp.url, client.WithHTTPClient(auditHC))
+		for key, want := range refByKey {
+			got, err := auditCl.PeerGet(context.Background(), key)
+			if errors.Is(err, client.ErrNotCached) {
+				continue // cold is clean
+			}
+			if err != nil {
+				return fail("audit %s key %s: %v", rp.id, key, err)
+			}
+			if !bytes.Equal(got, want) {
+				return fail("audit %s key %s: POISONED cache entry (%d bytes differ from reference)", rp.id, key, len(got))
+			}
+		}
+	}
+
+	// ---- degradation bound ------------------------------------------
+	// At worst every replica simulates every key locally once; a faulty
+	// peer tier must never amplify compute beyond that.
+	var runs uint64
+	for _, rp := range replicas {
+		runs += rp.srv.Metrics().Runs
+	}
+	if max := uint64(len(refs) * n); runs > max {
+		return fail("compute amplification: %d simulations across the cluster, bound is %d", runs, max)
+	}
+
+	switch {
+	case planIdx < 0:
+		o.Class = ClassBaselineOK
+	case lossy:
+		o.Class = ClassLossSurvived
+	default:
+		o.Class = ClassDelayOK
+	}
+	return o
+}
+
+// classNameForPlan names the non-loss scenario kind for messages.
+func (o Outcome) classNameForPlan() string {
+	if o.PlanIndex < 0 {
+		return "baseline"
+	}
+	return "delay-class"
+}
+
+// typedError reports whether err is an acceptable failure shape under a
+// loss plan: the typed API envelope, a digest-verification failure, a
+// truncated stream, or the injected connection-level fault itself.
+// Anything else — in particular plausible bytes with a decode error —
+// is a contract violation.
+func typedError(err error) bool {
+	var apiErr *client.APIError
+	var intErr *client.IntegrityError
+	switch {
+	case errors.As(err, &apiErr), errors.As(err, &intErr):
+		return true
+	case errors.Is(err, client.ErrTruncatedStream):
+		return true
+	case errors.Is(err, faultnet.ErrInjectedReset):
+		return true
+	}
+	// A severed TCP connection surfaces as a transport-level *url.Error;
+	// net-layer failures are typed by the stdlib.
+	var netErr net.Error
+	return errors.As(err, &netErr) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// corpus mirrors chaos/testdata/cluster_seeds.json.
+type corpus struct {
+	Seeds        []int64 `json:"seeds"`
+	PlansPerSeed int     `json:"plans_per_seed"`
+	Replicas     int     `json:"replicas"`
+}
+
+func loadCorpus(t *testing.T) corpus {
+	t.Helper()
+	raw, err := os.ReadFile("../testdata/cluster_seeds.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c corpus
+	if err := json.Unmarshal(raw, &c); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Seeds) == 0 || c.PlansPerSeed == 0 || c.Replicas == 0 {
+		t.Fatalf("degenerate corpus: %+v", c)
+	}
+	return c
+}
+
+// TestClusterChaosPlanDerivation pins the seeded plan derivation: the
+// class alternation, determinism, and the channel-safety rule that the
+// undigested driver channel never draws body-damage kinds.
+func TestClusterChaosPlanDerivation(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		for idx := 0; idx < 6; idx++ {
+			for r := 0; r < 3; r++ {
+				p := ReplicaPlan(seed, idx, r)
+				if p.String() != ReplicaPlan(seed, idx, r).String() {
+					t.Fatalf("ReplicaPlan(%d,%d,%d) not deterministic", seed, idx, r)
+				}
+				if err := p.Validate(); err != nil {
+					t.Fatalf("ReplicaPlan(%d,%d,%d): %v", seed, idx, r, err)
+				}
+				if wantLoss := idx%2 == 1; p.HasLoss() != wantLoss {
+					t.Fatalf("ReplicaPlan(%d,%d,%d) loss=%v, want %v", seed, idx, r, p.HasLoss(), wantLoss)
+				}
+			}
+			d := DriverPlan(seed, idx)
+			if err := d.Validate(); err != nil {
+				t.Fatalf("DriverPlan(%d,%d): %v", seed, idx, err)
+			}
+			for _, e := range d.Events {
+				if e.Kind.String() == "truncate-body" || e.Kind.String() == "corrupt-body" {
+					t.Fatalf("DriverPlan(%d,%d) drew body-damage kind %s for the undigested channel", seed, idx, e.Kind)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterChaosSmoke runs the first corpus seed's full scenario set
+// — baseline, two delay plans, two loss plans — against real replicas,
+// expecting zero contract violations, and checks that the harness
+// winds all of its goroutines down.
+func TestClusterChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos smoke is not a -short test")
+	}
+	c := loadCorpus(t)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	rep, err := Sweep(ctx, Config{
+		Seeds:        c.Seeds[:1], // CI smoke: one seed; the full corpus runs via cmd/hfchaos -cluster
+		PlansPerSeed: c.PlansPerSeed,
+		Replicas:     c.Replicas,
+		Progress: func(done, total int, o Outcome) {
+			t.Logf("[%d/%d] seed=%d plan=%d %-14s errors=%d retries=%d %v",
+				done, total, o.Seed, o.PlanIndex, o.Class, o.Errors, o.Retries, o.Wall.Round(time.Millisecond))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures > 0 {
+		t.Fatalf("contract violations:\n%s", rep.String())
+	}
+	if rep.Runs != 1+c.PlansPerSeed {
+		t.Fatalf("ran %d scenarios, want %d", rep.Runs, 1+c.PlansPerSeed)
+	}
+	// Every class must appear: a sweep whose loss plans never fired
+	// would be vacuous.
+	seen := map[string]bool{}
+	for _, o := range rep.Outcomes {
+		seen[o.Class] = true
+	}
+	for _, want := range []string{ClassBaselineOK, ClassDelayOK, ClassLossSurvived} {
+		if !seen[want] {
+			t.Errorf("no scenario classified %s:\n%s", want, rep.String())
+		}
+	}
+
+	// Leak check: the scenarios' servers, peerings, and transports must
+	// all be gone.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before sweep, %d after", before, runtime.NumGoroutine())
+}

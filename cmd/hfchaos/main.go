@@ -6,12 +6,21 @@
 // printed by one invocation replays bit-exactly with the command it
 // names.
 //
+// With -cluster the sweep moves up a tier: instead of driving the sim
+// kernel directly, each scenario spins up a peered hfserve cluster on
+// loopback, injects seeded network faults (serve/faultnet) into the
+// peering channels and the driving clients, and checks the service
+// contract — byte-correct or typed-error responses, zero poisoned
+// cache entries, bounded compute amplification.
+//
 // Usage:
 //
 //	hfchaos                          # default corpus: seeds 1..6, 4 plans each
 //	hfchaos -seeds 1,2,3 -plans 8
 //	hfchaos -seed0 100 -n 20         # seeds 100..119
 //	hfchaos -seeds 4 -designs SYNCOPTI -plans 2 -v   # replay one case
+//	hfchaos -cluster -seeds 1,2,3    # service-tier chaos: faulted hfserve clusters
+//	hfchaos -cluster -seeds 2 -plans 4 -replicas 3 -v   # replay one scenario set
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 
 	"hfstream"
 	"hfstream/chaos"
+	clusterchaos "hfstream/chaos/cluster"
 )
 
 func main() {
@@ -38,6 +48,10 @@ func main() {
 		jobs     = flag.Int("j", 0, "worker-pool width (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 60*time.Second, "per-run wall-clock limit; exceeding it is a failure")
 		verbose  = flag.Bool("v", false, "print every run as it completes")
+
+		clusterMode = flag.Bool("cluster", false, "service-tier chaos: faulted hfserve clusters instead of kernel runs")
+		replicas    = flag.Int("replicas", 3, "with -cluster: replicas per scenario")
+		requests    = flag.Int("requests", 24, "with -cluster: driver requests per scenario")
 	)
 	flag.Parse()
 
@@ -59,6 +73,10 @@ func main() {
 			}
 			cfg.Seeds = append(cfg.Seeds, v)
 		}
+	}
+	if *clusterMode {
+		runCluster(cfg.Seeds, *plans, *replicas, *requests, *timeout, *verbose)
+		return
 	}
 	if *designs != "" {
 		for _, name := range strings.Split(*designs, ",") {
@@ -100,6 +118,52 @@ func main() {
 
 	start := time.Now()
 	rep, err := chaos.Sweep(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfchaos:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s(%v)\n", rep.String(), time.Since(start).Round(time.Millisecond))
+	if rep.Failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// runCluster executes the service-tier sweep and exits with the
+// appropriate status.
+func runCluster(seeds []int64, plans, replicas, requests int, timeout time.Duration, verbose bool) {
+	cfg := clusterchaos.Config{
+		Seeds:        seeds,
+		PlansPerSeed: plans,
+		Replicas:     replicas,
+		Requests:     requests,
+		Timeout:      timeout,
+	}
+	if verbose {
+		cfg.Progress = func(done, total int, o clusterchaos.Outcome) {
+			plan := o.Plan
+			if plan == "" {
+				plan = "baseline"
+			}
+			detail := ""
+			if o.Detail != "" {
+				detail = " (" + o.Detail + ")"
+			}
+			fmt.Printf("[%3d/%3d] seed=%-4d plan=%-2d %-14s errors=%d retries=%d %v%s\n        %s\n",
+				done, total, o.Seed, o.PlanIndex, o.Class, o.Errors, o.Retries,
+				o.Wall.Round(time.Millisecond), detail, plan)
+		}
+	} else {
+		cfg.Progress = func(done, total int, o clusterchaos.Outcome) {
+			if o.Class == clusterchaos.ClassFail {
+				fmt.Fprintf(os.Stderr, "hfchaos: FAIL seed=%d plan=%d: %s\n", o.Seed, o.PlanIndex, o.Detail)
+			}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	start := time.Now()
+	rep, err := clusterchaos.Sweep(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hfchaos:", err)
 		os.Exit(1)

@@ -74,6 +74,7 @@ func main() {
 		single      = flag.Bool("single", true, "include each benchmark's single-threaded baseline cell")
 		stagesFlag  = flag.String("stages", "", "comma list of staged-pipeline stage counts to add per (bench,design)")
 		conc        = flag.Int("conc", 24, "closed-loop worker count (offered concurrency)")
+		retries     = flag.Int("retries", 0, "retry attempts per request beyond the first (0 = no retry layer)")
 		duration    = flag.Duration("duration", 3*time.Second, "measurement duration per phase")
 		skew        = flag.Float64("skew", 1.2, "Zipf skew s (> 1) over the spec universe")
 		seed        = flag.Int64("seed", 1, "workload seed (per-worker streams derive from it)")
@@ -126,12 +127,15 @@ func main() {
 	rep.Config.CapRPS = *capRPS
 	rep.Config.WorkersPerReplica = *workers
 	rep.Config.Replication = *replication
+	rep.Config.Retries = *retries
 
 	if *urlsFlag != "" {
 		urls := splitList(*urlsFlag)
 		clients := make([]*client.Client, len(urls))
 		for i, u := range urls {
-			clients[i] = client.New(u, client.WithHTTPClient(loadHTTPClient(*conc)))
+			opts := []client.Option{client.WithHTTPClient(loadHTTPClient(*conc))}
+			opts = append(opts, retryOptions(*retries, *seed)...)
+			clients[i] = client.New(u, opts...)
 		}
 		rep.Config.CapRPS = 0 // external replicas have real capacity
 		ph := runPhase(ctx, clients, load)
@@ -150,6 +154,7 @@ func main() {
 				replication: *replication,
 				peerTimeout: *peerTimeout,
 				capRPS:      *capRPS,
+				retries:     *retries,
 			}, load)
 			if err != nil {
 				fatal(err)
@@ -182,6 +187,7 @@ func main() {
 			"hfload: replicas=%d throughput=%.1f rps p50=%.2fms p95=%.2fms p99=%.2fms shed=%.3f local=%.3f peer=%.3f speedup=%.2fx\n",
 			ph.Replicas, ph.ThroughputRPS, ph.P50Ms, ph.P95Ms, ph.P99Ms,
 			ph.ShedRate, ph.HitRatioLocal, ph.HitRatioPeer, ph.SpeedupVsFirst)
+		fmt.Fprintf(os.Stderr, "hfload: error-budget replicas=%d %s\n", ph.Replicas, ph.ErrorBudget.line())
 	}
 
 	// SLO checks (CI smoke): the report must demonstrate scaling and a
@@ -296,6 +302,18 @@ func expandCells(benchesRaw, designsRaw string, single bool, stagesRaw string) (
 	return cells, nil
 }
 
+// retryOptions builds the client retry layer for -retries > 0: bounded
+// attempts with seeded-jitter backoff, honoring server Retry-After.
+func retryOptions(retries int, seed int64) []client.Option {
+	if retries <= 0 {
+		return nil
+	}
+	return []client.Option{client.WithRetry(client.RetryPolicy{
+		MaxAttempts: retries + 1,
+		Seed:        seed,
+	})}
+}
+
 func loadHTTPClient(conc int) *http.Client {
 	return &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        conc * 2,
@@ -322,6 +340,7 @@ type report struct {
 		CapRPS            float64  `json:"cap_rps"`
 		WorkersPerReplica int      `json:"workers_per_replica"`
 		Replication       int      `json:"replication"`
+		Retries           int      `json:"retries"`
 	} `json:"config"`
 	Phases []phaseReport `json:"phases"`
 }
@@ -352,12 +371,49 @@ type phaseReport struct {
 	HitRatioLocal float64 `json:"hit_ratio_local"`
 	HitRatioPeer  float64 `json:"hit_ratio_peer"`
 
+	// ErrorBudget accounts for every failed request by typed error code
+	// plus the resilience work spent absorbing transient failures.
+	ErrorBudget errorBudget `json:"error_budget"`
+
 	// Sims is the per-replica simulation count — across the phase, every
 	// distinct key should be simulated once cluster-wide once peering
 	// converges.
 	Sims []uint64 `json:"sims_per_replica,omitempty"`
 	// Peer aggregates the peering-tier counters over all replicas.
 	Peer *serve.PeerStats `json:"peer,omitempty"`
+}
+
+// errorBudget is the per-phase resilience ledger: what failed (by
+// typed code), what the retry layer absorbed, and how often circuit
+// breakers opened on the peer tier.
+type errorBudget struct {
+	// ByCode counts failed requests by their typed error code
+	// ("queue_full" entries are the shed requests; transport-level
+	// failures appear under "transport").
+	ByCode map[string]int `json:"by_code,omitempty"`
+	// Retries is the total retry attempts the driver clients performed.
+	Retries uint64 `json:"retries"`
+	// BreakerOpens counts closed-to-open circuit-breaker transitions on
+	// the peer tier (in-process mode, aggregated over replicas).
+	BreakerOpens uint64 `json:"breaker_opens"`
+}
+
+// line renders the budget as the one-line stderr summary.
+func (eb errorBudget) line() string {
+	codes := make([]string, 0, len(eb.ByCode))
+	for c := range eb.ByCode {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	parts := make([]string, 0, len(codes))
+	for _, c := range codes {
+		parts = append(parts, fmt.Sprintf("%s=%d", c, eb.ByCode[c]))
+	}
+	byCode := "-"
+	if len(parts) > 0 {
+		byCode = strings.Join(parts, ",")
+	}
+	return fmt.Sprintf("codes=%s retries=%d breaker-opens=%d", byCode, eb.Retries, eb.BreakerOpens)
 }
 
 // ---- load loop ------------------------------------------------------
@@ -379,6 +435,10 @@ type workerTally struct {
 	hitsLocal int
 	hitsPeer  int
 	coalesced int
+	// error budget: failures split by typed error code, plus
+	// transport-level failures that never produced an envelope.
+	errCodes  map[string]int
+	transport int
 }
 
 // runPhase drives the closed loop against the given replica clients and
@@ -404,10 +464,22 @@ func runPhase(ctx context.Context, clients []*client.Client, load loadConfig) ph
 				res, err := cl.Run(ctx, spec)
 				lat := time.Since(t0)
 				if err != nil {
+					if ctx.Err() != nil {
+						continue
+					}
 					var apiErr *client.APIError
-					if errors.As(err, &apiErr) && apiErr.Detail.Code == "queue_full" {
-						tally.shed++
-					} else if ctx.Err() == nil {
+					if errors.As(err, &apiErr) {
+						if tally.errCodes == nil {
+							tally.errCodes = make(map[string]int)
+						}
+						tally.errCodes[apiErr.Detail.Code]++
+						if apiErr.Detail.Code == "queue_full" {
+							tally.shed++
+						} else {
+							tally.errors++
+						}
+					} else {
+						tally.transport++
 						tally.errors++
 					}
 					continue
@@ -444,6 +516,24 @@ func runPhase(ctx context.Context, clients []*client.Client, load loadConfig) ph
 		ph.Coalesced += t.coalesced
 		all = append(all, t.latencies...)
 	}
+	for i := range tallies {
+		t := &tallies[i]
+		if t.transport > 0 {
+			if ph.ErrorBudget.ByCode == nil {
+				ph.ErrorBudget.ByCode = make(map[string]int)
+			}
+			ph.ErrorBudget.ByCode["transport"] += t.transport
+		}
+		for code, cnt := range t.errCodes {
+			if ph.ErrorBudget.ByCode == nil {
+				ph.ErrorBudget.ByCode = make(map[string]int)
+			}
+			ph.ErrorBudget.ByCode[code] += cnt
+		}
+	}
+	for _, cl := range clients {
+		ph.ErrorBudget.Retries += cl.Retries()
+	}
 	ph.Requests = ph.Succeeded + ph.Shed + ph.Errors
 	ph.ThroughputRPS = float64(ph.Succeeded) / elapsed.Seconds()
 	if ph.Requests > 0 {
@@ -477,6 +567,7 @@ type inprocConfig struct {
 	replication int
 	peerTimeout time.Duration
 	capRPS      float64
+	retries     int
 }
 
 type replicaProc struct {
@@ -586,7 +677,9 @@ func runInprocPhase(ctx context.Context, n int, cfg inprocConfig, load loadConfi
 	clients := make([]*client.Client, n)
 	hc := loadHTTPClient(load.conc)
 	for i, r := range replicas {
-		clients[i] = client.New(r.url, client.WithHTTPClient(hc))
+		opts := []client.Option{client.WithHTTPClient(hc)}
+		opts = append(opts, retryOptions(cfg.retries, load.seed)...)
+		clients[i] = client.New(r.url, opts...)
 	}
 
 	ph := runPhase(ctx, clients, load)
@@ -607,10 +700,13 @@ func runInprocPhase(ctx context.Context, n int, cfg inprocConfig, load loadConfi
 			peerAgg.StoreErrors += m.Peer.StoreErrors
 			peerAgg.StoreDropped += m.Peer.StoreDropped
 			peerAgg.PeersDown += m.Peer.PeersDown
+			peerAgg.BreakerOpens += m.Peer.BreakerOpens
+			peerAgg.IntegrityDrops += m.Peer.IntegrityDrops
 		}
 	}
 	if n > 1 {
 		ph.Peer = &peerAgg
+		ph.ErrorBudget.BreakerOpens = peerAgg.BreakerOpens
 	}
 	return ph, nil
 }

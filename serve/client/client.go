@@ -23,6 +23,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"hfstream"
 	"hfstream/serve"
@@ -31,8 +32,9 @@ import (
 // Client talks to one hfserve replica. The zero value is not usable;
 // construct with New. Clients are safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *retrier
 }
 
 // Option customizes a Client.
@@ -65,6 +67,10 @@ type APIError struct {
 	Status int
 	// Detail is the decoded envelope payload.
 	Detail serve.ErrorDetail
+	// RetryAfter is the response's Retry-After hint (zero when the
+	// header was absent). The retry layer waits at least this long
+	// before the next attempt.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -82,15 +88,49 @@ func (e *APIError) Is(target error) bool {
 	return target == ErrNotCached && e.Detail.Code == "not_cached"
 }
 
-// decodeAPIError turns a non-2xx body into *APIError; a body that is
-// not a well-formed envelope still produces a typed error with code
+// IntegrityError reports a peer-tier body that failed digest
+// verification: the transfer was truncated or corrupted in flight.
+// The caller must treat the bytes as garbage — count, drop, and fall
+// back to local simulation; never cache.
+type IntegrityError struct {
+	// Key is the spec key whose body failed verification.
+	Key string
+	// Want is the digest the sender declared ("" = header missing).
+	Want string
+	// Got is the digest of the bytes actually received.
+	Got string
+}
+
+func (e *IntegrityError) Error() string {
+	if e.Want == "" {
+		return fmt.Sprintf("hfserve: peer body for %s carries no digest", e.Key)
+	}
+	return fmt.Sprintf("hfserve: peer body for %s failed digest check (want %s, got %s)", e.Key, e.Want, e.Got)
+}
+
+// parseRetryAfter reads an integral-seconds Retry-After header
+// (the only form hfserve emits); anything else reads as zero.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// decodeAPIError turns a non-2xx response into *APIError; a body that
+// is not a well-formed envelope still produces a typed error with code
 // "internal" and the raw body as message.
-func decodeAPIError(status int, body []byte) *APIError {
+func decodeAPIError(resp *http.Response, body []byte) *APIError {
 	var env serve.ErrorEnvelope
 	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
 		env.Error = serve.ErrorDetail{Code: "internal", Message: string(bytes.TrimSpace(body))}
 	}
-	return &APIError{Status: status, Detail: env.Error}
+	return &APIError{Status: resp.StatusCode, Detail: env.Error, RetryAfter: parseRetryAfter(resp.Header)}
 }
 
 // RunResult is one successful /v1/run response: the exact metrics bytes
@@ -116,8 +156,19 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 }
 
 // Run executes spec on the replica (or serves it from cache) and
-// returns the metrics bytes. Failures are *APIError.
+// returns the metrics bytes. Failures are *APIError. Under WithRetry,
+// retryable failures are re-attempted with backoff.
 func (c *Client) Run(ctx context.Context, spec hfstream.Spec) (*RunResult, error) {
+	var res *RunResult
+	err := c.withRetry(ctx, func() error {
+		r, err := c.runOnce(ctx, spec)
+		res = r
+		return err
+	})
+	return res, err
+}
+
+func (c *Client) runOnce(ctx context.Context, spec hfstream.Spec) (*RunResult, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
@@ -137,7 +188,7 @@ func (c *Client) Run(ctx context.Context, spec hfstream.Spec) (*RunResult, error
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, decodeAPIError(resp.StatusCode, out)
+		return nil, decodeAPIError(resp, out)
 	}
 	return &RunResult{
 		Body:  out,
@@ -153,12 +204,22 @@ type StreamOpts struct {
 	ProgressEvery uint64
 }
 
+// ErrTruncatedStream reports an NDJSON stream that ended without
+// reaching a terminal event — the connection died (or the server was
+// killed) mid-stream. Without this check a mid-stream disconnect is
+// indistinguishable from a clean end: TCP FIN and a finished response
+// look identical to the reader.
+var ErrTruncatedStream = errors.New("hfserve: stream truncated before terminal event")
+
 // EventStream iterates the typed NDJSON events of a streaming response.
 // Always Close it (closing cancels the underlying run if the stream is
 // abandoned mid-flight).
 type EventStream struct {
 	body io.ReadCloser
 	sc   *bufio.Scanner
+	// terminal flips when a stream-ending event has been seen, making
+	// a subsequent EOF clean rather than a truncation.
+	terminal bool
 }
 
 func newEventStream(body io.ReadCloser) *EventStream {
@@ -168,16 +229,31 @@ func newEventStream(body io.ReadCloser) *EventStream {
 }
 
 // Next returns the next event, or io.EOF when the stream ends cleanly.
+// A stream that ends before its terminal event — the done event, or a
+// run-level error event (which /run streams emit instead of done; a
+// sweep's per-cell error events carry their cell's Spec and are not
+// terminal) — returns an error matching ErrTruncatedStream instead of
+// a silent clean end.
 func (s *EventStream) Next() (*serve.StreamEvent, error) {
 	if !s.sc.Scan() {
-		if err := s.sc.Err(); err != nil {
-			return nil, err
+		err := s.sc.Err()
+		if s.terminal {
+			if err != nil {
+				return nil, err
+			}
+			return nil, io.EOF
 		}
-		return nil, io.EOF
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrTruncatedStream, err)
+		}
+		return nil, ErrTruncatedStream
 	}
 	var ev serve.StreamEvent
 	if err := json.Unmarshal(s.sc.Bytes(), &ev); err != nil {
 		return nil, fmt.Errorf("hfserve: bad stream event %q: %w", s.sc.Text(), err)
+	}
+	if ev.Type == "done" || (ev.Type == "error" && ev.Spec == nil) {
+		s.terminal = true
 	}
 	return &ev, nil
 }
@@ -216,7 +292,7 @@ func (c *Client) stream(ctx context.Context, path string, body []byte) (*EventSt
 	if resp.StatusCode != http.StatusOK {
 		defer resp.Body.Close()
 		out, _ := io.ReadAll(resp.Body)
-		return nil, decodeAPIError(resp.StatusCode, out)
+		return nil, decodeAPIError(resp, out)
 	}
 	return newEventStream(resp.Body), nil
 }
@@ -250,6 +326,16 @@ func (c *Client) Sweep(ctx context.Context, req serve.SweepRequest) (*EventStrea
 
 // Metrics fetches the replica's /v1/metrics counter snapshot.
 func (c *Client) Metrics(ctx context.Context) (*serve.Metrics, error) {
+	var m *serve.Metrics
+	err := c.withRetry(ctx, func() error {
+		got, err := c.metricsOnce(ctx)
+		m = got
+		return err
+	})
+	return m, err
+}
+
+func (c *Client) metricsOnce(ctx context.Context) (*serve.Metrics, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metrics", nil)
 	if err != nil {
 		return nil, err
@@ -264,7 +350,7 @@ func (c *Client) Metrics(ctx context.Context) (*serve.Metrics, error) {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, decodeAPIError(resp.StatusCode, out)
+		return nil, decodeAPIError(resp, out)
 	}
 	var m serve.Metrics
 	if err := json.Unmarshal(out, &m); err != nil {
@@ -301,9 +387,22 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 }
 
 // PeerGet fetches the cached bytes for key from this replica's cache
-// tier endpoint. A cold shard returns an *APIError matching
-// ErrNotCached; the endpoint never simulates.
+// tier endpoint and verifies them against the X-Hfserve-Digest header
+// before returning — a truncated or bit-flipped transfer surfaces as
+// *IntegrityError, never as plausible-looking bytes. A cold shard
+// returns an *APIError matching ErrNotCached; the endpoint never
+// simulates.
 func (c *Client) PeerGet(ctx context.Context, key string) ([]byte, error) {
+	var out []byte
+	err := c.withRetry(ctx, func() error {
+		got, err := c.peerGetOnce(ctx, key)
+		out = got
+		return err
+	})
+	return out, err
+}
+
+func (c *Client) peerGetOnce(ctx context.Context, key string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/peer/"+key, nil)
 	if err != nil {
 		return nil, err
@@ -318,18 +417,37 @@ func (c *Client) PeerGet(ctx context.Context, key string) ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, decodeAPIError(resp.StatusCode, out)
+		return nil, decodeAPIError(resp, out)
+	}
+	want := resp.Header.Get(serve.HeaderDigest)
+	if got := serve.Digest(out); want == "" || got != want {
+		return nil, &IntegrityError{Key: key, Want: want, Got: serve.Digest(out)}
 	}
 	return out, nil
 }
 
-// PeerPut publishes a computed result into this replica's cache tier.
-func (c *Client) PeerPut(ctx context.Context, key string, body []byte) error {
+// PeerPut publishes a computed result into this replica's cache tier,
+// declaring the body digest and the spec the key was derived from so
+// the receiver can verify both before caching (a transfer damaged in
+// flight is rejected with 400, never stored).
+func (c *Client) PeerPut(ctx context.Context, key string, spec hfstream.Spec, body []byte) error {
+	canon, err := spec.Canonical()
+	if err != nil {
+		return err
+	}
+	return c.withRetry(ctx, func() error {
+		return c.peerPutOnce(ctx, key, canon, body)
+	})
+}
+
+func (c *Client) peerPutOnce(ctx context.Context, key string, canon, body []byte) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+"/v1/peer/"+key, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.HeaderDigest, serve.Digest(body))
+	req.Header.Set(serve.HeaderSpec, string(canon))
 	resp, err := c.do(req)
 	if err != nil {
 		return err
@@ -337,7 +455,7 @@ func (c *Client) PeerPut(ctx context.Context, key string, body []byte) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
 		out, _ := io.ReadAll(resp.Body)
-		return decodeAPIError(resp.StatusCode, out)
+		return decodeAPIError(resp, out)
 	}
 	return nil
 }

@@ -159,24 +159,71 @@ func TestClientMetricsAndHealth(t *testing.T) {
 }
 
 func TestClientPeerVerbs(t *testing.T) {
-	_, cl := newServerAndClient(t)
+	// Two replicas: run on A for a real (key, body), publish to B, read
+	// it back digest-verified.
+	_, clA := newServerAndClient(t)
+	_, clB := newServerAndClient(t)
 	ctx := context.Background()
-	key := strings.Repeat("cd", 32)
 
-	_, err := cl.PeerGet(ctx, key)
-	if !errors.Is(err, client.ErrNotCached) {
-		t.Fatalf("cold PeerGet error = %v, want ErrNotCached match", err)
-	}
-	payload := []byte(`{"p":"q"}`)
-	if err := cl.PeerPut(ctx, key, payload); err != nil {
+	res, err := clA.Run(ctx, testSpec)
+	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cl.PeerGet(ctx, key)
-	if err != nil || !bytes.Equal(got, payload) {
-		t.Fatalf("PeerGet after put: %q, %v", got, err)
+	if _, err := clB.PeerGet(ctx, res.Key); !errors.Is(err, client.ErrNotCached) {
+		t.Fatalf("cold PeerGet error = %v, want ErrNotCached match", err)
 	}
-	if err := cl.PeerPut(ctx, "bogus-key", payload); err == nil {
+	if err := clB.PeerPut(ctx, res.Key, testSpec, res.Body); err != nil {
+		t.Fatal(err)
+	}
+	got, err := clB.PeerGet(ctx, res.Key)
+	if err != nil || !bytes.Equal(got, res.Body) {
+		t.Fatalf("PeerGet after put: %d bytes, %v", len(got), err)
+	}
+	if err := clB.PeerPut(ctx, "bogus-key", testSpec, res.Body); err == nil {
 		t.Error("PeerPut with a malformed key succeeded")
+	}
+	// A body that doesn't belong to the key is refused server-side with
+	// the typed integrity/bad_request envelope.
+	otherKey := strings.Repeat("cd", 32)
+	var apiErr *client.APIError
+	if err := clB.PeerPut(ctx, otherKey, testSpec, res.Body); !errors.As(err, &apiErr) {
+		t.Errorf("PeerPut under a foreign key: err=%v, want *APIError", err)
+	}
+}
+
+// TestClientPeerGetDigestVerification: a server that serves bytes with
+// a wrong (or missing) digest header gets caught client-side with a
+// typed *IntegrityError — the bytes never reach the caller.
+func TestClientPeerGetDigestVerification(t *testing.T) {
+	body := []byte(`{"benchmark":"bzip2","design":"SINGLE"}`)
+	var digest string // per-case
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if digest != "" {
+			w.Header().Set(serve.HeaderDigest, digest)
+		}
+		w.Write(body)
+	}))
+	defer ts.Close()
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+	key := strings.Repeat("ab", 32)
+
+	// Honest digest: bytes flow.
+	digest = serve.Digest(body)
+	got, err := cl.PeerGet(ctx, key)
+	if err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("verified PeerGet: %v", err)
+	}
+	// Wrong digest (a corrupted or truncated transfer): typed error.
+	digest = serve.Digest([]byte("other"))
+	var ie *client.IntegrityError
+	if _, err := cl.PeerGet(ctx, key); !errors.As(err, &ie) {
+		t.Fatalf("corrupt PeerGet error = %v, want *IntegrityError", err)
+	}
+	// Missing digest (a legacy or hostile peer): also refused.
+	digest = ""
+	if _, err := cl.PeerGet(ctx, key); !errors.As(err, &ie) {
+		t.Fatalf("digestless PeerGet error = %v, want *IntegrityError", err)
 	}
 }
 

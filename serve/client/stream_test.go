@@ -1,0 +1,142 @@
+package client_test
+
+// Truncation-detection tests: an NDJSON stream that dies mid-flight
+// must surface as ErrTruncatedStream, never as a silent clean EOF.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hfstream"
+	"hfstream/serve/client"
+)
+
+// streamServer serves the given NDJSON lines on any request, then
+// either returns cleanly or kills the connection mid-stream.
+func streamServer(t *testing.T, lines []string, kill bool) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fl, _ := w.(http.Flusher)
+		for _, ln := range lines {
+			io.WriteString(w, ln+"\n")
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if kill {
+			// Abort the handler: the server severs the connection without
+			// a terminating chunk, exactly what a crashed replica does.
+			panic(http.ErrAbortHandler)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestStreamTruncatedByServerKill(t *testing.T) {
+	ts := streamServer(t, []string{
+		`{"type":"progress","seq":1,"cycle":1000}`,
+	}, true)
+	st, err := client.New(ts.URL).RunStream(context.Background(), testSpec, client.StreamOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	ev, err := st.Next()
+	if err != nil || ev.Type != "progress" {
+		t.Fatalf("first event: %+v, %v", ev, err)
+	}
+	if _, err := st.Next(); !errors.Is(err, client.ErrTruncatedStream) {
+		t.Fatalf("after mid-stream kill: err = %v, want ErrTruncatedStream", err)
+	}
+}
+
+func TestStreamTruncatedByCleanCloseWithoutDone(t *testing.T) {
+	// The dangerous case: the response ends *cleanly* (proper chunked
+	// terminator) but no terminal event was sent — e.g. a proxy timed the
+	// backend out and closed the downstream politely. Byte-level nothing
+	// is wrong; protocol-level the run never finished.
+	ts := streamServer(t, []string{
+		`{"type":"progress","seq":1,"cycle":1000}`,
+		`{"type":"progress","seq":2,"cycle":2000}`,
+	}, false)
+	st, err := client.New(ts.URL).RunStream(context.Background(), testSpec, client.StreamOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	events, err := st.All()
+	if !errors.Is(err, client.ErrTruncatedStream) {
+		t.Fatalf("All() err = %v, want ErrTruncatedStream", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("All() kept %d events before the truncation", len(events))
+	}
+}
+
+func TestStreamRunLevelErrorIsTerminal(t *testing.T) {
+	// A /run stream that ends on a run-level error event (no done
+	// follows it by design) is complete, not truncated.
+	ts := streamServer(t, []string{
+		`{"type":"progress","seq":1,"cycle":1000}`,
+		`{"type":"error","seq":2,"error":{"code":"deadlock","message":"stalled"}}`,
+	}, false)
+	st, err := client.New(ts.URL).RunStream(context.Background(), testSpec, client.StreamOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	events, err := st.All()
+	if err != nil {
+		t.Fatalf("run-level error stream: %v, want clean EOF", err)
+	}
+	if len(events) != 2 || events[1].Type != "error" {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+// TestStreamRealServerKilledMidRun drives a real serve.Server through a
+// reverse proxy that cuts the connection after the first newline — the
+// end-to-end version of the kill test.
+func TestStreamRealServerKilledMidRun(t *testing.T) {
+	_, cl := newServerAndClient(t)
+	// Sanity: against the healthy server the same stream is complete.
+	st, err := cl.RunStream(context.Background(), testSpec, client.StreamOpts{ProgressEvery: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.All(); err != nil {
+		t.Fatalf("healthy stream: %v", err)
+	}
+	st.Close()
+
+	// A sweep's per-cell error events carry their Spec and must NOT be
+	// terminal: cells after a failed one still arrive.
+	spec := hfstream.Spec{Bench: "bzip2", Design: "EXISTING"}
+	cell, _ := json.Marshal(spec)
+	ts := streamServer(t, []string{
+		`{"type":"error","seq":1,"spec":` + string(cell) + `,"error":{"code":"run_failed","message":"cell failed"}}`,
+		`{"type":"done","seq":2,"cells":1,"ran":0,"errors":1}`,
+	}, false)
+	st2, err := client.New(ts.URL).RunStream(context.Background(), testSpec, client.StreamOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	events, err := st2.All()
+	if err != nil {
+		t.Fatalf("sweep-style stream with a per-cell error: %v", err)
+	}
+	if len(events) != 2 || events[1].Type != "done" {
+		t.Fatalf("events = %+v", events)
+	}
+}

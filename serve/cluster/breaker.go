@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the peering layer so breaker transitions
+// (open cooldowns, half-open probes) are unit-testable without
+// time.Sleep. Production uses the real clock; tests inject a manual
+// one and advance it deterministically.
+type Clock interface {
+	Now() time.Time
+}
+
+// realClock is the production Clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// Breaker states.
+const (
+	brClosed = iota
+	brOpen
+	brHalfOpen
+)
+
+// breaker is a per-peer circuit breaker, replacing the old advisory
+// down-marking with explicit closed → open → half-open transitions:
+//
+//   - closed: requests flow; FailThreshold consecutive failures open
+//     the breaker.
+//   - open: every request is skipped (the peer isn't even dialed)
+//     until the cooldown elapses.
+//   - half-open: after the cooldown, exactly one probe request is
+//     admitted; its success closes the breaker, its failure reopens it
+//     (counted as another open) and restarts the cooldown.
+//
+// Like the down-marking it replaces, the breaker is advisory on the
+// fill path — it only decides whether a fill bothers trying, so a
+// stale state costs a cache miss (one local simulation), never a
+// failed request.
+type breaker struct {
+	mu       sync.Mutex
+	state    int
+	fails    int
+	openedAt time.Time
+	opens    uint64
+}
+
+// allow reports whether a request to this peer may proceed at time
+// now. In the open state, the first allow after cooldown moves to
+// half-open and admits the single probe.
+func (b *breaker) allow(now time.Time, cooldown time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brClosed:
+		return true
+	case brOpen:
+		if now.Sub(b.openedAt) >= cooldown {
+			b.state = brHalfOpen
+			return true
+		}
+		return false
+	default: // brHalfOpen: the probe is already in flight
+		return false
+	}
+}
+
+// success records a completed request: any success fully closes the
+// breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = brClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// failure records a failed request at time now: a half-open probe
+// failure reopens immediately; in the closed state the consecutive
+// failure count opens at threshold.
+func (b *breaker) failure(threshold int, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brHalfOpen:
+		b.state = brOpen
+		b.openedAt = now
+		b.opens++
+	case brClosed:
+		b.fails++
+		if b.fails >= threshold {
+			b.state = brOpen
+			b.openedAt = now
+			b.opens++
+			b.fails = 0
+		}
+	default: // already open (a straggler from before the trip): no-op
+	}
+}
+
+// snapshot returns the current state and lifetime open count.
+func (b *breaker) snapshot() (state int, opens uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}

@@ -1,0 +1,342 @@
+package cluster
+
+// Deterministic breaker tests: the Clock seam means every
+// open/half-open/closed transition here is driven by explicit
+// Advance calls and scripted transports — no time.Sleep, no racing a
+// real cooldown.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hfstream"
+	"hfstream/serve"
+)
+
+// manualClock is an injectable Clock advanced by hand.
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := newManualClock()
+	var b breaker
+	const threshold = 3
+	const cooldown = 2 * time.Second
+
+	// Closed: requests flow; failures below threshold keep it closed.
+	for i := 0; i < threshold-1; i++ {
+		if !b.allow(clk.Now(), cooldown) {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.failure(threshold, clk.Now())
+	}
+	if st, opens := b.snapshot(); st != brClosed || opens != 0 {
+		t.Fatalf("below threshold: state=%d opens=%d", st, opens)
+	}
+
+	// Threshold-th failure opens.
+	b.failure(threshold, clk.Now())
+	if st, opens := b.snapshot(); st != brOpen || opens != 1 {
+		t.Fatalf("at threshold: state=%d opens=%d", st, opens)
+	}
+	if b.allow(clk.Now(), cooldown) {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+
+	// Cooldown elapses: exactly one half-open probe.
+	clk.Advance(cooldown)
+	if !b.allow(clk.Now(), cooldown) {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if b.allow(clk.Now(), cooldown) {
+		t.Fatal("half-open breaker admitted a second request")
+	}
+
+	// Probe failure reopens (counted) and restarts the cooldown.
+	b.failure(threshold, clk.Now())
+	if st, opens := b.snapshot(); st != brOpen || opens != 2 {
+		t.Fatalf("after failed probe: state=%d opens=%d", st, opens)
+	}
+	if b.allow(clk.Now(), cooldown) {
+		t.Fatal("reopened breaker admitted a request immediately")
+	}
+
+	// Next probe succeeds: fully closed, failure count reset.
+	clk.Advance(cooldown)
+	if !b.allow(clk.Now(), cooldown) {
+		t.Fatal("second probe refused")
+	}
+	b.success()
+	if st, opens := b.snapshot(); st != brClosed || opens != 2 {
+		t.Fatalf("after probe success: state=%d opens=%d", st, opens)
+	}
+	// A single new failure must not reopen (the count was reset).
+	b.failure(threshold, clk.Now())
+	if st, _ := b.snapshot(); st != brClosed {
+		t.Fatal("one failure after recovery reopened the breaker")
+	}
+}
+
+// scriptRT is a scripted peer: fail (transport error) or answer 404
+// not_cached (a healthy, cold shard). It counts the calls that reach
+// the wire — the breaker's whole job is keeping that count down.
+type scriptRT struct {
+	mu    sync.Mutex
+	fail  bool
+	calls int
+}
+
+func (rt *scriptRT) setFail(fail bool) {
+	rt.mu.Lock()
+	rt.fail = fail
+	rt.mu.Unlock()
+}
+
+func (rt *scriptRT) callCount() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.calls
+}
+
+func (rt *scriptRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.calls++
+	if req.Body != nil {
+		req.Body.Close()
+	}
+	if rt.fail {
+		return nil, errors.New("scripted transport failure")
+	}
+	body := []byte(`{"error":{"code":"not_cached","message":"cold"}}` + "\n")
+	h := http.Header{}
+	h.Set("Content-Type", "application/json")
+	return &http.Response{
+		Status: "404 Not Found", StatusCode: http.StatusNotFound,
+		Proto: "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+		Header: h, Body: io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)), Request: req,
+	}, nil
+}
+
+// newScriptedPeering builds a 2-replica peering whose only peer is the
+// scripted transport, on a manual clock.
+func newScriptedPeering(t *testing.T, rt *scriptRT, clk Clock) *Peering {
+	t.Helper()
+	p, err := New(Config{
+		Self:          "a",
+		Peers:         map[string]string{"b": "http://peer-b.invalid"},
+		Replication:   2,
+		FailThreshold: 3,
+		DownDuration:  2 * time.Second,
+		HTTPClient:    &http.Client{Transport: rt},
+		Clock:         clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// TestPeeringBreakerDeterministic drives the full breaker arc through
+// Peering.Fill with a scripted peer and a manual clock: trip, skip,
+// probe, recover.
+func TestPeeringBreakerDeterministic(t *testing.T) {
+	rt := &scriptRT{fail: true}
+	clk := newManualClock()
+	p := newScriptedPeering(t, rt, clk)
+	ctx := context.Background()
+	key := strings.Repeat("ab", 32)
+
+	// Three failing fills trip the breaker.
+	for i := 0; i < 3; i++ {
+		if _, ok := p.Fill(ctx, key); ok {
+			t.Fatal("failing fill reported a hit")
+		}
+	}
+	s := p.Stats()
+	if s.Errors != 3 || s.BreakerOpens != 1 || s.PeersDown != 1 {
+		t.Fatalf("after trip: %+v", s)
+	}
+	wire := rt.callCount()
+
+	// While open, fills are skipped without touching the wire.
+	for i := 0; i < 4; i++ {
+		p.Fill(ctx, key)
+	}
+	s = p.Stats()
+	if rt.callCount() != wire {
+		t.Fatalf("open breaker let %d requests through", rt.callCount()-wire)
+	}
+	if s.SkippedDown != 4 {
+		t.Fatalf("skipped fills not counted: %+v", s)
+	}
+
+	// Cooldown passes and the peer heals: exactly one probe goes out,
+	// its success (a clean not_cached answer) closes the breaker.
+	clk.Advance(2 * time.Second)
+	rt.setFail(false)
+	p.Fill(ctx, key)
+	if rt.callCount() != wire+1 {
+		t.Fatalf("probe fill made %d wire calls, want 1", rt.callCount()-wire)
+	}
+	s = p.Stats()
+	if s.PeersDown != 0 || s.BreakerOpens != 1 {
+		t.Fatalf("after successful probe: %+v", s)
+	}
+	// Closed again: fills reach the wire normally.
+	p.Fill(ctx, key)
+	if rt.callCount() != wire+2 {
+		t.Fatal("recovered peer not consulted")
+	}
+}
+
+// TestPeeringBreakerFailedProbeReopens: a half-open probe that fails
+// reopens the breaker for a full cooldown — one wire call per
+// cooldown, not a thundering retry.
+func TestPeeringBreakerFailedProbeReopens(t *testing.T) {
+	rt := &scriptRT{fail: true}
+	clk := newManualClock()
+	p := newScriptedPeering(t, rt, clk)
+	ctx := context.Background()
+	key := strings.Repeat("ab", 32)
+
+	for i := 0; i < 3; i++ {
+		p.Fill(ctx, key)
+	}
+	wire := rt.callCount()
+
+	// Probe after cooldown fails: breaker reopens, counted.
+	clk.Advance(2 * time.Second)
+	p.Fill(ctx, key)
+	if rt.callCount() != wire+1 {
+		t.Fatalf("failed probe made %d wire calls, want 1", rt.callCount()-wire)
+	}
+	s := p.Stats()
+	if s.BreakerOpens != 2 || s.PeersDown != 1 {
+		t.Fatalf("after failed probe: %+v", s)
+	}
+
+	// Still open for the new cooldown: no wire traffic.
+	clk.Advance(time.Second)
+	p.Fill(ctx, key)
+	if rt.callCount() != wire+1 {
+		t.Fatal("reopened breaker admitted traffic mid-cooldown")
+	}
+}
+
+// TestPeeringStoreRespectsBreaker: the async store path consults the
+// same breaker, so a dead peer stops receiving publications too.
+func TestPeeringStoreRespectsBreaker(t *testing.T) {
+	rt := &scriptRT{fail: true}
+	clk := newManualClock()
+	p := newScriptedPeering(t, rt, clk)
+	ctx := context.Background()
+	spec := hfstream.Spec{Bench: "bzip2", Single: true}
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Trip the breaker via the fill path.
+	for i := 0; i < 3; i++ {
+		p.Fill(ctx, key)
+	}
+	wire := rt.callCount()
+
+	// Stores while open never reach the wire (counted neither as stores
+	// nor errors — the breaker refused, that's all).
+	for i := 0; i < 3; i++ {
+		p.Store(key, spec, []byte(`{"benchmark":"bzip2","design":"SINGLE"}`))
+	}
+	flushCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := p.Flush(flushCtx); err != nil {
+		t.Fatal(err)
+	}
+	if rt.callCount() != wire {
+		t.Fatalf("open breaker let %d store PUTs through", rt.callCount()-wire)
+	}
+	if s := p.Stats(); s.Stores != 0 {
+		t.Fatalf("stores counted despite open breaker: %+v", s)
+	}
+}
+
+// TestPeerStatsIntegrityDrops: a peer whose GET answers with damaged
+// bytes (digest mismatch) is counted as an integrity drop and feeds
+// the breaker like any failure — and the damaged bytes never surface
+// from Fill.
+func TestPeeringIntegrityDropFeedsBreaker(t *testing.T) {
+	// A transport that always 200s with a body whose digest header lies.
+	lying := roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		body := []byte(`{"benchmark":"bzip2","design":"SINGLE"}`)
+		h := http.Header{}
+		h.Set("Content-Type", "application/json")
+		h.Set(serve.HeaderDigest, serve.Digest([]byte("something else")))
+		return &http.Response{
+			Status: "200 OK", StatusCode: http.StatusOK,
+			Proto: "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header: h, Body: io.NopCloser(bytes.NewReader(body)),
+			ContentLength: int64(len(body)), Request: req,
+		}, nil
+	})
+	clk := newManualClock()
+	p, err := New(Config{
+		Self:          "a",
+		Peers:         map[string]string{"b": "http://peer-b.invalid"},
+		Replication:   2,
+		FailThreshold: 3,
+		DownDuration:  2 * time.Second,
+		HTTPClient:    &http.Client{Transport: lying},
+		Clock:         clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx := context.Background()
+	key := strings.Repeat("ab", 32)
+
+	for i := 0; i < 3; i++ {
+		if body, ok := p.Fill(ctx, key); ok {
+			t.Fatalf("fill %d returned unverified bytes %q", i, body)
+		}
+	}
+	s := p.Stats()
+	if s.IntegrityDrops != 3 || s.Errors != 3 {
+		t.Fatalf("integrity drops not counted: %+v", s)
+	}
+	if s.PeersDown != 1 || s.BreakerOpens != 1 {
+		t.Fatalf("corrupt channel did not trip the breaker: %+v", s)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }

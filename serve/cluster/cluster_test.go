@@ -22,6 +22,7 @@ import (
 	"hfstream"
 	"hfstream/serve"
 	"hfstream/serve/client"
+	"hfstream/serve/faultnet"
 )
 
 // swapHandler lets a replica's HTTP server exist (with a concrete URL)
@@ -368,13 +369,95 @@ func TestClusterDeadOwnerUnderLoad(t *testing.T) {
 	}
 }
 
+// TestClusterCorruptedFillNeverCached: a non-owner whose peer channel
+// corrupts bytes in flight (faultnet corrupt-body on its fill
+// transport) must detect every damaged transfer via the digest header,
+// fall back to local simulation, and end up with the *correct* bytes
+// in every cache — poisoning is impossible, not just unlikely.
+func TestClusterCorruptedFillNeverCached(t *testing.T) {
+	// Ownership is a pure function of the replica ids, so the non-owner
+	// is computable before the real cluster (and its transports) exist.
+	probe, err := New(Config{Self: "n0", Peers: map[string]string{
+		"n0": "http://probe.invalid", "n1": "http://probe.invalid", "n2": "http://probe.invalid"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := specKey(t, clusterSpec)
+	owners := probe.Owners(key)
+	probe.Close()
+	ownerSet := map[string]bool{owners[0]: true, owners[1]: true}
+	nonOwnerID := ""
+	for _, id := range []string{"n0", "n1", "n2"} {
+		if !ownerSet[id] {
+			nonOwnerID = id
+		}
+	}
+
+	// The non-owner's peering transport corrupts its first two requests
+	// — exactly the two owner GETs its fill will make.
+	corrupt := faultnet.NewTransport(faultnet.Plan{Events: []faultnet.Event{
+		{Kind: faultnet.CorruptBody, Nth: 1},
+		{Kind: faultnet.CorruptBody, Nth: 2},
+	}}, &http.Transport{})
+	c := newTestCluster(t, 3, func(cfg *Config) {
+		if cfg.Self == nonOwnerID {
+			cfg.HTTPClient = corrupt.Client()
+		}
+	})
+	want := directBytes(t, clusterSpec)
+	primary := c.index(t, owners[0])
+	nonOwner := c.index(t, nonOwnerID)
+
+	// Prime the owners over clean channels.
+	if res := mustRun(t, c.clients[primary], clusterSpec); !bytes.Equal(res.Body, want) {
+		t.Fatal("priming run body differs from reference")
+	}
+	c.flush(t)
+
+	// The non-owner's fill sees only damaged bytes: both owner GETs are
+	// dropped on digest mismatch and the request degrades to local
+	// compute — byte-correct, provenance "miss", never "peer".
+	res := mustRun(t, c.clients[nonOwner], clusterSpec)
+	if res.Cache != "miss" || !bytes.Equal(res.Body, want) {
+		t.Fatalf("corrupted-fill request: cache=%q, body match=%v", res.Cache, bytes.Equal(res.Body, want))
+	}
+	stats := c.peerings[nonOwner].Stats()
+	if stats.IntegrityDrops != 2 || stats.Hits != 0 {
+		t.Fatalf("non-owner stats = %+v, want both corrupt transfers dropped", stats)
+	}
+	if len(corrupt.Shots()) != 2 {
+		t.Fatalf("fault shots = %v, want both corruptions fired", corrupt.ShotStrings())
+	}
+
+	// Post-run audit: every replica that holds the key holds the
+	// reference bytes — zero poisoned entries anywhere in the cluster.
+	c.flush(t)
+	for i := range c.clients {
+		got, err := c.clients[i].PeerGet(context.Background(), key)
+		if err != nil {
+			continue // cold shard: nothing cached is also not poisoned
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("replica %d caches poisoned bytes for %s", i, key)
+		}
+	}
+	// The dead channel cost exactly one extra local simulation.
+	var runs uint64
+	for _, s := range c.servers {
+		runs += s.Metrics().Runs
+	}
+	if runs != 2 {
+		t.Errorf("cluster simulated %d times, want 2 (prime + degraded fallback)", runs)
+	}
+}
+
 // TestClusterStoreAfterClose: publications after Close are dropped and
 // counted, never a panic or a block.
 func TestClusterStoreAfterClose(t *testing.T) {
 	c := newTestCluster(t, 2, nil)
 	p := c.peerings[0]
 	p.Close()
-	p.Store("0000000000000000000000000000000000000000000000000000000000000000", []byte("x"))
+	p.Store("0000000000000000000000000000000000000000000000000000000000000000", hfstream.Spec{Bench: "bzip2", Single: true}, []byte("x"))
 	if s := p.Stats(); s.StoreDropped == 0 {
 		t.Errorf("stats = %+v, want the post-Close store counted as dropped", s)
 	}
@@ -391,7 +474,7 @@ func TestClusterSelfOnly(t *testing.T) {
 	if _, ok := p.Fill(context.Background(), "deadbeef"); ok {
 		t.Error("fill succeeded with no peers")
 	}
-	p.Store("deadbeef", []byte("x"))
+	p.Store("deadbeef", hfstream.Spec{Bench: "bzip2", Single: true}, []byte("x"))
 	if s := p.Stats(); s.Replicas != 1 || s.Errors != 0 {
 		t.Errorf("solo stats = %+v", s)
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hfstream"
 	"hfstream/serve"
 	"hfstream/serve/client"
 )
@@ -29,10 +30,10 @@ const (
 	// DefaultStoreTimeout bounds one async store publication.
 	DefaultStoreTimeout = time.Second
 	// DefaultFailThreshold is how many consecutive transport failures
-	// mark a peer down.
+	// open a peer's circuit breaker.
 	DefaultFailThreshold = 3
-	// DefaultDownDuration is how long a down peer is skipped before it
-	// gets probed again.
+	// DefaultDownDuration is the breaker cooldown: how long an open
+	// breaker skips its peer before admitting one half-open probe.
 	DefaultDownDuration = 2 * time.Second
 	// storeQueueDepth bounds the async store queue; publications past it
 	// are dropped (counted), never blocking the serving path.
@@ -56,30 +57,28 @@ type Config struct {
 	FillTimeout time.Duration
 	// StoreTimeout bounds one store publication (0 = DefaultStoreTimeout).
 	StoreTimeout time.Duration
-	// FailThreshold is the consecutive-failure count that marks a peer
-	// down (0 = DefaultFailThreshold).
+	// FailThreshold is the consecutive-failure count that opens a
+	// peer's circuit breaker (0 = DefaultFailThreshold).
 	FailThreshold int
-	// DownDuration is how long a down peer is skipped
+	// DownDuration is the breaker cooldown before a half-open probe
 	// (0 = DefaultDownDuration).
 	DownDuration time.Duration
 	// HTTPClient overrides the transport used for peer calls.
 	HTTPClient *http.Client
+	// Clock overrides time for breaker transitions (nil = real clock);
+	// tests inject a manual clock to walk the breaker through
+	// open/half-open/closed without sleeping.
+	Clock Clock
 }
 
-// peerState is one remote replica: its typed client plus health
-// tracking. A peer is "down" after FailThreshold consecutive transport
-// failures and is skipped until DownDuration passes; any success resets
-// the counter. Down-marking is advisory — it only decides whether a
-// fill/store bothers trying, so a stale mark can never fail a request.
+// peerState is one remote replica: its typed client plus its circuit
+// breaker. The breaker is advisory on the fill path — it only decides
+// whether a fill/store bothers trying, so a stale state can never fail
+// a request, only cost a local simulation.
 type peerState struct {
-	id        string
-	cl        *client.Client
-	fails     atomic.Int32
-	downUntil atomic.Int64 // unix nanos; 0 = up
-}
-
-func (p *peerState) down(now time.Time) bool {
-	return now.UnixNano() < p.downUntil.Load()
+	id string
+	cl *client.Client
+	br breaker
 }
 
 // Peering implements serve.Peer over the /v1/peer HTTP tier. Create it
@@ -88,6 +87,7 @@ func (p *peerState) down(now time.Time) bool {
 type Peering struct {
 	cfg   Config
 	ring  *Ring
+	clock Clock
 	peers map[string]*peerState // remote replicas only (Self excluded)
 
 	storeMu     sync.RWMutex
@@ -96,19 +96,21 @@ type Peering struct {
 	storeWG     sync.WaitGroup
 	pending     atomic.Int64
 
-	fills       atomic.Uint64
-	hits        atomic.Uint64
-	misses      atomic.Uint64
-	errs        atomic.Uint64
-	timeouts    atomic.Uint64
-	skippedDown atomic.Uint64
-	stores      atomic.Uint64
-	storeErrs   atomic.Uint64
-	storeDrops  atomic.Uint64
+	fills          atomic.Uint64
+	hits           atomic.Uint64
+	misses         atomic.Uint64
+	errs           atomic.Uint64
+	timeouts       atomic.Uint64
+	skippedDown    atomic.Uint64
+	integrityDrops atomic.Uint64
+	stores         atomic.Uint64
+	storeErrs      atomic.Uint64
+	storeDrops     atomic.Uint64
 }
 
 type storeReq struct {
 	key  string
+	spec hfstream.Spec
 	body []byte
 }
 
@@ -145,9 +147,14 @@ func New(cfg Config) (*Peering, error) {
 	if err != nil {
 		return nil, err
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = realClock{}
+	}
 	p := &Peering{
 		cfg:    cfg,
 		ring:   ring,
+		clock:  clock,
 		peers:  make(map[string]*peerState, len(cfg.Peers)),
 		storeQ: make(chan storeReq, storeQueueDepth),
 	}
@@ -181,75 +188,65 @@ func (p *Peering) Owners(key string) []string {
 	return p.ring.Owners(key, p.cfg.Replication)
 }
 
-// candidates returns the remote owner shards worth asking for key, in
-// ring order, skipping Self and peers currently marked down.
-func (p *Peering) candidates(key string) (up []*peerState, skippedAll bool) {
-	now := time.Now()
-	any := false
+// Fill implements serve.Peer: ask key's owner shards (in ring order,
+// failing over across the replication set) for the cached bytes. Every
+// attempt is bounded by FillTimeout and gated by the peer's circuit
+// breaker (asked at attempt time, so a half-open probe is only
+// consumed by a real request); any error is just a miss — the caller
+// simulates locally, so a dead owner costs at most one bounded timeout
+// per request until its breaker opens. Bodies are digest-verified by
+// the client; damaged bytes surface as *client.IntegrityError, counted
+// and dropped here, never returned.
+func (p *Peering) Fill(ctx context.Context, key string) ([]byte, bool) {
+	owned, tried := false, false
 	for _, id := range p.Owners(key) {
 		ps, ok := p.peers[id]
 		if !ok { // Self
 			continue
 		}
-		any = true
-		if ps.down(now) {
+		owned = true
+		if !ps.br.allow(p.clock.Now(), p.cfg.DownDuration) {
 			continue
 		}
-		up = append(up, ps)
-	}
-	return up, any && len(up) == 0
-}
-
-// noteFailure records one transport failure against a peer, marking it
-// down once the consecutive-failure threshold trips.
-func (p *Peering) noteFailure(ps *peerState) {
-	if int(ps.fails.Add(1)) >= p.cfg.FailThreshold {
-		ps.downUntil.Store(time.Now().Add(p.cfg.DownDuration).UnixNano())
-		ps.fails.Store(0)
-	}
-}
-
-func (p *Peering) noteSuccess(ps *peerState) {
-	ps.fails.Store(0)
-	ps.downUntil.Store(0)
-}
-
-// Fill implements serve.Peer: ask key's owner shards (in ring order,
-// failing over across the replication set) for the cached bytes. Every
-// attempt is bounded by FillTimeout; any error is just a miss — the
-// caller simulates locally, so a dead owner costs at most one bounded
-// timeout per request until the failure counter marks it down.
-func (p *Peering) Fill(ctx context.Context, key string) ([]byte, bool) {
-	cands, skippedAll := p.candidates(key)
-	if len(cands) == 0 {
-		if skippedAll {
-			p.skippedDown.Add(1)
+		if !tried {
+			tried = true
+			p.fills.Add(1)
 		}
-		return nil, false
-	}
-	p.fills.Add(1)
-	for _, ps := range cands {
 		attemptCtx, cancel := context.WithTimeout(ctx, p.cfg.FillTimeout)
 		body, err := ps.cl.PeerGet(attemptCtx, key)
 		cancel()
 		switch {
 		case err == nil:
-			p.noteSuccess(ps)
+			ps.br.success()
 			p.hits.Add(1)
 			return body, true
 		case errors.Is(err, client.ErrNotCached):
 			// A healthy owner that simply doesn't hold the key yet: not a
 			// failure, but no point retrying this shard.
-			p.noteSuccess(ps)
+			ps.br.success()
 		default:
+			var ie *client.IntegrityError
+			if errors.As(err, &ie) {
+				// The transfer was damaged in flight; the bytes never
+				// leave the client. A corrupt channel is as unhealthy as
+				// a dead one, so it feeds the breaker like any failure.
+				p.integrityDrops.Add(1)
+			}
 			if errors.Is(err, context.DeadlineExceeded) {
 				p.timeouts.Add(1)
 			}
 			p.errs.Add(1)
-			p.noteFailure(ps)
+			ps.br.failure(p.cfg.FailThreshold, p.clock.Now())
 		}
 	}
-	p.misses.Add(1)
+	switch {
+	case tried:
+		p.misses.Add(1)
+	case owned:
+		// Owners exist but every breaker refused: the fill never left
+		// this process.
+		p.skippedDown.Add(1)
+	}
 	return nil, false
 }
 
@@ -258,7 +255,7 @@ func (p *Peering) Fill(ctx context.Context, key string) ([]byte, bool) {
 // pressure publications are dropped (the owners stay cold and later
 // fills miss — correctness is untouched because any replica can always
 // recompute any key).
-func (p *Peering) Store(key string, body []byte) {
+func (p *Peering) Store(key string, spec hfstream.Spec, body []byte) {
 	p.storeMu.RLock()
 	defer p.storeMu.RUnlock()
 	if p.storeClosed {
@@ -266,7 +263,7 @@ func (p *Peering) Store(key string, body []byte) {
 		return
 	}
 	select {
-	case p.storeQ <- storeReq{key: key, body: body}:
+	case p.storeQ <- storeReq{key: key, spec: spec, body: body}:
 		p.pending.Add(1)
 	default:
 		p.storeDrops.Add(1)
@@ -276,21 +273,20 @@ func (p *Peering) Store(key string, body []byte) {
 func (p *Peering) storeWorker() {
 	defer p.storeWG.Done()
 	for req := range p.storeQ {
-		now := time.Now()
 		for _, id := range p.Owners(req.key) {
 			ps, ok := p.peers[id]
-			if !ok || ps.down(now) {
+			if !ok || !ps.br.allow(p.clock.Now(), p.cfg.DownDuration) {
 				continue
 			}
 			ctx, cancel := context.WithTimeout(context.Background(), p.cfg.StoreTimeout)
-			err := ps.cl.PeerPut(ctx, req.key, req.body)
+			err := ps.cl.PeerPut(ctx, req.key, req.spec, req.body)
 			cancel()
 			if err != nil {
 				p.storeErrs.Add(1)
-				p.noteFailure(ps)
+				ps.br.failure(p.cfg.FailThreshold, p.clock.Now())
 				continue
 			}
-			p.noteSuccess(ps)
+			ps.br.success()
 			p.stores.Add(1)
 		}
 		p.pending.Add(-1)
@@ -325,24 +321,28 @@ func (p *Peering) Close() {
 
 // Stats implements serve.Peer.
 func (p *Peering) Stats() serve.PeerStats {
-	now := time.Now()
 	downCount := 0
+	var opens uint64
 	for _, ps := range p.peers {
-		if ps.down(now) {
+		state, o := ps.br.snapshot()
+		if state != brClosed {
 			downCount++
 		}
+		opens += o
 	}
 	return serve.PeerStats{
-		Replicas:     p.ring.Size(),
-		Fills:        p.fills.Load(),
-		Hits:         p.hits.Load(),
-		Misses:       p.misses.Load(),
-		Errors:       p.errs.Load(),
-		Timeouts:     p.timeouts.Load(),
-		SkippedDown:  p.skippedDown.Load(),
-		Stores:       p.stores.Load(),
-		StoreErrors:  p.storeErrs.Load(),
-		StoreDropped: p.storeDrops.Load(),
-		PeersDown:    downCount,
+		Replicas:       p.ring.Size(),
+		Fills:          p.fills.Load(),
+		Hits:           p.hits.Load(),
+		Misses:         p.misses.Load(),
+		Errors:         p.errs.Load(),
+		Timeouts:       p.timeouts.Load(),
+		SkippedDown:    p.skippedDown.Load(),
+		IntegrityDrops: p.integrityDrops.Load(),
+		Stores:         p.stores.Load(),
+		StoreErrors:    p.storeErrs.Load(),
+		StoreDropped:   p.storeDrops.Load(),
+		PeersDown:      downCount,
+		BreakerOpens:   opens,
 	}
 }

@@ -31,6 +31,11 @@ type Metrics struct {
 	Coalesced        uint64 `json:"coalesced"`
 	ShedQueueFull    uint64 `json:"shed_queue_full"`
 	RejectedDraining uint64 `json:"rejected_draining"`
+	// PeerPutRejected counts PUT /v1/peer bodies refused by the
+	// integrity gate (digest mismatch, key↔spec mismatch, inconsistent
+	// annotations) — each one is a poisoning attempt that never reached
+	// the cache.
+	PeerPutRejected uint64 `json:"peer_put_rejected"`
 
 	// Queue state at snapshot time.
 	InFlight   int `json:"in_flight"`
@@ -76,6 +81,7 @@ func (s *Server) Metrics() Metrics {
 	m.Coalesced = s.coalesced.Load()
 	m.ShedQueueFull = s.shed.Load()
 	m.RejectedDraining = s.rejected.Load()
+	m.PeerPutRejected = s.peerPutBad.Load()
 	m.InFlight = s.inFlight()
 	m.Queued = s.pool.QueueLen()
 	m.QueueDepth = s.cfg.QueueDepth

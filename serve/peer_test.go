@@ -24,6 +24,13 @@ func peerURL(ts *httptest.Server, key string) string {
 
 func doReq(t *testing.T, method, url string, body string) (int, []byte, http.Header) {
 	t.Helper()
+	return doReqH(t, method, url, body, nil)
+}
+
+// doReqH is doReq with request headers (the peer PUT protocol needs
+// the digest and spec headers).
+func doReqH(t *testing.T, method, url string, body string, hdr map[string]string) (int, []byte, http.Header) {
+	t.Helper()
 	var rd io.Reader
 	if body != "" {
 		rd = strings.NewReader(body)
@@ -31,6 +38,9 @@ func doReq(t *testing.T, method, url string, body string) (int, []byte, http.Hea
 	req, err := http.NewRequest(method, url, rd)
 	if err != nil {
 		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -44,11 +54,33 @@ func doReq(t *testing.T, method, url string, body string) (int, []byte, http.Hea
 	return resp.StatusCode, buf, resp.Header
 }
 
+// peerPayload builds a valid peer-PUT triple (key, headers, body) for
+// a single-run bzip2 spec: the body carries matching annotations, the
+// headers carry the true digest and the spec's canonical JSON.
+func peerPayload(t *testing.T) (key string, hdr map[string]string, payload string) {
+	t.Helper()
+	spec := hfstream.Spec{Bench: "bzip2", Single: true}
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload = `{"benchmark":"bzip2","design":"SINGLE","fake":true}`
+	hdr = map[string]string{
+		HeaderDigest: Digest([]byte(payload)),
+		HeaderSpec:   string(canon),
+	}
+	return key, hdr, payload
+}
+
 func TestServePeerTier(t *testing.T) {
 	s := New(Config{Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	key := strings.Repeat("ab", 32)
+	key, putHdr, payload := peerPayload(t)
 
 	// Cold shard: typed not_cached, never a simulation.
 	status, body, _ := doReq(t, http.MethodGet, peerURL(ts, key), "")
@@ -59,9 +91,9 @@ func TestServePeerTier(t *testing.T) {
 		t.Fatalf("peer GET started %d simulations", runs)
 	}
 
-	// Install bytes, read them back with the local provenance tag.
-	payload := `{"fake":"metrics"}`
-	status, _, _ = doReq(t, http.MethodPut, peerURL(ts, key), payload)
+	// Install bytes, read them back with the local provenance tag and
+	// the body digest the filling side verifies.
+	status, _, _ = doReqH(t, http.MethodPut, peerURL(ts, key), payload, putHdr)
 	if status != http.StatusNoContent {
 		t.Fatalf("PUT: status=%d", status)
 	}
@@ -72,6 +104,16 @@ func TestServePeerTier(t *testing.T) {
 	if hdr.Get("X-Hfserve-Cache") != "local" || hdr.Get("X-Hfserve-Key") != key {
 		t.Fatalf("GET headers: cache=%q key=%q", hdr.Get("X-Hfserve-Cache"), hdr.Get("X-Hfserve-Key"))
 	}
+	if got := hdr.Get(HeaderDigest); got != Digest([]byte(payload)) {
+		t.Fatalf("GET digest header = %q, want body digest", got)
+	}
+
+	// A headerless PUT (the pre-digest protocol) is refused: the tier
+	// never caches unverifiable bytes.
+	status, body, _ = doReq(t, http.MethodPut, peerURL(ts, key), payload)
+	if status != http.StatusBadRequest {
+		t.Fatalf("headerless PUT: status=%d %s", status, body)
+	}
 
 	// Malformed keys and bodies are rejected up front.
 	for _, bad := range []string{"short", strings.Repeat("AB", 32), strings.Repeat("zz", 32)} {
@@ -79,19 +121,138 @@ func TestServePeerTier(t *testing.T) {
 			t.Errorf("GET with key %q: status=%d %s", bad, status, body)
 		}
 	}
-	if status, body, _ = doReq(t, http.MethodPut, peerURL(ts, key), ""); status != http.StatusBadRequest {
+	if status, body, _ = doReqH(t, http.MethodPut, peerURL(ts, key), "", putHdr); status != http.StatusBadRequest {
 		t.Errorf("empty PUT: status=%d %s", status, body)
 	}
 	if status, body, _ = doReq(t, http.MethodPost, peerURL(ts, key), payload); status != http.StatusMethodNotAllowed {
 		t.Errorf("POST: status=%d %s", status, body)
 	}
 
-	// A draining shard refuses fills so peers fail over to local compute.
+	// A draining shard refuses fills (with a Retry-After hint) so peers
+	// fail over to local compute.
 	s.BeginDrain()
-	status, body, _ = doReq(t, http.MethodGet, peerURL(ts, key), "")
+	status, body, hdr = doReq(t, http.MethodGet, peerURL(ts, key), "")
 	if status != http.StatusServiceUnavailable || errCode(t, body) != codeDraining {
 		t.Fatalf("draining GET: status=%d code=%q", status, errCode(t, body))
 	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("draining GET carries no Retry-After header")
+	}
+}
+
+// cacheMiss asserts key is absent from s's local cache — the
+// no-cache.Put-on-rejection invariant every integrity test relies on.
+func cacheMiss(t *testing.T, s *Server, key string) {
+	t.Helper()
+	if _, ok := s.cache.Get(key); ok {
+		t.Fatalf("rejected peer PUT still cached key %s", key)
+	}
+}
+
+// TestPeerPutIntegrityRejections drives the poisoning attempts the
+// digest protocol exists to stop: every one must be refused with a
+// typed 400, counted, and — the load-bearing part — never cached.
+func TestPeerPutIntegrityRejections(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	key, putHdr, payload := peerPayload(t)
+
+	corrupt := []byte(payload)
+	corrupt[len(corrupt)/2] ^= 0xff
+	truncated := payload[:len(payload)/2]
+
+	otherSpec := hfstream.Spec{Bench: "bzip2", Design: "EXISTING"}
+	otherCanon, err := otherSpec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A body whose annotations disagree with the declared (key-matching)
+	// spec: right shape, wrong workload.
+	wrongAnn := `{"benchmark":"adpcmdec","design":"EXISTING","fake":true}`
+
+	cases := []struct {
+		name     string
+		body     string
+		hdr      map[string]string
+		wantCode string
+	}{
+		{"corrupted body", string(corrupt), putHdr, codeIntegrity},
+		{"truncated body", truncated, putHdr, codeIntegrity},
+		{"missing digest", payload, map[string]string{HeaderSpec: putHdr[HeaderSpec]}, codeBadRequest},
+		{"missing spec", payload, map[string]string{HeaderDigest: putHdr[HeaderDigest]}, codeBadRequest},
+		{"spec does not hash to key", payload, map[string]string{
+			HeaderDigest: putHdr[HeaderDigest], HeaderSpec: string(otherCanon)}, codeBadRequest},
+		{"annotations disagree with spec", wrongAnn, map[string]string{
+			HeaderDigest: Digest([]byte(wrongAnn)), HeaderSpec: putHdr[HeaderSpec]}, codeIntegrity},
+		{"unparseable spec header", payload, map[string]string{
+			HeaderDigest: putHdr[HeaderDigest], HeaderSpec: "{not json"}, codeBadRequest},
+	}
+	for i, tc := range cases {
+		status, body, _ := doReqH(t, http.MethodPut, peerURL(ts, key), tc.body, tc.hdr)
+		if status != http.StatusBadRequest || errCode(t, body) != tc.wantCode {
+			t.Errorf("%s: status=%d code=%q, want 400 %q", tc.name, status, errCode(t, body), tc.wantCode)
+		}
+		cacheMiss(t, s, key)
+		if got := s.Metrics().PeerPutRejected; got != uint64(i+1) {
+			t.Errorf("%s: PeerPutRejected=%d, want %d", tc.name, got, i+1)
+		}
+	}
+
+	// After all that abuse the honest PUT still lands.
+	if status, body, _ := doReqH(t, http.MethodPut, peerURL(ts, key), payload, putHdr); status != http.StatusNoContent {
+		t.Fatalf("honest PUT after rejections: status=%d %s", status, body)
+	}
+	if got, ok := s.cache.Get(key); !ok || string(got) != payload {
+		t.Fatal("honest PUT did not cache the verified bytes")
+	}
+}
+
+// TestPeerPutSizeBoundary pins the 8MiB cap: a body at exactly the cap
+// is verified and cached; one byte past it is refused before
+// verification (and never cached).
+func TestPeerPutSizeBoundary(t *testing.T) {
+	s := New(Config{Workers: 1, CacheBytes: 32 << 20})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := hfstream.Spec{Bench: "bzip2", Single: true}
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build a valid-annotation JSON body padded to exactly the cap.
+	prefix := `{"benchmark":"bzip2","design":"SINGLE","pad":"`
+	suffix := `"}`
+	pad := strings.Repeat("x", maxPeerBodyBytes-len(prefix)-len(suffix))
+	atCap := prefix + pad + suffix
+	if len(atCap) != maxPeerBodyBytes {
+		t.Fatalf("test bug: body is %d bytes, want %d", len(atCap), maxPeerBodyBytes)
+	}
+	hdr := map[string]string{HeaderDigest: Digest([]byte(atCap)), HeaderSpec: string(canon)}
+	if status, body, _ := doReqH(t, http.MethodPut, peerURL(ts, key), atCap, hdr); status != http.StatusNoContent {
+		t.Fatalf("PUT at cap: status=%d %s", status, body)
+	}
+	if _, ok := s.cache.Get(key); !ok {
+		t.Fatal("at-cap body not cached")
+	}
+
+	// One byte over: MaxBytesReader trips, 400, nothing cached (a fresh
+	// server, so the at-cap insert above can't mask the check).
+	s2 := New(Config{Workers: 1, CacheBytes: 32 << 20})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	overCap := prefix + pad + "x" + suffix
+	hdr[HeaderDigest] = Digest([]byte(overCap))
+	if status, body, _ := doReqH(t, http.MethodPut, peerURL(ts2, key), overCap, hdr); status != http.StatusBadRequest {
+		t.Fatalf("PUT over cap: status=%d %s", status, body)
+	}
+	cacheMiss(t, s2, key)
 }
 
 // fakePeer is a scripted Peer for exercising runOne's fill/store seam
@@ -115,7 +276,7 @@ func (f *fakePeer) Fill(ctx context.Context, key string) ([]byte, bool) {
 	return body, ok
 }
 
-func (f *fakePeer) Store(key string, body []byte) {
+func (f *fakePeer) Store(key string, spec hfstream.Spec, body []byte) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.stored[key] = append([]byte(nil), body...)

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -93,6 +94,7 @@ type Server struct {
 	failures    atomic.Uint64
 	shed        atomic.Uint64
 	rejected    atomic.Uint64
+	peerPutBad  atomic.Uint64
 	simCycles   atomic.Uint64
 	simInstrs   atomic.Uint64
 	simStalls   atomic.Uint64
@@ -188,6 +190,19 @@ const (
 	codeDeadlock   = "deadlock"
 	codeRunFailed  = "run_failed"
 	codeInternal   = "internal"
+	// codeIntegrity rejects a peer PUT whose body fails digest
+	// verification: the bytes were damaged in flight (truncated or
+	// corrupted) and must never enter the cache.
+	codeIntegrity = "integrity"
+)
+
+// Retry-After hints on backpressure responses (seconds). Queue-full is
+// transient — a breath usually clears it; draining is terminal for
+// this replica, so the hint is longer and clients should prefer
+// another instance.
+const (
+	retryAfterQueueFull = 1
+	retryAfterDraining  = 2
 )
 
 // statusClientClosed reports a run stopped because its requester went
@@ -221,6 +236,15 @@ type outcome struct {
 	body   []byte
 	source string // "miss" (fresh run) or "hit" (leader found cache)
 	ok     bool
+	// retryAfter, when positive, emits a Retry-After header (seconds)
+	// telling clients when the condition is worth re-probing.
+	retryAfter int
+}
+
+// withRetryAfter attaches a Retry-After hint to an error outcome.
+func (o *outcome) withRetryAfter(secs int) *outcome {
+	o.retryAfter = secs
+	return o
 }
 
 func errorOutcome(status int, code, msg string, diag json.RawMessage) *outcome {
@@ -286,7 +310,7 @@ func (s *Server) runOne(ctx context.Context, key string, spec hfstream.Spec, hoo
 	if s.draining.Load() {
 		s.rejected.Add(1)
 		return errorOutcome(http.StatusServiceUnavailable, codeDraining,
-			"server is draining; retry against another instance", nil)
+			"server is draining; retry against another instance", nil).withRetryAfter(retryAfterDraining)
 	}
 	// A flight for this key may have completed between the handler's
 	// cache check and this one; the leader publishes to the cache before
@@ -319,19 +343,21 @@ func (s *Server) runOne(ctx context.Context, key string, spec hfstream.Spec, hoo
 		s.shed.Add(1)
 		return errorOutcome(http.StatusTooManyRequests, codeQueueFull,
 			fmt.Sprintf("queue full (%d jobs pending, depth %d); load shed rather than queued unboundedly",
-				s.pool.Pending(), s.cfg.QueueDepth), nil)
+				s.pool.Pending(), s.cfg.QueueDepth), nil).withRetryAfter(retryAfterQueueFull)
 	case err != nil: // pool closed: drain won the race
 		s.rejected.Add(1)
-		return errorOutcome(http.StatusServiceUnavailable, codeDraining, "server is draining", nil)
+		return errorOutcome(http.StatusServiceUnavailable, codeDraining,
+			"server is draining", nil).withRetryAfter(retryAfterDraining)
 	}
 	out := <-ch
 	if out.ok {
 		s.cache.Put(key, out.body)
 		// Publish the fresh result to the key's owner shards (async,
 		// best-effort) so any replica's future miss peer-hits instead of
-		// re-simulating.
+		// re-simulating. The spec rides along so the receiving shard can
+		// verify the key↔body binding before caching.
 		if s.peer != nil {
-			s.peer.Store(key, out.body)
+			s.peer.Store(key, spec, out.body)
 		}
 	}
 	return out
@@ -412,6 +438,9 @@ func writeOutcome(w http.ResponseWriter, key, source string, out *outcome) {
 	}
 	if source != "" {
 		w.Header().Set("X-Hfserve-Cache", source)
+	}
+	if out.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(out.retryAfter))
 	}
 	w.WriteHeader(out.status)
 	w.Write(out.body)
