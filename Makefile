@@ -23,6 +23,11 @@
 #   make serve-diff-noff - the same with HFSTREAM_NO_FASTFORWARD=1, proving
 #                       progress/streaming delivery is invariant to the
 #                       fast-forward optimization
+#   make scaling      - the N-core scaling differential battery under the
+#                       race detector: every cell of the 2/3/4-core grid
+#                       (k-stage chains + parallel-stage points) must be
+#                       byte-identical across serial vs parallel runners,
+#                       fast-forward on vs off, and direct vs served
 #   make serve-cluster - cluster correctness: consistent-hash ring
 #                       properties, peer fill/store/replication, and the
 #                       owner-death degradation race, under the race
@@ -65,7 +70,7 @@ GOLDEN_BENCHES = bzip2,adpcmdec
 # real regression. Raise it as coverage grows.
 COVERAGE_BASELINE = 72.0
 
-.PHONY: tier1 vet build test race coverage bench bench-smoke bench-compare bench-serve gobench ci fmtcheck golden golden-check golden-check-noff serve-diff serve-diff-noff serve-cluster load-smoke chaos chaos-smoke chaos-cluster fuzz-smoke
+.PHONY: tier1 vet build test race coverage bench bench-smoke bench-compare bench-serve gobench ci fmtcheck golden golden-check golden-check-noff serve-diff serve-diff-noff serve-cluster load-smoke scaling chaos chaos-smoke chaos-cluster fuzz-smoke
 
 tier1: build vet test
 
@@ -112,7 +117,7 @@ bench-compare:
 gobench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-ci: tier1 race coverage fmtcheck golden-check golden-check-noff serve-diff serve-diff-noff serve-cluster load-smoke bench-compare chaos-smoke chaos-cluster
+ci: tier1 race coverage fmtcheck golden-check golden-check-noff serve-diff serve-diff-noff serve-cluster load-smoke scaling bench-compare chaos-smoke chaos-cluster
 
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -168,16 +173,26 @@ bench-serve:
 	$(GO) run ./cmd/hfload -scale 1,3 -duration 3s -conc 24 -cap-rps 250 \
 		-out BENCH_SERVE.json -label pr8
 
+# The N-core scaling differential battery (scaling_differential_test.go):
+# fft2/equake x {2,3,4}-core chains and parallel-stage points, every
+# snapshot byte-identical across runner parallelism, fast-forward mode,
+# and a serve round trip — under the race detector, so the parallel
+# pool's interleavings are exercised while equality is asserted.
+scaling:
+	$(GO) test -count=1 -race -run 'TestScalingDifferential' .
+
 # Full chaos sweep: 20 seeded workloads x 7 designs x (1 baseline +
 # 6 fault plans). Any failure prints a single-case replay command.
 chaos:
 	$(GO) run ./cmd/hfchaos -seed0 1 -n 20 -plans 6
 
-# CI corpus (chaos/testdata/seeds.json): 210 runs, with fast-forwarding
-# on and off — fault triggers are occurrence-based, so both must agree.
+# CI corpus (chaos/testdata/seeds.json): 255 runs — 6 pair seeds on all
+# 7 designs plus 3 MPMC shared-queue seeds (>= 100) on the 3
+# ticket-discipline designs — with fast-forwarding on and off: fault
+# triggers are occurrence-based, so both must agree.
 chaos-smoke:
-	$(GO) run ./cmd/hfchaos -seeds 1,2,3,4,5,6 -plans 4
-	HFSTREAM_NO_FASTFORWARD=1 $(GO) run ./cmd/hfchaos -seeds 1,2,3,4,5,6 -plans 4
+	$(GO) run ./cmd/hfchaos -seeds 1,2,3,4,5,6,101,102,103 -plans 4
+	HFSTREAM_NO_FASTFORWARD=1 $(GO) run ./cmd/hfchaos -seeds 1,2,3,4,5,6,101,102,103 -plans 4
 
 # Service-tier chaos smoke: the first corpus seed's scenario set (see
 # chaos/testdata/cluster_seeds.json) against real faulted hfserve

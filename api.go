@@ -35,6 +35,13 @@ var (
 	SyncOptiSCQ64 = Design{design.SyncOptiSCQ64Config()}
 	// HeavyWT uses the dedicated synchronization array and interconnect.
 	HeavyWT = Design{design.HeavyWTConfig()}
+	// MPMC is the parallel-stage design point: the HEAVYWT substrate
+	// running three replicated workers plus a merger on four cores, over
+	// queues whose backing stores accept multi-producer/multi-consumer
+	// routes.
+	MPMC = Design{design.MPMCConfig()}
+	// MPMCQ64 is MPMC with 64-entry queues packed 16 per line.
+	MPMCQ64 = Design{design.MPMCQ64Config()}
 )
 
 // Designs returns all design points in evaluation order.
@@ -61,9 +68,14 @@ func CentralizedStore(consumeToUse int) Design {
 
 // DesignByName resolves a design point by its paper name. Beyond the
 // seven standard points (e.g. "SYNCOPTI_SC+Q64") it accepts the §3
-// variants: "REGMAPPED", "NETQUEUE_<h>hop" (network-backed queues for
+// variants — "REGMAPPED", "NETQUEUE_<h>hop" (network-backed queues for
 // cores h hops apart, h >= 1), and "HEAVYWT_CENTRAL" (the centralized
-// dedicated store, with its default 4-cycle consume-to-use latency).
+// dedicated store, with its default 4-cycle consume-to-use latency) —
+// the parallel-stage points "MPMC" and "MPMC_Q64", and any standard
+// point with a "_<k>CORE" suffix (3 <= k <= 8), which retargets it to a
+// k-stage pipeline on k cores (e.g. "SYNCOPTI_SC+Q64_4CORE"). The
+// unsuffixed name is the paper's dual-core machine, so "_2CORE" is
+// rejected rather than aliased to it.
 func DesignByName(name string) (Design, error) {
 	for _, d := range Designs() {
 		if d.Name() == name {
@@ -75,10 +87,28 @@ func DesignByName(name string) (Design, error) {
 		return RegMapped(), nil
 	case name == "HEAVYWT_CENTRAL":
 		return CentralizedStore(centralConsumeToUse), nil
+	case name == "MPMC":
+		return MPMC, nil
+	case name == "MPMC_Q64":
+		return MPMCQ64, nil
 	case strings.HasPrefix(name, "NETQUEUE_") && strings.HasSuffix(name, "hop"):
 		h, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "NETQUEUE_"), "hop"))
 		if err == nil && h >= 1 {
 			return NetQueue(h), nil
+		}
+	case strings.HasSuffix(name, "CORE"):
+		rest := strings.TrimSuffix(name, "CORE")
+		if i := strings.LastIndex(rest, "_"); i > 0 {
+			if k, err := strconv.Atoi(rest[i+1:]); err == nil {
+				if k < 3 || k > maxCustomCores {
+					return Design{}, fmt.Errorf("hfstream: design %q: core-count suffix must be 3..%d (the unsuffixed name is the dual-core machine)", name, maxCustomCores)
+				}
+				base, err := DesignByName(rest[:i])
+				if err != nil {
+					return Design{}, err
+				}
+				return base.WithCores(k), nil
+			}
 		}
 	}
 	return Design{}, fmt.Errorf("hfstream: unknown design %q (valid: %s)",
@@ -91,11 +121,12 @@ func DesignByName(name string) (Design, error) {
 // DesignByName error message lists exactly these names, and Spec
 // canonicalization resolves aliases against them.
 func DesignNames() []string {
-	names := make([]string, 0, len(Designs())+3)
+	names := make([]string, 0, len(Designs())+6)
 	for _, d := range Designs() {
 		names = append(names, d.Name())
 	}
-	return append(names, "REGMAPPED", "NETQUEUE_<h>hop", "HEAVYWT_CENTRAL")
+	return append(names, "REGMAPPED", "NETQUEUE_<h>hop", "HEAVYWT_CENTRAL",
+		"MPMC", "MPMC_Q64", "<design>_<k>CORE")
 }
 
 // centralConsumeToUse is DesignByName's consume-to-use latency for
@@ -128,6 +159,40 @@ func (d Design) WithQueues(depth, qlu int) Design {
 	d.cfg.QueueDepth = depth
 	d.cfg.QLU = qlu
 	return d
+}
+
+// WithCores returns a copy retargeted to an n-core machine with the
+// "_<n>CORE"-suffixed label. Pipelined runs then partition the kernel
+// into n stages (or, on parallel-stage designs, n-1 workers plus a
+// merger) instead of the paper's two.
+func (d Design) WithCores(n int) Design {
+	d.cfg = d.cfg.WithCores(n)
+	return d
+}
+
+// Cores returns the design's core count for pipelined runs (2 for the
+// paper's dual-core machine).
+func (d Design) Cores() int {
+	if d.cfg.Cores == 0 {
+		return 2
+	}
+	return d.cfg.Cores
+}
+
+// ParallelStage reports whether pipelined runs use the parallel-stage
+// (replicated workers + merger) shape rather than a k-stage chain.
+func (d Design) ParallelStage() bool { return d.cfg.Parallel }
+
+// SupportsMPMC reports whether the design can run workloads whose queue
+// topology puts more than one producer or consumer on a queue. The
+// software-queue lowerings and the synchronization array implement the
+// ticket discipline natively; the SYNCOPTI in-memory controller assigns
+// slots from per-core cumulative counters, which collide with multiple
+// endpoints, so RunPrograms refuses such workloads on those designs with
+// MPMCUnsupportedError.
+func (d Design) SupportsMPMC() bool {
+	simCfg := d.cfg.SimConfig()
+	return d.cfg.SoftwareQueues() || simCfg.UseSyncArray || !simCfg.Mem.HWQueues
 }
 
 // Benchmark is one of the paper's nine workload loops.

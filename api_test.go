@@ -92,8 +92,8 @@ func TestDesignByNameErrorEnumeratesNames(t *testing.T) {
 		t.Fatal("expected error")
 	}
 	names := DesignNames()
-	if len(names) != 10 {
-		t.Fatalf("DesignNames has %d entries, want 10 (7 standard + 3 variants)", len(names))
+	if len(names) != 13 {
+		t.Fatalf("DesignNames has %d entries, want 13 (7 standard + 3 variants + MPMC, MPMC_Q64 and the _<k>CORE form)", len(names))
 	}
 	seen := map[string]bool{}
 	for _, n := range names {
@@ -105,7 +105,8 @@ func TestDesignByNameErrorEnumeratesNames(t *testing.T) {
 			t.Errorf("error %q does not mention %q", err, n)
 		}
 	}
-	for _, want := range []string{"REGMAPPED", "NETQUEUE_<h>hop", "HEAVYWT_CENTRAL"} {
+	for _, want := range []string{"REGMAPPED", "NETQUEUE_<h>hop", "HEAVYWT_CENTRAL",
+		"MPMC", "MPMC_Q64", "<design>_<k>CORE"} {
 		if !seen[want] {
 			t.Errorf("DesignNames missing variant form %q", want)
 		}
@@ -336,7 +337,7 @@ func TestRunExperimentNames(t *testing.T) {
 	if _, err := RunExperiment("nope"); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
-	if len(ExperimentNames()) != 10 {
-		t.Errorf("got %d experiments, want 10", len(ExperimentNames()))
+	if len(ExperimentNames()) != 11 {
+		t.Errorf("got %d experiments, want 11", len(ExperimentNames()))
 	}
 }

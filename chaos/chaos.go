@@ -195,6 +195,13 @@ func Sweep(ctx context.Context, cfg Config) (*Report, error) {
 	var jobs []job
 	for _, seed := range cfg.Seeds {
 		for _, d := range cfg.Designs {
+			// MPMC topologies only run on designs that implement the
+			// ticket discipline; the rest reject them statically with
+			// MPMCUnsupportedError, which would never exercise a fault
+			// plan, so those grid cells are skipped rather than run.
+			if workloads[seed].gen.mpmc && !d.SupportsMPMC() {
+				continue
+			}
 			jobs = append(jobs, job{seed, d, -1})
 			for i := 0; i < cfg.PlansPerSeed; i++ {
 				jobs = append(jobs, job{seed, d, i})
@@ -246,15 +253,26 @@ type workload struct {
 
 func prepare(seed int64) (*workload, error) {
 	g := generate(seed)
-	prod, err := hfstream.CompileAsm(g.name+"-prod", g.producer)
-	if err != nil {
-		return nil, fmt.Errorf("chaos: seed %d: producer: %w", seed, err)
+	var progs []*hfstream.Program
+	if g.mpmc {
+		for i, src := range g.programs {
+			p, err := hfstream.CompileAsm(fmt.Sprintf("%s-c%d", g.name, i), src)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: seed %d: program %d: %w", seed, i, err)
+			}
+			progs = append(progs, p)
+		}
+	} else {
+		prod, err := hfstream.CompileAsm(g.name+"-prod", g.producer)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: seed %d: producer: %w", seed, err)
+		}
+		cons, err := hfstream.CompileAsm(g.name+"-cons", g.consumer)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: seed %d: consumer: %w", seed, err)
+		}
+		progs = []*hfstream.Program{prod, cons}
 	}
-	cons, err := hfstream.CompileAsm(g.name+"-cons", g.consumer)
-	if err != nil {
-		return nil, fmt.Errorf("chaos: seed %d: consumer: %w", seed, err)
-	}
-	progs := []*hfstream.Program{prod, cons}
 	read, err := hfstream.Interpret(progs, g.init)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: seed %d: oracle: %w", seed, err)

@@ -13,6 +13,9 @@ import (
 type corpus struct {
 	Seeds        []int64 `json:"seeds"`
 	PlansPerSeed int     `json:"plans_per_seed"`
+	// MPMCSeeds (all >= mpmcSeedBase) generate shared-queue MPMC
+	// topologies and sweep only the ticket-discipline designs.
+	MPMCSeeds []int64 `json:"mpmc_seeds"`
 }
 
 func loadCorpus(t *testing.T) corpus {
@@ -25,8 +28,13 @@ func loadCorpus(t *testing.T) corpus {
 	if err := json.Unmarshal(raw, &c); err != nil {
 		t.Fatal(err)
 	}
-	if len(c.Seeds) == 0 || c.PlansPerSeed == 0 {
+	if len(c.Seeds) == 0 || c.PlansPerSeed == 0 || len(c.MPMCSeeds) == 0 {
 		t.Fatal("empty corpus")
+	}
+	for _, s := range c.MPMCSeeds {
+		if s < mpmcSeedBase {
+			t.Fatalf("mpmc_seeds entry %d below the MPMC seed base %d", s, mpmcSeedBase)
+		}
 	}
 	return c
 }
@@ -53,7 +61,8 @@ func TestGeneratorDeterministic(t *testing.T) {
 // TestGeneratedWorkloadsCompile: every corpus seed compiles and has a
 // working functional oracle.
 func TestGeneratedWorkloadsCompile(t *testing.T) {
-	for _, seed := range loadCorpus(t).Seeds {
+	c := loadCorpus(t)
+	for _, seed := range append(append([]int64{}, c.Seeds...), c.MPMCSeeds...) {
 		if _, err := prepare(seed); err != nil {
 			t.Errorf("seed %d: %v", seed, err)
 		}
@@ -81,18 +90,31 @@ func TestPlanDerivationAlternates(t *testing.T) {
 // only the first two seeds run.
 func TestChaosSweepCorpus(t *testing.T) {
 	c := loadCorpus(t)
-	seeds := c.Seeds
-	if testing.Short() && len(seeds) > 2 {
-		seeds = seeds[:2]
+	seeds, mpmcSeeds := c.Seeds, c.MPMCSeeds
+	if testing.Short() {
+		if len(seeds) > 2 {
+			seeds = seeds[:2]
+		}
+		if len(mpmcSeeds) > 1 {
+			mpmcSeeds = mpmcSeeds[:1]
+		}
 	}
 	rep, err := Sweep(context.Background(), Config{
-		Seeds:        seeds,
+		Seeds:        append(append([]int64{}, seeds...), mpmcSeeds...),
 		PlansPerSeed: c.PlansPerSeed,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantRuns := len(seeds) * len(hfstream.Designs()) * (1 + c.PlansPerSeed)
+	// MPMC seeds sweep only the designs that accept shared-queue
+	// topologies (the rest are skipped, not failed).
+	accepting := 0
+	for _, d := range hfstream.Designs() {
+		if d.SupportsMPMC() {
+			accepting++
+		}
+	}
+	wantRuns := (len(seeds)*len(hfstream.Designs()) + len(mpmcSeeds)*accepting) * (1 + c.PlansPerSeed)
 	if rep.Runs != wantRuns {
 		t.Errorf("runs = %d, want %d", rep.Runs, wantRuns)
 	}

@@ -1,0 +1,160 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"testing"
+
+	"hfstream"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestMPMCGeneratorTopologies: seeds at or above mpmcSeedBase generate
+// deterministic shared-queue topologies whose endpoint counts divide the
+// item count (the ticket discipline's precondition), while seeds below it
+// keep generating producer/consumer pairs.
+func TestMPMCGeneratorTopologies(t *testing.T) {
+	if generate(1).mpmc || generate(mpmcSeedBase-1).mpmc {
+		t.Fatal("pair seed generated an MPMC workload")
+	}
+	for seed := int64(mpmcSeedBase); seed < mpmcSeedBase+20; seed++ {
+		a, b := generate(seed), generate(seed)
+		if !a.mpmc {
+			t.Fatalf("seed %d: not an MPMC workload", seed)
+		}
+		if len(a.programs) != len(b.programs) {
+			t.Fatalf("seed %d: generator is not deterministic", seed)
+		}
+		for i := range a.programs {
+			if a.programs[i] != b.programs[i] {
+				t.Fatalf("seed %d: program %d differs between runs", seed, i)
+			}
+		}
+		if a.nProd+a.nCons != len(a.programs) || len(a.programs) < 3 {
+			t.Fatalf("seed %d: %dP+%dC but %d programs", seed, a.nProd, a.nCons, len(a.programs))
+		}
+		if a.nProd < 2 && a.nCons < 2 {
+			t.Fatalf("seed %d: %dP%dC is not MPMC", seed, a.nProd, a.nCons)
+		}
+		count := a.counts[0]
+		if count < 144 {
+			t.Errorf("seed %d: count %d below the starvation floor", seed, count)
+		}
+		if count%a.nProd != 0 || count%a.nCons != 0 {
+			t.Errorf("seed %d: count %d not divisible by %dP and %dC",
+				seed, count, a.nProd, a.nCons)
+		}
+	}
+	// Every corpus MPMC seed must have a working oracle with a nonzero
+	// per-consumer sum (the first of each consumer's three output words).
+	for _, seed := range loadCorpus(t).MPMCSeeds {
+		w, err := prepare(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := 0; i < len(w.gen.outAddrs); i += 3 {
+			if w.oracle[w.gen.outAddrs[i]] == 0 {
+				t.Errorf("seed %d: consumer %d oracle sum is zero", seed, i/3)
+			}
+		}
+	}
+}
+
+// TestChaosSweepMPMCSkipsUnsupported: the sweep grid drops (MPMC seed,
+// design) cells for designs that statically reject shared-queue
+// topologies instead of running them to a guaranteed MPMCUnsupportedError.
+func TestChaosSweepMPMCSkipsUnsupported(t *testing.T) {
+	syncOpti, err := hfstream.DesignByName("SYNCOPTI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavyWT, err := hfstream.DesignByName("HEAVYWT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syncOpti.SupportsMPMC() {
+		t.Fatal("SYNCOPTI claims MPMC support")
+	}
+	if !heavyWT.SupportsMPMC() {
+		t.Fatal("HEAVYWT denies MPMC support")
+	}
+	rep, err := Sweep(context.Background(), Config{
+		Seeds:        []int64{mpmcSeedBase + 1},
+		PlansPerSeed: 1,
+		Designs:      []hfstream.Design{syncOpti, heavyWT},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 2 { // HEAVYWT baseline + 1 plan; SYNCOPTI skipped
+		t.Errorf("runs = %d, want 2", rep.Runs)
+	}
+	for _, o := range rep.Outcomes {
+		if o.Design != "HEAVYWT" {
+			t.Errorf("unexpected design %s in an MPMC sweep", o.Design)
+		}
+		if o.Class == ClassFail {
+			t.Errorf("seed %d plan %d failed: %s", o.Seed, o.PlanIndex, o.Detail)
+		}
+	}
+}
+
+// TestMPMCDeadlockDiagnosisGolden pins the full Diagnosis for the
+// canonical MPMC deadlock: one producer makes only ticket 0, so the
+// second consumer waits forever for ticket 1 and the watchdog snapshots
+// the machine. The snapshot — cores, stall reasons, sync-array lane
+// state — is deterministic byte for byte; run with -update to regenerate
+// after an intentional timing change.
+func TestMPMCDeadlockDiagnosisGolden(t *testing.T) {
+	prod, err := hfstream.CompileAsm("mpmc-dl-p", `
+		movi r1, 42
+		produce q0, r1
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progs []*hfstream.Program
+	progs = append(progs, prod)
+	for _, name := range []string{"mpmc-dl-c0", "mpmc-dl-c1"} {
+		c, err := hfstream.CompileAsm(name, `
+			consume r1, q0
+			halt
+		`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, c)
+	}
+
+	_, err = hfstream.RunPrograms(hfstream.MPMCQ64, progs, nil)
+	var dl *hfstream.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if dl.Diag == nil {
+		t.Fatal("DeadlockError carries no Diagnosis")
+	}
+	got, err := hfstream.DiagnosisJSON(dl.Diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = "testdata/mpmc_deadlock_diag.json"
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("MPMC deadlock diagnosis drifted from the golden; diff it and "+
+			"rerun with -update if the change is intentional\n got: %s\nwant: %s", got, want)
+	}
+}

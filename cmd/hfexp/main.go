@@ -11,7 +11,7 @@
 // Usage:
 //
 //	hfexp [-j N] [-progress] [-table1] [-table2] [-fig3] [-fig6] [-fig7]
-//	      [-fig8] [-fig9] [-fig10] [-fig11] [-fig12] [-stalls]
+//	      [-fig8] [-fig9] [-fig10] [-fig11] [-fig12] [-scaling] [-stalls]
 //	hfexp -metrics dir/ [-benches bzip2,adpcmdec]
 //	hfexp -diagnose diag.json
 //
@@ -46,6 +46,7 @@ func main() {
 		fig10    = flag.Bool("fig10", false, "4-cycle bus sensitivity")
 		fig11    = flag.Bool("fig11", false, "128-byte bus bandwidth")
 		fig12    = flag.Bool("fig12", false, "stream cache and queue size optimizations")
+		scaling  = flag.Bool("scaling", false, "N-core scaling curves: speedup vs core count per design")
 		abl      = flag.Bool("ablations", false, "design-space ablations beyond the paper's figures")
 		costs    = flag.Bool("costs", false, "hardware/OS cost vs performance summary")
 		stalls   = flag.Bool("stalls", false, "per-design stall-cycle attribution table")
@@ -131,7 +132,7 @@ func main() {
 	}
 
 	all := !(*table1 || *table2 || *fig3 || *fig6 || *fig7 || *fig8 ||
-		*fig9 || *fig10 || *fig11 || *fig12 || *abl || *costs || *stalls)
+		*fig9 || *fig10 || *fig11 || *fig12 || *scaling || *abl || *costs || *stalls)
 
 	type job struct {
 		on  bool
@@ -152,6 +153,7 @@ func main() {
 		{*fig10 || all, renderFig(exp.Fig10Ctx)},
 		{*fig11 || all, renderFig(exp.Fig11Ctx)},
 		{*fig12 || all, tableCtx[*exp.Fig12Result](ctx)(exp.Fig12Ctx)},
+		{*scaling || all, tableCtx[*exp.ScalingResult](ctx)(exp.ScalingCtx)},
 		{*stalls || all, tableOf(exp.StallBreakdown)},
 		{*abl, tableOf(exp.AblationQLU)},
 		{*abl, tableOf(exp.AblationBusPipelining)},

@@ -51,19 +51,83 @@ func TestRunProgramsCoreCount(t *testing.T) {
 		t.Error("RunPrograms accepted an empty program list")
 	}
 
-	_, err := RunPrograms(Existing, []*Program{p, p, p}, nil)
+	nine := make([]*Program, 9)
+	for i := range nine {
+		nine[i] = p
+	}
+	_, err := RunPrograms(Existing, nine, nil)
 	if err == nil {
-		t.Fatal("RunPrograms accepted 3 programs")
+		t.Fatal("RunPrograms accepted 9 programs")
 	}
 	var cce *CoreCountError
 	if !errors.As(err, &cce) {
 		t.Fatalf("error %T is not *CoreCountError", err)
 	}
-	if cce.Programs != 3 || cce.Max != 2 {
-		t.Errorf("CoreCountError = %+v, want Programs=3 Max=2", cce)
+	if cce.Programs != 9 || cce.Max != 8 {
+		t.Errorf("CoreCountError = %+v, want Programs=9 Max=8", cce)
 	}
-	if !strings.Contains(err.Error(), "3 programs") || !strings.Contains(err.Error(), "at most 2") {
+	if !strings.Contains(err.Error(), "9 programs") || !strings.Contains(err.Error(), "at most 8") {
 		t.Errorf("unhelpful message %q", err)
+	}
+}
+
+// Three communicating programs must run on every design that can route
+// them: the routes are auto-derived from a static scan, no explicit
+// configuration needed. The result must match the functional oracle.
+func TestRunProgramsThreeCoreAutoRoutes(t *testing.T) {
+	src0 := `
+	    movi r1, 0
+	    movi r2, 10
+	loop:
+	    addi r1, r1, 3
+	    produce q0, r1
+	    addi r2, r2, -1
+	    bnez r2, loop
+	    halt
+	`
+	src1 := `
+	    movi r2, 10
+	loop:
+	    consume r1, q0
+	    addi r1, r1, 100
+	    produce q1, r1
+	    addi r2, r2, -1
+	    bnez r2, loop
+	    halt
+	`
+	src2 := `
+	    movi r2, 10
+	    movi r3, 0
+	loop:
+	    consume r1, q1
+	    add  r3, r3, r1
+	    addi r2, r2, -1
+	    bnez r2, loop
+	    st   [r0+32768], r3
+	    halt
+	`
+	progs := []*Program{
+		mustCompile(t, "stage0", src0),
+		mustCompile(t, "stage1", src1),
+		mustCompile(t, "stage2", src2),
+	}
+	oracle, err := Interpret(progs, nil)
+	if err != nil {
+		t.Fatalf("Interpret: %v", err)
+	}
+	want := oracle(32768)
+	if want == 0 {
+		t.Fatal("oracle computed 0; workload is broken")
+	}
+	for _, d := range Designs() {
+		run, err := RunPrograms(d, progs, nil)
+		if err != nil {
+			t.Errorf("%s: RunPrograms on 3 cores: %v", d.Name(), err)
+			continue
+		}
+		if got := run.Read(32768); got != want {
+			t.Errorf("%s: result %d, oracle %d", d.Name(), got, want)
+		}
 	}
 }
 

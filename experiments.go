@@ -18,6 +18,9 @@ const (
 	ExpFig10  = "fig10"
 	ExpFig11  = "fig11"
 	ExpFig12  = "fig12"
+	// ExpScaling is the N-core extension study: speedup vs core count for
+	// the k-stage and parallel-stage design points (not a paper figure).
+	ExpScaling = "scaling"
 )
 
 // ExperimentNames lists every reproducible table and figure.
@@ -25,6 +28,7 @@ func ExperimentNames() []string {
 	return []string{
 		ExpTable1, ExpTable2, ExpFig3, ExpFig6, ExpFig7,
 		ExpFig8, ExpFig9, ExpFig10, ExpFig11, ExpFig12,
+		ExpScaling,
 	}
 }
 
@@ -86,6 +90,12 @@ func RunExperimentCtx(ctx context.Context, name string) (string, error) {
 		return r.Table(), nil
 	case ExpFig12:
 		r, err := exp.Fig12Ctx(ctx)
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	case ExpScaling:
+		r, err := exp.ScalingCtx(ctx)
 		if err != nil {
 			return "", err
 		}

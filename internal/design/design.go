@@ -83,6 +83,16 @@ type Config struct {
 	// ProbeTimeout overrides SYNCOPTI's partial-line probe timeout
 	// (0 = default).
 	ProbeTimeout int
+
+	// Cores selects the machine's core count for pipelined benchmarks.
+	// 0 and 2 mean the paper's dual-core machine; 3 and up run k-stage
+	// DSWP pipelines (one stage per core). Single-threaded runs ignore
+	// it.
+	Cores int
+	// Parallel selects the parallel-stage (PS-DSWP) shape instead of a
+	// k-stage chain: Cores-1 replicated workers plus a merger. Requires
+	// Cores >= 3.
+	Parallel bool
 }
 
 // Name returns the variant label.
@@ -252,4 +262,37 @@ func CentralizedStoreConfig(consumeToUse int) Config {
 // queue sequences for this design point.
 func (c Config) SoftwareQueues() bool {
 	return c.Point == Existing || c.Point == MemOpti
+}
+
+// WithCores returns the configuration retargeted to an n-core machine
+// (n >= 3 runs n-stage pipelines) with the suffixed label the design
+// registry uses, e.g. "SYNCOPTI_SC+Q64_4CORE".
+func (c Config) WithCores(n int) Config {
+	c.Cores = n
+	c.Label = fmt.Sprintf("%s_%dCORE", c.Name(), n)
+	return c
+}
+
+// MPMCConfig returns the parallel-stage design point: the HEAVYWT
+// substrate running Cores-1 replicated workers and a merger over
+// multi-producer/multi-consumer-capable queues. The name honours the
+// queue semantics the topology exercises even though the DSWP
+// parallel-stage partitioner realizes them as SPSC lanes — the syncarray
+// and software lowerings accept true MPMC routes for custom programs.
+func MPMCConfig() Config {
+	c := base(HeavyWT)
+	c.Label = "MPMC"
+	c.Cores = 4
+	c.Parallel = true
+	return c
+}
+
+// MPMCQ64Config is MPMCConfig with 64-entry queues and QLU 16, matching
+// the Q64 variants of the dual-core study.
+func MPMCQ64Config() Config {
+	c := MPMCConfig()
+	c.Label = "MPMC_Q64"
+	c.QueueDepth = 64
+	c.QLU = 16
+	return c
 }

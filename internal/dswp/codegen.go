@@ -55,10 +55,6 @@ func generate(l *ir.Loop, th, stages int, assign map[int]int, slice map[int]bool
 	// iteration but must not share an init).
 	alloc := &regAlloc{next: 1}
 	regOf := map[int]isa.Reg{} // node value (local or direct import)
-	type carryKey struct {
-		id   int
-		init int64
-	}
 	carryReg := map[carryKey]isa.Reg{}
 	constReg := map[int64]isa.Reg{}
 
@@ -245,6 +241,14 @@ func scheduleASAP(nodes []*ir.Node, local map[int]bool) []*ir.Node {
 		return out[i].ID < out[j].ID
 	})
 	return out
+}
+
+// carryKey identifies one carried-value register: two carried uses of
+// the same node with different iteration-zero values need distinct
+// registers.
+type carryKey struct {
+	id   int
+	init int64
 }
 
 type regAlloc struct{ next isa.Reg }

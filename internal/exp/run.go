@@ -70,8 +70,20 @@ func RunBenchmarkSampledCtx(ctx context.Context, b *workloads.Benchmark, cfg des
 
 // RunBenchmarkOpts runs the pipelined version of b on the given design
 // point with the requested observability options and verifies the output
-// region against the functional oracle.
+// region against the functional oracle. Multi-core configurations
+// dispatch to the matching partition shape: Parallel runs Cores-1
+// replicated workers plus a merger, Cores >= 3 runs a Cores-stage
+// pipeline, and everything else is the paper's dual-core machine.
 func RunBenchmarkOpts(ctx context.Context, b *workloads.Benchmark, cfg design.Config, opts RunOpts) (*sim.Result, error) {
+	if cfg.Parallel {
+		if cfg.Cores < 3 {
+			return nil, fmt.Errorf("exp: %s/%s: parallel-stage designs need Cores >= 3 (got %d)", b.Name, cfg.Name(), cfg.Cores)
+		}
+		return RunParallelOpts(ctx, b, cfg, cfg.Cores-1, opts)
+	}
+	if cfg.Cores >= 3 {
+		return RunStagedOpts(ctx, b, cfg, cfg.Cores, opts)
+	}
 	threads, _, err := b.Pipelined()
 	if err != nil {
 		return nil, err

@@ -143,6 +143,60 @@ func RunStagedOpts(ctx context.Context, b *workloads.Benchmark, cfg design.Confi
 	return r, nil
 }
 
+// RunParallel partitions b into `workers` replicated parallel-stage
+// workers plus a merger (PS-DSWP) and runs it on the design point with
+// workers+1 cores, verifying the output against the oracle.
+func RunParallel(b *workloads.Benchmark, cfg design.Config, workers int) (*sim.Result, error) {
+	return RunParallelOpts(context.Background(), b, cfg, workers, RunOpts{})
+}
+
+// RunParallelOpts is RunParallel with cancellation and observability
+// options. The partition emits only SPSC lanes (one per worker per
+// crossing value), so every design point runs it; the lanes' routes are
+// handed to the fabric for the designs that need explicit routing.
+func RunParallelOpts(ctx context.Context, b *workloads.Benchmark, cfg design.Config, workers int, opts RunOpts) (*sim.Result, error) {
+	if b.Loop == nil {
+		return nil, fmt.Errorf("exp: %s is hand-partitioned; parallel-stage runs need an IR kernel", b.Name)
+	}
+	pr, err := dswp.PartitionParallel(b.Loop, workers)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", b.Name, err)
+	}
+	progs := pr.Threads
+	if cfg.SoftwareQueues() {
+		lowered := make([]*isa.Program, len(progs))
+		for i, p := range progs {
+			lowered[i], err = lower.Lower(p, cfg.Layout())
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s/%s: %w", b.Name, cfg.Name(), err)
+			}
+		}
+		progs = lowered
+	}
+	simCfg := cfg.SimConfig()
+	simCfg.Preload = b.InputRegions
+	opts.Apply(&simCfg)
+	simCfg.Cancel = ctx.Done()
+	for _, rt := range pr.Routes {
+		simCfg.Mem.QueueRoutes = append(simCfg.Mem.QueueRoutes,
+			memsys.QueueRoute{Producer: rt.Producer, Consumer: rt.Consumer})
+	}
+	img := mem.New()
+	b.Setup(img)
+	var ths []sim.Thread
+	for _, p := range progs {
+		ths = append(ths, sim.Thread{Prog: p})
+	}
+	r, err := sim.Run(simCfg, img, ths)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s/%s/%d-worker: %w", b.Name, cfg.Name(), workers, err)
+	}
+	if err := CheckOutput(b, img); err != nil {
+		return nil, fmt.Errorf("exp: %s/%s/%d-worker: %w", b.Name, cfg.Name(), workers, err)
+	}
+	return r, nil
+}
+
 // Table renders the pipeline-depth comparison.
 func (r *StagesResult) Table() string {
 	t := stats.NewTable(

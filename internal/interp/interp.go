@@ -6,14 +6,34 @@
 // Threads are interleaved one instruction at a time over unbounded
 // queues, which suffices for the acyclic (pipelined) communication
 // patterns DSWP produces and also lets software-queue spin loops resolve.
+//
+// Queues follow the repo-wide ticket discipline: each queue's producer
+// and consumer thread sets are derived statically (by scanning the
+// programs for Produce/Consume on that queue, threads in ascending
+// order), and the item with global ticket k is produced by producer
+// k mod P as its (k div P)-th produce and consumed by consumer k mod C
+// as its (k div C)-th consume. With one producer and one consumer this
+// is exactly a FIFO — the classic dual-core behaviour — and with more
+// endpoints it is the MPMC semantics the lane-based hardware lowerings
+// implement, so the interpreter remains the oracle for every topology.
 package interp
 
 import (
 	"fmt"
+	"sort"
 
 	"hfstream/internal/isa"
 	"hfstream/internal/mem"
 )
+
+// qstate is one logical queue's storage and endpoint bookkeeping.
+type qstate struct {
+	producers []int // thread IDs, ascending (static scan)
+	consumers []int
+	slots     map[uint64]uint64 // outstanding items keyed by global ticket
+	prodTick  map[int]uint64    // per-thread completed produce count
+	consTick  map[int]uint64    // per-thread completed consume count
+}
 
 // Machine executes programs against a shared memory image.
 type Machine struct {
@@ -22,25 +42,80 @@ type Machine struct {
 	regs   [][]uint64
 	pcs    []int
 	halted []bool
-	queues map[int][]uint64
+	queues map[int]*qstate
 
 	// Steps counts executed instructions (across threads).
 	Steps uint64
 }
 
-// New builds a machine over the given image.
+// New builds a machine over the given image. Queue endpoint roles are
+// derived here by a static scan of the programs.
 func New(image *mem.Memory, progs ...*isa.Program) *Machine {
 	m := &Machine{
 		image:  image,
 		progs:  progs,
-		queues: make(map[int][]uint64),
+		queues: make(map[int]*qstate),
 	}
 	for range progs {
 		m.regs = append(m.regs, make([]uint64, isa.NumRegs))
 		m.pcs = append(m.pcs, 0)
 		m.halted = append(m.halted, false)
 	}
+	for t, p := range progs {
+		for _, in := range p.Instrs {
+			switch in.Op {
+			case isa.Produce:
+				m.queue(in.Q).addProducer(t)
+			case isa.Consume:
+				m.queue(in.Q).addConsumer(t)
+			}
+		}
+	}
 	return m
+}
+
+func (m *Machine) queue(q int) *qstate {
+	qs := m.queues[q]
+	if qs == nil {
+		qs = &qstate{
+			slots:    make(map[uint64]uint64),
+			prodTick: make(map[int]uint64),
+			consTick: make(map[int]uint64),
+		}
+		m.queues[q] = qs
+	}
+	return qs
+}
+
+func (qs *qstate) addProducer(t int) { qs.producers = insertSorted(qs.producers, t) }
+func (qs *qstate) addConsumer(t int) { qs.consumers = insertSorted(qs.consumers, t) }
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Producers returns the statically derived producer thread set of queue q
+// (ascending order; nil if no thread produces into it).
+func (m *Machine) Producers(q int) []int {
+	if qs := m.queues[q]; qs != nil {
+		return qs.producers
+	}
+	return nil
+}
+
+// Consumers returns the statically derived consumer thread set of queue q.
+func (m *Machine) Consumers(q int) []int {
+	if qs := m.queues[q]; qs != nil {
+		return qs.consumers
+	}
+	return nil
 }
 
 // SetReg initializes a register of thread t.
@@ -52,7 +127,12 @@ func (m *Machine) Reg(t int, r isa.Reg) uint64 { return m.regs[t][r] }
 // QueueLen returns the residual occupancy of queue q (0 after a clean
 // run of a well-formed pipeline that drains its queues... producers may
 // legitimately leave sentinel-free queues non-empty).
-func (m *Machine) QueueLen(q int) int { return len(m.queues[q]) }
+func (m *Machine) QueueLen(q int) int {
+	if qs := m.queues[q]; qs != nil {
+		return len(qs.slots)
+	}
+	return 0
+}
 
 // Run interleaves the threads until all halt. maxSteps bounds total
 // executed instructions (0 means 100M).
@@ -85,7 +165,7 @@ func (m *Machine) Run(maxSteps uint64) error {
 }
 
 // step executes one instruction of thread t; it returns false if the
-// thread is blocked (consume on an empty queue).
+// thread is blocked (consume on a ticket that has not been produced).
 func (m *Machine) step(t int) bool {
 	prog := m.progs[t]
 	in := prog.Instrs[m.pcs[t]]
@@ -118,20 +198,36 @@ func (m *Machine) step(t int) bool {
 		m.image.Write8(regs[in.Ra]+uint64(in.Imm), regs[in.Rb])
 		m.pcs[t]++
 	case isa.Produce:
-		m.queues[in.Q] = append(m.queues[in.Q], regs[in.Ra])
+		qs := m.queues[in.Q]
+		pIdx := indexOf(qs.producers, t)
+		ticket := qs.prodTick[t]*uint64(len(qs.producers)) + uint64(pIdx)
+		qs.slots[ticket] = regs[in.Ra]
+		qs.prodTick[t]++
 		m.pcs[t]++
 	case isa.Consume:
-		q := m.queues[in.Q]
-		if len(q) == 0 {
+		qs := m.queues[in.Q]
+		cIdx := indexOf(qs.consumers, t)
+		ticket := qs.consTick[t]*uint64(len(qs.consumers)) + uint64(cIdx)
+		v, ok := qs.slots[ticket]
+		if !ok {
 			m.Steps-- // blocked, not executed
 			return false
 		}
-		regs[in.Rd] = q[0]
-		m.queues[in.Q] = q[1:]
+		delete(qs.slots, ticket)
+		regs[in.Rd] = v
+		qs.consTick[t]++
 		m.pcs[t]++
 	default:
 		regs[in.Rd] = isa.Eval(in.Op, regs[in.Ra], regs[in.Rb], in.Imm)
 		m.pcs[t]++
 	}
 	return true
+}
+
+func indexOf(s []int, v int) int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return i
+	}
+	return -1
 }

@@ -1,0 +1,109 @@
+package interp
+
+import (
+	"testing"
+
+	"hfstream/internal/asm"
+	"hfstream/internal/isa"
+	"hfstream/internal/mem"
+)
+
+// mpmcProducer produces count values first, first+stride, ... into q0.
+// With first = its producer index and stride = P, a producer's values are
+// exactly its own global tickets.
+func mpmcProducer(name string, first, stride, count int) *isa.Program {
+	b := asm.NewBuilder(name)
+	b.MovI(1, int64(first))
+	b.MovI(2, int64(stride))
+	b.MovI(3, int64(count))
+	b.Label("loop")
+	b.Produce(0, 1)
+	b.Add(1, 1, 2)
+	b.AddI(3, 3, -1)
+	b.Bnez(3, "loop")
+	b.Halt()
+	return b.MustProgram()
+}
+
+// mpmcSummer consumes count items from q0 and stores an order-sensitive
+// checksum (running prefix sum accumulated into a total) at addr.
+func mpmcSummer(name string, count int, addr int64) *isa.Program {
+	c := asm.NewBuilder(name)
+	c.MovI(1, 0)
+	c.MovI(2, 0)
+	c.MovI(5, int64(count))
+	c.MovI(6, addr)
+	c.Label("loop")
+	c.Consume(3, 0)
+	c.Add(1, 1, 3)
+	c.Add(2, 2, 1)
+	c.AddI(5, 5, -1)
+	c.Bnez(5, "loop")
+	c.St(6, 0, 2)
+	c.Halt()
+	return c.MustProgram()
+}
+
+// Two producers and two consumers share one queue: the interpreter must
+// deliver ticket k to consumer k mod C as its (k div C)-th consume,
+// independent of thread stepping, so each consumer's order-sensitive
+// checksum is fully determined.
+func TestInterpMPMCTicketDiscipline(t *testing.T) {
+	const perProducer, perConsumer = 6, 6
+	p0 := mpmcProducer("p0", 0, 2, perProducer)
+	p1 := mpmcProducer("p1", 1, 2, perProducer)
+	c0 := mpmcSummer("c0", perConsumer, 0x300)
+	c1 := mpmcSummer("c1", perConsumer, 0x308)
+
+	img := mem.New()
+	m := New(img, p0, p1, c0, c1)
+	if got := m.Producers(0); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Producers(0) = %v", got)
+	}
+	if got := m.Consumers(0); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Consumers(0) = %v", got)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Consumer j receives tickets j, j+2, ..., j+10 in that order.
+	for j := 0; j < 2; j++ {
+		var want, acc uint64
+		for i := 0; i < perConsumer; i++ {
+			acc += uint64(i*2 + j)
+			want += acc
+		}
+		if got := img.Read8(uint64(0x300 + 8*j)); got != want {
+			t.Errorf("consumer %d checksum = %d, want %d", j, got, want)
+		}
+	}
+	if m.QueueLen(0) != 0 {
+		t.Errorf("queue not drained: %d items left", m.QueueLen(0))
+	}
+}
+
+// A consumer must not receive another consumer's ticket even when the
+// queue is non-empty: with one item produced (ticket 0, owned by the
+// first consumer) the second consumer blocks forever.
+func TestInterpMPMCConsumerBlocksOnForeignTicket(t *testing.T) {
+	prod := asm.MustParse("p", `
+		movi r1, 42
+		produce q0, r1
+		halt
+	`)
+	c0 := asm.MustParse("c0", `
+		consume r1, q0
+		halt
+	`)
+	c1 := asm.MustParse("c1", `
+		consume r1, q0
+		halt
+	`)
+	m := New(mem.New(), prod, c0, c1)
+	if err := m.Run(0); err == nil {
+		t.Fatal("second consumer stole the first consumer's ticket")
+	}
+	if m.Reg(1, 1) != 42 {
+		t.Errorf("first consumer got %d, want 42", m.Reg(1, 1))
+	}
+}

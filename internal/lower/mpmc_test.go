@@ -1,0 +1,150 @@
+package lower
+
+import (
+	"reflect"
+	"testing"
+
+	"hfstream/internal/asm"
+	"hfstream/internal/interp"
+	"hfstream/internal/isa"
+	"hfstream/internal/mem"
+	"hfstream/internal/queue"
+)
+
+// mpmcProducer emits `count` produces of values first, first+stride, ...
+// into q0 — under the ticket discipline a producer's values are exactly
+// its own global tickets when first is its role index and stride is P.
+func mpmcProducer(name string, first, stride, count int64) *isa.Program {
+	b := asm.NewBuilder(name)
+	b.MovI(1, first)
+	b.MovI(2, stride)
+	b.MovI(3, count)
+	b.Label("loop")
+	b.Produce(0, 1)
+	b.Add(1, 1, 2)
+	b.AddI(3, 3, -1)
+	b.Bnez(3, "loop")
+	b.Halt()
+	return b.MustProgram()
+}
+
+// mpmcSummer consumes `count` items from q0 and stores an order-sensitive
+// checksum (total += running prefix sum) at 0x8000.
+func mpmcSummer(count int64) *isa.Program {
+	c := asm.NewBuilder("sum")
+	c.MovI(1, 0) // prefix accumulator
+	c.MovI(2, 0) // checksum
+	c.MovI(5, count)
+	c.MovI(6, 0x8000)
+	c.Label("loop")
+	c.Consume(3, 0)
+	c.Add(1, 1, 3)
+	c.Add(2, 2, 1)
+	c.AddI(5, 5, -1)
+	c.Bnez(5, "loop")
+	c.St(6, 0, 2)
+	c.Halt()
+	return c.MustProgram()
+}
+
+// Two producers fan into one consumer through a software MPMC queue. The
+// lowered programs must compute the same order-sensitive checksum as the
+// unlowered programs on the functional interpreter (the ticket oracle),
+// which pins both the value set and the reconstruction order.
+func TestLowerRolesMPMCFanIn(t *testing.T) {
+	const n = 24
+	roles := map[int]queue.MPMCRoute{
+		0: {Producers: []int{0, 1}, Consumers: []int{2}},
+	}
+	prod0 := mpmcProducer("p0", 0, 2, n/2)
+	prod1 := mpmcProducer("p1", 1, 2, n/2)
+	cons := mpmcSummer(n)
+
+	// Oracle: native produce/consume under the interpreter's ticket
+	// discipline. Consumer sees tickets 0..n-1 in order, so the checksum
+	// is sum of prefix sums of 0..n-1.
+	var want, acc uint64
+	for i := uint64(0); i < n; i++ {
+		acc += i
+		want += acc
+	}
+	img1 := mem.New()
+	if err := interp.New(img1, prod0, prod1, cons).Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := img1.Read8(0x8000); got != want {
+		t.Fatalf("oracle checksum = %d, want %d", got, want)
+	}
+
+	lowered := make([]*isa.Program, 3)
+	for i, p := range []*isa.Program{prod0, prod1, cons} {
+		lp, err := LowerRoles(p, layout(), i, roles)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for _, in := range lp.Instrs {
+			if in.Op == isa.Produce || in.Op == isa.Consume {
+				t.Fatalf("%s still contains %v", lp.Name, in)
+			}
+		}
+		lowered[i] = lp
+	}
+	img2 := mem.New()
+	if err := interp.New(img2, lowered...).Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := img2.Read8(0x8000); got != want {
+		t.Fatalf("lowered checksum = %d, want %d", got, want)
+	}
+}
+
+// Queues without an MPMC route must lower bit-identically through
+// LowerRoles and Lower, whatever core ID is supplied — the dual-core
+// goldens depend on it. A 1:1 route is SPSC and must also change nothing.
+func TestLowerRolesSPSCIdentity(t *testing.T) {
+	prod, cons := pipelinePair(50)
+	spsc := map[int]queue.MPMCRoute{0: {Producers: []int{0}, Consumers: []int{1}}}
+	for i, p := range []*isa.Program{prod, cons} {
+		want, err := Lower(p, layout())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, roles := range []map[int]queue.MPMCRoute{nil, spsc} {
+			got, err := LowerRoles(p, layout(), i, roles)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Instrs, want.Instrs) {
+				t.Fatalf("%s: LowerRoles(roles=%v) differs from Lower", p.Name, roles)
+			}
+		}
+	}
+}
+
+func TestLowerRolesMPMCErrors(t *testing.T) {
+	prod := mpmcProducer("p", 0, 2, 4)
+
+	// Core not in the declared producer set.
+	roles := map[int]queue.MPMCRoute{0: {Producers: []int{0, 1}, Consumers: []int{2}}}
+	if _, err := LowerRoles(prod, layout(), 5, roles); err == nil {
+		t.Error("undeclared producer core accepted")
+	}
+
+	// Endpoint count not dividing the slot count (3 !| 32).
+	bad := map[int]queue.MPMCRoute{0: {Producers: []int{0, 1, 2}, Consumers: []int{3}}}
+	if _, err := LowerRoles(prod, layout(), 0, bad); err == nil {
+		t.Error("non-dividing endpoint count accepted")
+	}
+
+	// One thread holding both roles of an MPMC queue.
+	b := asm.NewBuilder("both")
+	b.MovI(1, 7)
+	b.Produce(0, 1)
+	b.Consume(2, 0)
+	b.Halt()
+	both := b.MustProgram()
+	dual := map[int]queue.MPMCRoute{0: {Producers: []int{0, 1}, Consumers: []int{0, 2}}}
+	if _, err := LowerRoles(both, layout(), 0, dual); err == nil {
+		t.Error("both-roles program accepted for an MPMC queue")
+	}
+}

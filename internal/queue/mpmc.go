@@ -1,0 +1,90 @@
+package queue
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MPMCRoute declares one logical queue's multi-producer/multi-consumer
+// endpoints: the core IDs allowed to produce into it and to consume from
+// it, each in ascending order. A queue with one producer and one consumer
+// is ordinary SPSC and needs no route.
+//
+// MPMC queues follow a ticket discipline (Virtual-Link's per-link credit
+// scheme, collapsed onto slot ownership): the item with global ticket k is
+// produced by producer k mod P as its (k div P)-th produce and consumed by
+// consumer k mod C as its (k div C)-th consume. Every endpoint's schedule
+// is a pure function of its own operation count, so queue contents are
+// independent of how the endpoints interleave in time — the property that
+// keeps MPMC runs bit-reproducible and lets the functional interpreter
+// serve as their oracle.
+type MPMCRoute struct {
+	Producers []int
+	Consumers []int
+}
+
+// P returns the producer count.
+func (r MPMCRoute) P() int { return len(r.Producers) }
+
+// C returns the consumer count.
+func (r MPMCRoute) C() int { return len(r.Consumers) }
+
+// IsMPMC reports whether the route actually needs MPMC semantics (more
+// than one endpoint on either side).
+func (r MPMCRoute) IsMPMC() bool { return r.P() > 1 || r.C() > 1 }
+
+// ProducerIndex returns core's position in the producer list, or -1.
+func (r MPMCRoute) ProducerIndex(core int) int { return indexOf(r.Producers, core) }
+
+// ConsumerIndex returns core's position in the consumer list, or -1.
+func (r MPMCRoute) ConsumerIndex(core int) int { return indexOf(r.Consumers, core) }
+
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks the route against a queue depth: both endpoint lists
+// must be non-empty, sorted, duplicate-free, and their sizes must divide
+// the depth — ticket k's slot is k mod depth, and slot ownership is only
+// stable across wraps when the endpoint count divides the depth.
+func (r MPMCRoute) Validate(q, depth int) error {
+	for side, list := range map[string][]int{"producer": r.Producers, "consumer": r.Consumers} {
+		if len(list) == 0 {
+			return fmt.Errorf("queue: MPMC route for q%d has no %ss", q, side)
+		}
+		if !sort.IntsAreSorted(list) {
+			return fmt.Errorf("queue: MPMC route for q%d: %s cores %v not in ascending order", q, side, list)
+		}
+		for i := 1; i < len(list); i++ {
+			if list[i] == list[i-1] {
+				return fmt.Errorf("queue: MPMC route for q%d: duplicate %s core %d", q, side, list[i])
+			}
+		}
+		if depth%len(list) != 0 {
+			return fmt.Errorf("queue: MPMC route for q%d: %d %ss do not divide queue depth %d (slot ownership would drift across wraps)",
+				q, len(list), side, depth)
+		}
+	}
+	return nil
+}
+
+// LaneCount returns the number of SPSC lanes the route expands to:
+// lcm(P, C). Lane l is a strict FIFO from producer l mod P to consumer
+// l mod C, and ticket k travels on lane k mod LaneCount.
+func (r MPMCRoute) LaneCount() int {
+	return lcm(r.P(), r.C())
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }

@@ -2,6 +2,7 @@ package queue
 
 import (
 	"fmt"
+	"sort"
 
 	"hfstream/fault"
 	"hfstream/internal/port"
@@ -34,6 +35,12 @@ type SAParams struct {
 	// LinkWidth is the number of messages one pipeline slot carries in
 	// each direction.
 	LinkWidth int
+	// MPMC maps logical queue IDs to multi-producer/multi-consumer routes.
+	// Each MPMC queue is realized as lcm(P,C) hidden SPSC lanes appended
+	// after NumQueues; cores reach them through per-core Port adapters that
+	// dispatch on the ticket discipline (see MPMCRoute). Queues without an
+	// entry keep the classic single-FIFO behaviour.
+	MPMC map[int]MPMCRoute
 }
 
 // DefaultSAParams returns the paper's HEAVYWT configuration.
@@ -110,6 +117,14 @@ type SyncArray struct {
 	queues   []saQueue
 	inflight []saMessage
 
+	// depths holds each physical queue's dedicated-store depth: p.Depth
+	// for the first NumQueues entries, Depth/lcm(P,C) (min 1) for MPMC
+	// lane sub-queues appended after them.
+	depths []int
+	// laneBase maps a logical MPMC queue ID to the physical ID of its
+	// first lane.
+	laneBase map[int]int
+
 	// linkFree tracks, per direction, the next quarter-cycle at which the
 	// interconnect accepts a message (token bucket at the pipeline
 	// initiation rate; paper §3.3).
@@ -173,17 +188,51 @@ func NewSyncArray(p SAParams) (*SyncArray, error) {
 	if p.InterconnectLatency <= 0 {
 		p.InterconnectLatency = 1
 	}
-	return &SyncArray{p: p, queues: make([]saQueue, p.NumQueues), wakeAt: ^uint64(0)}, nil
+	total := p.NumQueues
+	depths := make([]int, p.NumQueues, p.NumQueues)
+	for i := range depths {
+		depths[i] = p.Depth
+	}
+	laneBase := make(map[int]int, len(p.MPMC))
+	mpmcQs := make([]int, 0, len(p.MPMC))
+	for q := range p.MPMC {
+		mpmcQs = append(mpmcQs, q)
+	}
+	sort.Ints(mpmcQs)
+	for _, q := range mpmcQs {
+		r := p.MPMC[q]
+		if q < 0 || q >= p.NumQueues {
+			return nil, fmt.Errorf("queue: MPMC route for q%d out of range [0,%d)", q, p.NumQueues)
+		}
+		if err := r.Validate(q, p.Depth); err != nil {
+			return nil, err
+		}
+		if !r.IsMPMC() {
+			continue // 1:1 route: the plain FIFO already has the semantics
+		}
+		lanes := r.LaneCount()
+		laneCap := p.Depth / lanes
+		if laneCap < 1 {
+			laneCap = 1
+		}
+		laneBase[q] = total
+		for l := 0; l < lanes; l++ {
+			depths = append(depths, laneCap)
+		}
+		total += lanes
+	}
+	return &SyncArray{p: p, queues: make([]saQueue, total), depths: depths, laneBase: laneBase, wakeAt: ^uint64(0)}, nil
 }
 
-// capacity returns the effective producer-visible capacity: the dedicated
-// store depth plus, for a pipelined interconnect, its in-flight stages
-// (which buffer data and effectively extend the queue).
-func (sa *SyncArray) capacity() int {
+// capacityOf returns physical queue q's effective producer-visible
+// capacity: its dedicated store depth plus, for a pipelined interconnect,
+// the in-flight stages (which buffer data and effectively extend the
+// queue).
+func (sa *SyncArray) capacityOf(q int) int {
 	if sa.p.Pipelined {
-		return sa.p.Depth + sa.p.InterconnectLatency
+		return sa.depths[q] + sa.p.InterconnectLatency
 	}
-	return sa.p.Depth
+	return sa.depths[q]
 }
 
 // noteWake lowers the cached wake time; every mutation that queues future
@@ -354,7 +403,7 @@ func (sa *SyncArray) takeBudget(cycle uint64) bool {
 // pipeline: ok=false tells the core to stall issue and retry.
 func (sa *SyncArray) Produce(cycle uint64, q int, v uint64) (*port.Token, bool) {
 	qu := &sa.queues[q]
-	if qu.outstanding >= sa.capacity() {
+	if qu.outstanding >= sa.capacityOf(q) {
 		sa.FullStalls++
 		return nil, false
 	}

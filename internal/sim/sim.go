@@ -251,6 +251,14 @@ func validate(cfg *Config, threads []Thread) error {
 					"queue %d out of range: synchronization array has %d queues", q, cfg.SA.NumQueues)}
 			}
 		}
+		for q, r := range cfg.SA.MPMC {
+			for _, c := range append(append([]int{}, r.Producers...), r.Consumers...) {
+				if c < 0 || c >= len(threads) {
+					return &ValidationError{Reason: fmt.Sprintf(
+						"queue %d MPMC route references core %d outside [0,%d)", q, c, len(threads))}
+				}
+			}
+		}
 	} else if cfg.Mem.HWQueues && len(threads) != 2 {
 		// Without the dual-core implicit-peer default every used queue
 		// needs an explicit, in-range route.
@@ -324,7 +332,9 @@ func Run(cfg Config, image *mem.Memory, threads []Thread) (*Result, error) {
 		var strm port.Stream
 		switch {
 		case cfg.UseSyncArray:
-			strm = sa
+			// Each core gets its own port view: MPMC queues dispatch on
+			// (core, ticket); plain queues pass straight through.
+			strm = sa.Port(i)
 		case cfg.Mem.HWQueues:
 			strm = fab.Controller(i)
 		}

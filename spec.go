@@ -59,6 +59,9 @@ func (s Spec) Normalize() (Spec, error) {
 	if err != nil {
 		return Spec{}, err
 	}
+	if s.Stages >= 2 && (d.cfg.Cores >= 3 || d.cfg.Parallel) {
+		return Spec{}, fmt.Errorf("hfstream: spec stages=%d conflicts with multi-core design %q (its core count is part of the design name)", s.Stages, d.Name())
+	}
 	s.Design = d.Name()
 	return s, nil
 }
